@@ -1,0 +1,109 @@
+//! Criterion benches: packet-simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnet_htsim::{run_to_completion, CcAlgo, FlowSpec, SimConfig, Simulator};
+use pnet_routing::{host_route, RouteAlgo, Router};
+use pnet_topology::{assemble_homogeneous, FatTree, HostId, LinkProfile, Network, RackId};
+use std::hint::black_box;
+
+fn setup() -> (Network, Vec<(HostId, HostId, Vec<Vec<pnet_topology::LinkId>>)>) {
+    let net =
+        assemble_homogeneous(&FatTree::three_tier(8), 2, &LinkProfile::paper_default());
+    let mut router = Router::new(&net, RouteAlgo::Ksp { k: 2 });
+    let flows: Vec<(HostId, HostId, Vec<Vec<pnet_topology::LinkId>>)> = (0..16u32)
+        .map(|i| {
+            let src = HostId(i);
+            let dst = HostId(127 - i);
+            let paths = router.k_best_across_planes(
+                net.rack_of_host(src),
+                net.rack_of_host(dst),
+                2,
+            );
+            let routes = paths
+                .iter()
+                .filter_map(|p| host_route(&net, src, dst, p))
+                .collect();
+            (src, dst, routes)
+        })
+        .collect();
+    (net, flows)
+}
+
+fn bench_bulk_transfer(c: &mut Criterion) {
+    let (net, flows) = setup();
+    c.bench_function("16 x 1MB MPTCP flows, fat tree k=8 x2 (events/run)", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&net, SimConfig::default());
+            for (src, dst, routes) in &flows {
+                sim.start_flow(FlowSpec {
+                    src: *src,
+                    dst: *dst,
+                    size_bytes: 1_000_000,
+                    routes: routes.clone(),
+                    cc: CcAlgo::Lia,
+                    owner_tag: 0,
+                });
+            }
+            run_to_completion(&mut sim);
+            black_box(sim.events_dispatched())
+        })
+    });
+}
+
+fn bench_single_packet_rtt(c: &mut Criterion) {
+    let (net, flows) = setup();
+    let (src, dst, routes) = &flows[0];
+    c.bench_function("single-packet flow end to end", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&net, SimConfig::default());
+            sim.start_flow(FlowSpec {
+                src: *src,
+                dst: *dst,
+                size_bytes: 1_000,
+                routes: routes[..1].to_vec(),
+                cc: CcAlgo::Reno,
+                owner_tag: 0,
+            });
+            run_to_completion(&mut sim);
+            black_box(sim.records.len())
+        })
+    });
+}
+
+fn bench_incast(c: &mut Criterion) {
+    let net =
+        assemble_homogeneous(&FatTree::three_tier(8), 1, &LinkProfile::paper_default());
+    let mut router = Router::new(&net, RouteAlgo::Ksp { k: 1 });
+    let routes: Vec<_> = (1..9u32)
+        .map(|i| {
+            let src = HostId(i * 8);
+            let paths =
+                router.k_best_across_planes(net.rack_of_host(src), RackId(0), 1);
+            (src, host_route(&net, src, HostId(0), &paths[0]).unwrap())
+        })
+        .collect();
+    c.bench_function("8-to-1 incast with drops and recovery", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&net, SimConfig::default());
+            for (src, route) in &routes {
+                sim.start_flow(FlowSpec {
+                    src: *src,
+                    dst: HostId(0),
+                    size_bytes: 750_000,
+                    routes: vec![route.clone()],
+                    cc: CcAlgo::Reno,
+                    owner_tag: 0,
+                });
+            }
+            run_to_completion(&mut sim);
+            black_box(sim.dropped_packets)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bulk_transfer, bench_single_packet_rtt, bench_incast
+}
+criterion_main!(benches);

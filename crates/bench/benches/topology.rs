@@ -1,0 +1,64 @@
+//! Criterion benches: topology construction throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnet_topology::{
+    assemble_homogeneous, FatTree, Jellyfish, LinkProfile, PlaneBuilder, Xpander,
+};
+use std::hint::black_box;
+
+fn bench_fattree(c: &mut Criterion) {
+    let base = LinkProfile::paper_default();
+    c.bench_function("build fat-tree k=16 (1024 hosts)", |b| {
+        b.iter(|| {
+            let net = assemble_homogeneous(&FatTree::three_tier(16), 1, &base);
+            black_box(net.n_links())
+        })
+    });
+}
+
+fn bench_jellyfish(c: &mut Criterion) {
+    let base = LinkProfile::paper_default();
+    c.bench_function("build jellyfish 98x7 (686 hosts)", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let net = assemble_homogeneous(&Jellyfish::paper_686(seed), 1, &base);
+            black_box(net.n_links())
+        })
+    });
+}
+
+fn bench_parallel_assembly(c: &mut Criterion) {
+    let base = LinkProfile::paper_default();
+    c.bench_function("assemble 4-plane heterogeneous jellyfish", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let planes: Vec<Jellyfish> =
+                (0..4).map(|i| Jellyfish::new(64, 6, 4, seed + i)).collect();
+            let refs: Vec<&dyn PlaneBuilder> =
+                planes.iter().map(|p| p as &dyn PlaneBuilder).collect();
+            let net = pnet_topology::assemble(&refs, &base);
+            black_box(net.n_links())
+        })
+    });
+}
+
+fn bench_xpander(c: &mut Criterion) {
+    let base = LinkProfile::paper_default();
+    c.bench_function("build xpander d=7 lifts=4 (128 tors)", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let net = assemble_homogeneous(&Xpander::new(7, 4, 4, seed), 1, &base);
+            black_box(net.n_links())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fattree, bench_jellyfish, bench_parallel_assembly, bench_xpander
+}
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Appendix A (Figures 16–20): trace-driven FCT distributions for all five
+//! published traces, at two speed generations (10/40G and 100/400G) and on
+//! both topology families (fat tree and Jellyfish).
+//!
+//! Paper shape: at 10/40G P-Nets win broadly via load balancing and
+//! multi-flow tolerance (close to serial high-bw); at 100/400G the
+//! heterogeneous path-length advantage dominates, letting some short flows
+//! beat even the ideal serial 400G network.
+//!
+//! Scale note: defaults are small (tens of hosts, 0.01x sizes). Runs
+//! 5 traces x 2 speeds x 2 topologies x network classes; allow ~a minute.
+//!
+//! Usage: `exp_appendix [--planes 4] [--flows-per-host 2] [--ms 10]
+//!                      [--scale 0.01] [--seed 1] [--traces all] [--csv]`
+
+use pnet_bench::{banner, setups, Args, Table};
+use pnet_core::TopologyKind;
+use pnet_htsim::apps::{ClosedLoopDriver, ClosedLoopSlot};
+use pnet_htsim::{metrics, run, SimTime, Simulator};
+use pnet_topology::{HostId, LinkProfile, NetworkClass};
+use pnet_workloads::Trace;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let args = Args::parse();
+    let planes: usize = args.get("planes", 4);
+    let fph: usize = args.get("flows-per-host", 2);
+    let ms: u64 = args.get("ms", 10);
+    let scale: f64 = args.get("scale", 0.01);
+    let seed: u64 = args.get("seed", 1);
+    let rto_us: u64 = args.get("rto-us", 1_000);
+    let csv = args.has("csv");
+
+    banner(
+        "Appendix A (Figures 16-20) — trace FCTs across speeds and topologies",
+        &format!("{planes} planes, {fph} closed-loop flows/host, sizes x{scale}"),
+    );
+
+    let topologies = [
+        ("fat tree", TopologyKind::FatTree { k: 4 }),
+        (
+            "jellyfish",
+            TopologyKind::Jellyfish {
+                n_tors: 8,
+                degree: 3,
+                hosts_per_tor: 2,
+            },
+        ),
+    ];
+    let speeds = [("10/40G", 10u64), ("100/400G", 100u64)];
+
+    for trace in Trace::all() {
+        for (topo_name, topology) in &topologies {
+            for (speed_name, gbps) in &speeds {
+                println!();
+                println!(
+                    "--- {} | {} | {} (median / p90 / p99 FCT, us) ---",
+                    trace.label(),
+                    topo_name,
+                    speed_name
+                );
+                let classes = setups::classes_for(*topology);
+                let mut table =
+                    Table::new(vec!["network", "flows", "median", "p90", "p99"], csv);
+                for &class in &classes {
+                    let fcts = run_one(
+                        *topology, class, planes, seed, trace, scale, rto_us, fph, ms, *gbps,
+                    );
+                    if fcts.is_empty() {
+                        table.row(vec![class.label().to_string(), "0".into(), "-".into(), "-".into(), "-".into()]);
+                        continue;
+                    }
+                    table.row(vec![
+                        class.label().to_string(),
+                        fcts.len().to_string(),
+                        format!("{:.1}", metrics::percentile(&fcts, 50.0)),
+                        format!("{:.1}", metrics::percentile(&fcts, 90.0)),
+                        format!("{:.1}", metrics::percentile(&fcts, 99.0)),
+                    ]);
+                }
+                table.print();
+            }
+        }
+    }
+    println!();
+    println!(
+        "paper: at 10/40G P-Nets track serial high-bw; at 100/400G heterogeneous \
+         P-Nets can beat serial 400G on short flows via shorter paths"
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    topology: TopologyKind,
+    class: NetworkClass,
+    planes: usize,
+    seed: u64,
+    trace: Trace,
+    scale: f64,
+    rto_us: u64,
+    fph: usize,
+    ms: u64,
+    gbps: u64,
+) -> Vec<f64> {
+    let mut spec = pnet_core::PNetSpec::new(topology, class, planes, seed);
+    spec.profile = LinkProfile::speed_gbps(gbps);
+    let pnet = spec.build();
+    let n_hosts = pnet.net.n_hosts() as u32;
+    let policy = setups::single_path_policy(class);
+    let factory = setups::make_factory(&pnet.net, pnet.selector(policy));
+    let cdf = trace.cdf().scaled(scale);
+    let mut sim = Simulator::new(&pnet.net, setups::config_with_rto_us(rto_us));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA99);
+    let mut slots = Vec::new();
+    for h in 0..n_hosts {
+        for _ in 0..fph {
+            let mut dst_rng = StdRng::seed_from_u64(rng.random());
+            let mut size_rng = StdRng::seed_from_u64(rng.random());
+            let cdf = cdf.clone();
+            slots.push(ClosedLoopSlot {
+                src: HostId(h),
+                next_dst: Box::new(move || loop {
+                    let s = dst_rng.random_range(0..n_hosts);
+                    if s != h {
+                        return HostId(s);
+                    }
+                }),
+                next_size: Box::new(move || cdf.sample(&mut size_rng)),
+            });
+        }
+    }
+    let stop = SimTime::from_ms(ms);
+    let mut driver = ClosedLoopDriver::start(&mut sim, slots, factory, stop);
+    run(&mut sim, &mut driver, Some(stop + SimTime::from_ms(ms)));
+    metrics::fcts_us(&driver.completed)
+}

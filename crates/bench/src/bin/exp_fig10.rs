@@ -1,0 +1,140 @@
+//! Figure 10 + Table 2: MTU-sized (1500 B) RPC request completion times on
+//! a 4-plane Jellyfish P-Net with single-path routing.
+//!
+//! Paper setup: 686-host Jellyfish, each host ping-pongs a 1500 B request/
+//! response with random servers over 1000 rounds. Paper results (Table 2,
+//! normalized to serial low-bw): parallel heterogeneous median 80.1%,
+//! average 86.6%, p99 90.4%; parallel homogeneous ~= serial low-bw; serial
+//! high-bw ~98% (only serialization delay shrinks — propagation dominates).
+//!
+//! Usage: `exp_fig10 [--tors 98] [--degree 7] [--hosts-per-tor 7]
+//!                   [--planes 4] [--rounds 100] [--seed 1] [--queue 100]
+//!                   [--cdf] [--csv]`
+
+use pnet_bench::{banner, setups, Args, Table};
+use pnet_core::TopologyKind;
+use pnet_htsim::apps::{RpcDriver, RpcSlot};
+use pnet_htsim::{metrics, run, SimConfig, Simulator, MTU_BYTES};
+use pnet_topology::{HostId, NetworkClass};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn rpc_times(
+    topology: TopologyKind,
+    class: NetworkClass,
+    planes: usize,
+    seed: u64,
+    rounds: u64,
+    queue_packets: u64,
+) -> Vec<f64> {
+    let pnet = setups::build(topology, class, planes, seed);
+    let n_hosts = pnet.net.n_hosts() as u32;
+    let policy = setups::single_path_policy(class);
+    let factory = setups::make_factory(&pnet.net, pnet.selector(policy));
+    let cfg = SimConfig {
+        queue_bytes: queue_packets * MTU_BYTES as u64,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&pnet.net, cfg);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0001);
+    let slots: Vec<RpcSlot> = (0..n_hosts)
+        .map(|h| {
+            let mut slot_rng = StdRng::seed_from_u64(rng.random());
+            RpcSlot {
+                client: HostId(h),
+                next_server: Box::new(move || loop {
+                    let s = slot_rng.random_range(0..n_hosts);
+                    if s != h {
+                        return HostId(s);
+                    }
+                }),
+            }
+        })
+        .collect();
+    let mut driver = RpcDriver::start(&mut sim, slots, factory, 1500, 1500, rounds);
+    run(&mut sim, &mut driver, None);
+    assert!(driver.done(), "RPC rounds did not complete");
+    driver.round_times_us
+}
+
+fn main() {
+    let args = Args::parse();
+    let tors: usize = args.get("tors", 98);
+    let degree: usize = args.get("degree", 7);
+    let hpt: usize = args.get("hosts-per-tor", 7);
+    let planes: usize = args.get("planes", 4);
+    let rounds: u64 = args.get("rounds", 100);
+    let seed: u64 = args.get("seed", 1);
+    let queue: u64 = args.get("queue", 100);
+    let csv = args.has("csv");
+
+    let topology = TopologyKind::Jellyfish {
+        n_tors: tors,
+        degree,
+        hosts_per_tor: hpt,
+    };
+
+    banner(
+        "Figure 10 / Table 2 — 1500B RPC request completion time, single-path",
+        &format!(
+            "{} hosts, {} planes, {} rounds/host, queue {} pkts; \
+             hetero uses the shortest plane, homo hashes planes",
+            tors * hpt,
+            planes,
+            rounds,
+            queue
+        ),
+    );
+
+    let classes = setups::classes_for(topology);
+    let mut all: Vec<(NetworkClass, Vec<f64>)> = Vec::new();
+    for &class in &classes {
+        let times = rpc_times(topology, class, planes, seed, rounds, queue);
+        all.push((class, times));
+    }
+
+    let base = metrics::Summary::of(&all[0].1);
+    let mut table = Table::new(
+        vec![
+            "network", "median", "average", "99%-tile", "med/base", "avg/base", "p99/base",
+        ],
+        csv,
+    );
+    for (class, times) in &all {
+        let s = metrics::Summary::of(times);
+        table.row(vec![
+            class.label().to_string(),
+            format!("{:.2}us", s.median),
+            format!("{:.2}us", s.mean),
+            format!("{:.2}us", s.p99),
+            format!("{:.1}%", 100.0 * s.median / base.median),
+            format!("{:.1}%", 100.0 * s.mean / base.mean),
+            format!("{:.1}%", 100.0 * s.p99 / base.p99),
+        ]);
+    }
+    table.print();
+    println!();
+    println!("paper Table 2: serial-low 100/100/100; par-homo 100/99.2/100;");
+    println!("               par-hetero 80.1/86.6/90.4; serial-high 98.1/97.9/97.4");
+
+    if args.has("cdf") {
+        println!();
+        banner("Figure 10 — completion-time CDF points", "");
+        let mut t = Table::new(
+            {
+                let mut h = vec!["percentile".to_string()];
+                h.extend(all.iter().map(|(c, _)| c.label().to_string()));
+                h
+            },
+            csv,
+        );
+        for p in [5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
+            let mut row = vec![format!("{p}%")];
+            for (_, times) in &all {
+                row.push(format!("{:.2}us", metrics::percentile(times, p)));
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+}

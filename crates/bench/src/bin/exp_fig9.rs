@@ -1,0 +1,180 @@
+//! Figure 9: small-flow FCT versus flow size on a 4-plane Jellyfish P-Net
+//! (packet-level simulation, permutation traffic).
+//!
+//! Paper setup: 686-host Jellyfish, flows of 100 kB .. 1 GB, best settings
+//! per network (single-path for serial networks, 4-way KSP MPTCP for the
+//! parallel ones). Paper shape: up to ~10 MB parallel networks beat even
+//! serial high-bandwidth (more slow-start paths before steady state); at
+//! ~100 MB the advantage over serial low-bw shrinks (MPTCP probing cost);
+//! at 1 GB multipath pays off again.
+//!
+//! Scale note: the default network is 64 hosts (16 ToRs x 4) and sizes up
+//! to 100 MB; `--tors 98 --degree 7 --hosts-per-tor 7 --sizes
+//! 100k,1m,10m,100m,1g` is the paper configuration (slow).
+//!
+//! Usage: `exp_fig9 [--tors 16] [--degree 5] [--hosts-per-tor 4]
+//!                  [--planes 4] [--sizes 100k,1m,10m,100m] [--seed 1]
+//!                  [--kway 4] [--single] [--uncoupled] [--sweep-cutoff]
+//!                  [--csv]`
+
+use pnet_bench::{banner, f3, human_bytes, setups, Args, Table};
+use pnet_core::{PathPolicy, TopologyKind};
+use pnet_htsim::{metrics, run_to_completion, CcAlgo, FlowSpec, SimConfig, Simulator};
+use pnet_topology::{HostId, NetworkClass};
+use pnet_workloads::tm;
+
+#[allow(clippy::too_many_arguments)]
+fn mean_fct_us(
+    topology: TopologyKind,
+    class: NetworkClass,
+    planes: usize,
+    seed: u64,
+    policy: PathPolicy,
+    size: u64,
+    force_uncoupled: bool,
+) -> f64 {
+    let pnet = setups::build(topology, class, planes, seed);
+    let n_hosts = pnet.net.n_hosts();
+    let mut factory = setups::make_factory(&pnet.net, pnet.selector(policy));
+    let mut sim = Simulator::new(&pnet.net, SimConfig::default());
+    for (a, b) in tm::permutation_pairs(n_hosts, seed + 7) {
+        let (routes, mut cc) = factory(HostId(a as u32), HostId(b as u32), size);
+        if force_uncoupled && cc == CcAlgo::Lia {
+            cc = CcAlgo::Uncoupled;
+        }
+        sim.start_flow(FlowSpec {
+            src: HostId(a as u32),
+            dst: HostId(b as u32),
+            size_bytes: size,
+            routes,
+            cc,
+            owner_tag: 0,
+        });
+    }
+    run_to_completion(&mut sim);
+    metrics::mean(&metrics::fcts_us(&sim.records))
+}
+
+fn main() {
+    let args = Args::parse();
+    let tors: usize = args.get("tors", 16);
+    let degree: usize = args.get("degree", 5);
+    let hpt: usize = args.get("hosts-per-tor", 4);
+    let planes: usize = args.get("planes", 4);
+    let seed: u64 = args.get("seed", 1);
+    let kway: usize = args.get("kway", 4);
+    let sizes = args.get_list("sizes", &[100_000, 1_000_000, 10_000_000, 100_000_000]);
+    let csv = args.has("csv");
+    let single = args.has("single");
+    let uncoupled = args.has("uncoupled");
+
+    let topology = TopologyKind::Jellyfish {
+        n_tors: tors,
+        degree,
+        hosts_per_tor: hpt,
+    };
+
+    banner(
+        "Figure 9 — small-flow FCT vs flow size (4-plane Jellyfish P-Net)",
+        &format!(
+            "{} hosts, permutation traffic; serial: single path; parallel: {}-way KSP MPTCP{}",
+            tors * hpt,
+            kway,
+            if uncoupled {
+                " (uncoupled ablation)"
+            } else {
+                ""
+            }
+        ),
+    );
+
+    let classes = setups::classes_for(topology);
+    let mut header = vec!["size".to_string()];
+    header.extend(classes.iter().map(|c| c.label().to_string()));
+    header.push("best".into());
+    let mut table = Table::new(header, csv);
+    let mut norm_header = vec!["size (speedup)".to_string()];
+    norm_header.extend(classes.iter().map(|c| c.label().to_string()));
+    let mut norm_table = Table::new(norm_header, csv);
+
+    for &size in &sizes {
+        let mut row = vec![human_bytes(size)];
+        let mut vals = Vec::new();
+        for &class in &classes {
+            let policy = match class {
+                NetworkClass::SerialLow | NetworkClass::SerialHigh => {
+                    setups::single_path_policy(class)
+                }
+                _ if single => setups::single_path_policy(class),
+                _ => PathPolicy::PlaneKsp { per_plane: (kway / planes).max(1) },
+            };
+            let fct = mean_fct_us(topology, class, planes, seed, policy, size, uncoupled);
+            vals.push(fct);
+            row.push(format!("{fct:.1}us"));
+        }
+        let best = classes[vals
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0]
+            .label();
+        row.push(best.to_string());
+        table.row(row);
+
+        let mut nrow = vec![human_bytes(size)];
+        for v in &vals {
+            nrow.push(f3(vals[0] / v)); // speedup over serial low-bw
+        }
+        norm_table.row(nrow);
+    }
+    table.print();
+    println!();
+    println!("speedup over serial low-bw (higher is better):");
+    norm_table.print();
+    println!();
+    println!(
+        "paper: parallel wins below ~10MB (even over serial high-bw); \
+         ~100MB flows gain less from multipath; >=1GB gains again"
+    );
+
+    if args.has("sweep-cutoff") {
+        println!();
+        banner(
+            "Ablation — size-threshold cutoff sweep (paper's 100 MB rule)",
+            "mean FCT of the size-threshold policy at different cutoffs, parallel heterogeneous",
+        );
+        let mut t = Table::new(vec!["cutoff", "mean FCT @10MB", "mean FCT @100MB"], csv);
+        for cutoff in [1_000_000u64, 10_000_000, 100_000_000, 1_000_000_000] {
+            let policy = PathPolicy::SizeThreshold {
+                cutoff_bytes: cutoff,
+                small: Box::new(PathPolicy::ShortestPlane),
+                large: Box::new(PathPolicy::MultipathKsp { k: kway }),
+            };
+            let f10 = mean_fct_us(
+                topology,
+                NetworkClass::ParallelHeterogeneous,
+                planes,
+                seed,
+                policy.clone(),
+                10_000_000,
+                false,
+            );
+            let f100 = mean_fct_us(
+                topology,
+                NetworkClass::ParallelHeterogeneous,
+                planes,
+                seed,
+                policy,
+                100_000_000,
+                false,
+            );
+            t.row(vec![
+                human_bytes(cutoff),
+                format!("{f10:.1}us"),
+                format!("{f100:.1}us"),
+            ]);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,144 @@
+//! Extension experiment — incast (section 6.5 of the paper).
+//!
+//! "For incast scenarios, P-Net can spread the traffic across separate
+//! dataplanes to alleviate congestion in the network, but careful
+//! coordination is still needed to avoid overrunning end host NIC buffers.
+//! We defer this to future studies that might involve incast-aware
+//! transports like DCTCP."
+//!
+//! This binary runs that future study: an N-to-1 fan-in on the four network
+//! classes, with Reno versus DCTCP (ECN threshold K = 20 packets). Expected
+//! shape: P-Net spreads the fan-in over N planes and removes *in-network*
+//! contention, but the receiver's per-plane downlinks still overflow under
+//! Reno; DCTCP keeps queues at ~K and eliminates the drops on both.
+//!
+//! Usage: `exp_incast [--tors 16] [--degree 5] [--hosts-per-tor 4]
+//!                    [--planes 4] [--senders 4,8,16,32] [--size 1m]
+//!                    [--ecn-k 20] [--seed 1] [--csv]`
+
+use pnet_bench::{banner, setups, Args, Table};
+use pnet_core::{PathPolicy, TopologyKind};
+use pnet_htsim::{metrics, run_to_completion, CcAlgo, FlowSpec, SimConfig, Simulator};
+use pnet_topology::{HostId, NetworkClass};
+
+struct Outcome {
+    /// Time until the last sender finishes (the incast completion time), us.
+    last_fct_us: f64,
+    drops: u64,
+    retransmits: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_incast(
+    topology: TopologyKind,
+    class: NetworkClass,
+    planes: usize,
+    seed: u64,
+    n_senders: usize,
+    size: u64,
+    cc: CcAlgo,
+    ecn_k: Option<u32>,
+) -> Outcome {
+    let pnet = setups::build(topology, class, planes, seed);
+    let n_hosts = pnet.net.n_hosts();
+    assert!(n_senders < n_hosts, "too many senders for the cluster");
+    // Spread senders over planes round-robin (the P-Net mitigation); serial
+    // networks have one plane so this is a no-op there.
+    let policy = PathPolicy::RoundRobin;
+    let mut factory = setups::make_factory(&pnet.net, pnet.selector(policy));
+    let cfg = SimConfig {
+        ecn_threshold_packets: ecn_k,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&pnet.net, cfg);
+    let dst = HostId(0);
+    for s in 0..n_senders {
+        // Senders scattered across racks, skipping the destination's rack.
+        let src = HostId((s * (n_hosts - 1) / n_senders + 4) as u32 % n_hosts as u32);
+        let src = if src == dst { HostId(1) } else { src };
+        let (routes, _) = factory(src, dst, size);
+        sim.start_flow(FlowSpec {
+            src,
+            dst,
+            size_bytes: size,
+            routes,
+            cc,
+            owner_tag: s as u64,
+        });
+    }
+    run_to_completion(&mut sim);
+    let fcts = metrics::fcts_us(&sim.records);
+    Outcome {
+        last_fct_us: fcts.iter().copied().fold(0.0, f64::max),
+        drops: sim.dropped_packets,
+        retransmits: sim.records.iter().map(|r| r.retransmits).sum(),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let tors: usize = args.get("tors", 16);
+    let degree: usize = args.get("degree", 5);
+    let hpt: usize = args.get("hosts-per-tor", 4);
+    let planes: usize = args.get("planes", 4);
+    let seed: u64 = args.get("seed", 1);
+    let size: u64 = args.get_list("size", &[1_000_000])[0];
+    let senders = args.get_list("senders", &[4, 8, 16, 32]);
+    let ecn_k: u32 = args.get("ecn-k", 20);
+    let csv = args.has("csv");
+
+    let topology = TopologyKind::Jellyfish {
+        n_tors: tors,
+        degree,
+        hosts_per_tor: hpt,
+    };
+
+    banner(
+        "Extension — incast with and without DCTCP (paper section 6.5)",
+        &format!(
+            "{} hosts, {} planes; N senders -> 1 receiver, {} per sender; \
+             P-Net spreads senders round-robin over planes; DCTCP K = {} pkts",
+            tors * hpt,
+            planes,
+            pnet_bench::human_bytes(size),
+            ecn_k
+        ),
+    );
+
+    let classes = [
+        NetworkClass::SerialLow,
+        NetworkClass::ParallelHeterogeneous,
+        NetworkClass::SerialHigh,
+    ];
+    for (cc, ecn, label) in [
+        (CcAlgo::Reno, None, "TCP (Reno)"),
+        (CcAlgo::Dctcp, Some(ecn_k), "DCTCP"),
+    ] {
+        println!();
+        println!("--- {label} ---");
+        let mut header = vec!["senders".to_string()];
+        for c in &classes {
+            header.push(format!("{} fct", c.label()));
+            header.push("drops/rtx".into());
+        }
+        let mut table = Table::new(header, csv);
+        for &n in &senders {
+            let mut row = vec![n.to_string()];
+            for &class in &classes {
+                let o = run_incast(
+                    topology, class, planes, seed, n as usize, size, cc, ecn,
+                );
+                row.push(format!("{:.0}us", o.last_fct_us));
+                row.push(format!("{}/{}", o.drops, o.retransmits));
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+    println!();
+    println!(
+        "expected: P-Net spreads fan-in over planes (lower completion times, fewer\n\
+         in-network drops than serial low-bw); DCTCP removes the remaining drops\n\
+         on every network by keeping queues at ~K"
+    );
+}

@@ -1,0 +1,164 @@
+//! Extension experiment — FCT versus offered load (open-loop Poisson
+//! arrivals).
+//!
+//! The paper evaluates fixed traffic patterns; this extension runs the
+//! classic open-loop methodology: flows arrive on a Poisson process with
+//! sizes from a published trace, and we sweep the offered load from light
+//! to beyond the serial low-bandwidth network's capacity. Load is
+//! normalized to the *serial low-bw* aggregate host bandwidth, so every
+//! network sees the same absolute traffic; N-plane P-Nets have N x the
+//! headroom.
+//!
+//! Expected: at low load all networks are propagation-limited (hetero
+//! slightly ahead on hops); as load approaches (and passes) the serial
+//! network's capacity its tail explodes while the P-Nets stay flat until
+//! ~N x the load.
+//!
+//! Usage: `exp_loadsweep [--tors 16] [--degree 5] [--hosts-per-tor 4]
+//!                       [--planes 4] [--loads 20,50,80,120] [--ms 10]
+//!                       [--trace websearch] [--scale 0.01] [--rto-us 1000]
+//!                       [--seed 1] [--csv]`
+
+use pnet_bench::{banner, setups, Args, Table};
+use pnet_core::TopologyKind;
+use pnet_htsim::apps::OpenLoopDriver;
+use pnet_htsim::{metrics, run, SimTime, Simulator};
+use pnet_topology::{HostId, NetworkClass};
+use pnet_workloads::{PoissonArrivals, Trace};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+#[allow(clippy::too_many_arguments)]
+fn sweep_point(
+    topology: TopologyKind,
+    class: NetworkClass,
+    planes: usize,
+    seed: u64,
+    trace: Trace,
+    scale: f64,
+    rho_pct: u64,
+    ms: u64,
+    rto_us: u64,
+) -> (usize, f64, f64) {
+    let pnet = setups::build(topology, class, planes, seed);
+    let n_hosts = pnet.net.n_hosts();
+    let policy = setups::single_path_policy(class);
+    let factory = setups::make_factory(&pnet.net, pnet.selector(policy));
+    let cdf = trace.cdf().scaled(scale);
+    let mean_bytes = cdf.mean_bytes();
+    // Load normalized to serial low-bw: n_hosts x 100G.
+    let capacity = n_hosts as f64 * 100e9;
+    let mut arrivals = PoissonArrivals::for_load(
+        rho_pct as f64 / 100.0,
+        capacity,
+        mean_bytes,
+        seed ^ 0xABCD,
+    );
+    let mut pair_rng = StdRng::seed_from_u64(seed ^ 0x1234);
+    let mut size_rng = StdRng::seed_from_u64(seed ^ 0x9876);
+    let next_flow = Box::new(move || {
+        let a = pair_rng.random_range(0..n_hosts as u32);
+        let mut b = pair_rng.random_range(0..n_hosts as u32 - 1);
+        if b >= a {
+            b += 1;
+        }
+        (HostId(a), HostId(b), cdf.sample(&mut size_rng))
+    });
+    let next_gap = Box::new(move || SimTime::from_ps(arrivals.next_gap_ps()));
+
+    let mut sim = Simulator::new(&pnet.net, setups::config_with_rto_us(rto_us));
+    let stop = SimTime::from_ms(ms);
+    let mut driver = OpenLoopDriver::start(&mut sim, factory, next_flow, next_gap, stop);
+    // Allow a drain window equal to the arrival window.
+    run(&mut sim, &mut driver, Some(stop + stop));
+    let fcts = metrics::fcts_us(&driver.completed);
+    if fcts.is_empty() {
+        return (0, f64::NAN, f64::NAN);
+    }
+    (
+        fcts.len(),
+        metrics::percentile(&fcts, 50.0),
+        metrics::percentile(&fcts, 99.0),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let tors: usize = args.get("tors", 16);
+    let degree: usize = args.get("degree", 5);
+    let hpt: usize = args.get("hosts-per-tor", 4);
+    let planes: usize = args.get("planes", 4);
+    let loads = args.get_list("loads", &[20, 50, 80, 120]);
+    let ms: u64 = args.get("ms", 5);
+    let scale: f64 = args.get("scale", 0.01);
+    let rto_us: u64 = args.get("rto-us", 1_000);
+    let seed: u64 = args.get("seed", 1);
+    let csv = args.has("csv");
+    let trace = match args.get_str("trace").unwrap_or("websearch") {
+        "websearch" => Trace::Websearch,
+        "datamining" => Trace::Datamining,
+        "webserver" => Trace::Webserver,
+        "cache" => Trace::Cache,
+        "hadoop" => Trace::Hadoop,
+        other => panic!("unknown trace {other:?}"),
+    };
+
+    let topology = TopologyKind::Jellyfish {
+        n_tors: tors,
+        degree,
+        hosts_per_tor: hpt,
+    };
+
+    banner(
+        "Extension — FCT vs offered load (open-loop Poisson, single-path)",
+        &format!(
+            "{} hosts, {} planes, {} sizes x{}, load normalized to serial low-bw capacity",
+            tors * hpt,
+            planes,
+            trace.label(),
+            scale
+        ),
+    );
+
+    let classes = setups::classes_for(topology);
+    // Run each (load, class) point once.
+    let results: Vec<(u64, Vec<(usize, f64, f64)>)> = loads
+        .iter()
+        .map(|&rho| {
+            let points = classes
+                .iter()
+                .map(|&class| {
+                    sweep_point(
+                        topology, class, planes, seed, trace, scale, rho, ms, rto_us,
+                    )
+                })
+                .collect();
+            (rho, points)
+        })
+        .collect();
+
+    for &stat in &["median", "p99", "completed"] {
+        println!();
+        println!("--- {stat} FCT (us) ---");
+        let mut header = vec!["load%".to_string()];
+        header.extend(classes.iter().map(|c| c.label().to_string()));
+        let mut table = Table::new(header, csv);
+        for (rho, points) in &results {
+            let mut row = vec![rho.to_string()];
+            for &(n, p50, p99) in points {
+                row.push(match stat {
+                    "median" => format!("{p50:.1}"),
+                    "p99" => format!("{p99:.1}"),
+                    _ => n.to_string(),
+                });
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+    println!();
+    println!(
+        "expected: serial low-bw tail explodes as load approaches 100%;\n\
+         P-Nets stay flat (N x headroom); hetero lowest at light load (hops)"
+    );
+}

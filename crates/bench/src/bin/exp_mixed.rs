@@ -1,0 +1,156 @@
+//! Extension experiment — mixed-topology P-Nets (paper section 7).
+//!
+//! "Another type of parallel heterogeneous network can consist of entirely
+//! different topologies across the dataplanes. For example, operators can
+//! deploy a combination of expander-based topologies and fat trees to
+//! handle both low-latency traffic and Hadoop-like data-intensive
+//! workloads."
+//!
+//! Setup: a 4-plane P-Net with one fat-tree plane + three Jellyfish planes,
+//! compared against pure parallel fat trees and pure parallel expanders.
+//! Two workloads: 1500 B RPCs (latency) and a permutation of bulk transfers
+//! (throughput).
+//!
+//! Expected: the mixed fabric tracks the pure expander on RPC latency
+//! (shortest-plane routing finds the expander's short paths) while keeping
+//! fat-tree-class bulk behaviour.
+//!
+//! Usage: `exp_mixed [--k 4] [--expander-degree 4] [--rounds 50]
+//!                   [--bulk-size 2m] [--seed 1] [--csv]`
+
+use pnet_bench::{banner, Args, Table};
+use pnet_core::{PathPolicy, PathSelector};
+use pnet_htsim::apps::{RpcDriver, RpcSlot};
+use pnet_htsim::{metrics, run, run_to_completion, FlowSpec, SimConfig, Simulator};
+use pnet_routing::{RouteAlgo, Router};
+use pnet_topology::{parallel, FatTree, HostId, Jellyfish, LinkProfile, Network, PlaneBuilder};
+use pnet_workloads::tm;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn rpc_median(net: &Network, seed: u64, rounds: u64) -> (f64, f64) {
+    let n_hosts = net.n_hosts() as u32;
+    let mut selector = PathSelector::new(
+        Router::new(net, RouteAlgo::Ksp { k: 8 }),
+        PathPolicy::ShortestPlane,
+    );
+    let mut flow = 0u64;
+    let factory = Box::new(move |a, b, s| {
+        flow += 1;
+        selector.select(net, a, b, flow, s)
+    });
+    let mut sim = Simulator::new(net, SimConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let slots: Vec<RpcSlot> = (0..n_hosts)
+        .map(|h| {
+            let mut r = StdRng::seed_from_u64(rng.random());
+            RpcSlot {
+                client: HostId(h),
+                next_server: Box::new(move || loop {
+                    let s = r.random_range(0..n_hosts);
+                    if s != h {
+                        return HostId(s);
+                    }
+                }),
+            }
+        })
+        .collect();
+    let mut driver = RpcDriver::start(&mut sim, slots, factory, 1500, 1500, rounds);
+    run(&mut sim, &mut driver, None);
+    (
+        metrics::percentile(&driver.round_times_us, 50.0),
+        metrics::percentile(&driver.round_times_us, 99.0),
+    )
+}
+
+fn bulk_mean_fct(net: &Network, seed: u64, size: u64, planes: usize) -> f64 {
+    let n_hosts = net.n_hosts();
+    let mut selector = PathSelector::new(
+        Router::new(net, RouteAlgo::Ksp { k: 8 }),
+        PathPolicy::PlaneKsp { per_plane: 1 },
+    );
+    let mut flow = 0u64;
+    let mut factory = move |a, b, s| {
+        flow += 1;
+        selector.select(net, a, b, flow, s)
+    };
+    let _ = planes;
+    let mut sim = Simulator::new(net, SimConfig::default());
+    for (a, b) in tm::permutation_pairs(n_hosts, seed + 3) {
+        let (routes, cc) = factory(HostId(a as u32), HostId(b as u32), size);
+        sim.start_flow(FlowSpec {
+            src: HostId(a as u32),
+            dst: HostId(b as u32),
+            size_bytes: size,
+            routes,
+            cc,
+            owner_tag: 0,
+        });
+    }
+    run_to_completion(&mut sim);
+    metrics::mean(&metrics::fcts_us(&sim.records))
+}
+
+fn main() {
+    let args = Args::parse();
+    let k: usize = args.get("k", 8);
+    let degree: usize = args.get("expander-degree", 8);
+    let rounds: u64 = args.get("rounds", 30);
+    let bulk_size: u64 = args.get_list("bulk-size", &[2_000_000])[0];
+    let seed: u64 = args.get("seed", 1);
+    let csv = args.has("csv");
+
+    let base = LinkProfile::paper_default();
+    let ft = FatTree::three_tier(k);
+    let n_tors = ft.n_racks();
+    let planes = 4;
+
+    banner(
+        "Extension — mixed-topology P-Net (fat tree + expanders, paper section 7)",
+        &format!(
+            "{} hosts, 4 planes; mixed = 1 fat-tree plane + 3 jellyfish planes (degree {degree})",
+            ft.n_hosts()
+        ),
+    );
+
+    let pure_ft = pnet_topology::assemble_homogeneous(&ft, planes, &base);
+    let proto = Jellyfish::new(n_tors, degree, k / 2, 0);
+    let pure_jf = parallel::jellyfish_network(
+        pnet_topology::NetworkClass::ParallelHeterogeneous,
+        proto,
+        planes,
+        seed,
+        &base,
+    );
+    let mixed = parallel::mixed_fattree_expander(k, planes - 1, degree, seed, &base);
+
+    let mut table = Table::new(
+        vec![
+            "fabric",
+            "RPC median",
+            "RPC p99",
+            "bulk mean FCT (perm)",
+        ],
+        csv,
+    );
+    for (name, net) in [
+        ("parallel fat tree x4", &pure_ft),
+        ("parallel jellyfish x4", &pure_jf),
+        ("mixed (1 ft + 3 jf)", &mixed),
+    ] {
+        let (med, p99) = rpc_median(net, seed, rounds);
+        let bulk = bulk_mean_fct(net, seed, bulk_size, planes);
+        table.row(vec![
+            name.to_string(),
+            format!("{med:.2}us"),
+            format!("{p99:.2}us"),
+            format!("{bulk:.1}us"),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "expected: mixed tracks the expander fabric on RPC latency (short paths\n\
+         exist in the jellyfish planes) while keeping fat-tree-class bulk FCTs"
+    );
+}

@@ -1,0 +1,118 @@
+//! Table 1: component counts for an 8,192-host network built three ways —
+//! serial scale-out fat tree, serial chassis fat tree, and an 8x parallel
+//! P-Net — at equal bisection bandwidth.
+//!
+//! Usage: `exp_table1 [--hosts 8192] [--planes 8] [--csv]`
+
+use pnet_bench::{banner, Args, Table};
+use pnet_topology::components::{parallel_pnet, serial_chassis, serial_scale_out, ChipSpec};
+use pnet_topology::deployment::{deployment, DeploymentStyle, PowerModel};
+
+fn main() {
+    let args = Args::parse();
+    let hosts: usize = args.get("hosts", 8192);
+    let planes: usize = args.get("planes", 8);
+    let csv = args.has("csv");
+
+    banner(
+        "Table 1 — component counts",
+        &format!(
+            "{hosts} hosts, equal bisection bandwidth; chip native radix 128, serial gearing 8:1"
+        ),
+    );
+
+    let chip = ChipSpec::table1();
+    let rows = vec![
+        serial_scale_out(hosts, chip),
+        serial_chassis(hosts, chip),
+        parallel_pnet(hosts, planes, chip),
+    ];
+
+    let mut table = Table::new(
+        vec!["Architecture", "Tiers", "Hops", "Chips", "Boxes", "Links"],
+        csv,
+    );
+    for r in &rows {
+        table.row(vec![
+            r.architecture.clone(),
+            r.tiers.to_string(),
+            r.hops.to_string(),
+            r.chips.to_string(),
+            r.boxes.to_string(),
+            r.links.to_string(),
+        ]);
+    }
+    table.print();
+
+    println!();
+    println!("paper row 1: Serial (scale-out)  4  7  3584  3584  24.6k");
+    println!("paper row 2: Serial chassis      2  7  3584   192   8.2k");
+    println!("paper row 3: Parallel 8x         2  3  1536   192   8.2k");
+
+    // Sweep: chips and hops versus the number of planes at fixed bisection.
+    println!();
+    banner(
+        "Extension — parallel design versus plane count",
+        "chips scale linearly with N; boxes and (bundled) cables stay fixed",
+    );
+    let mut sweep = Table::new(vec!["Planes", "Chips", "Boxes", "Links", "Hops"], csv);
+    for n in [1usize, 2, 4, 8] {
+        let row = parallel_pnet(hosts, n, chip);
+        sweep.row(vec![
+            n.to_string(),
+            row.chips.to_string(),
+            row.boxes.to_string(),
+            row.links.to_string(),
+            row.hops.to_string(),
+        ]);
+    }
+    sweep.print();
+
+    // Deployment extension (section 6.1): transceivers, cable runs and power
+    // under the three wiring styles.
+    println!();
+    banner(
+        "Extension — deployment styles (section 6.1)",
+        "first-order model: 350W/chip, 4.5W/transceiver, 150W/box, 0.25W/OCS port",
+    );
+    let model = PowerModel::default();
+    let mut dep = Table::new(
+        vec![
+            "Architecture",
+            "Wiring",
+            "Chips",
+            "Transceivers",
+            "CableRuns",
+            "PanelPorts",
+            "Power(kW)",
+        ],
+        csv,
+    );
+    let scale_out = serial_scale_out(hosts, chip);
+    let chassis = serial_chassis(hosts, chip);
+    let pnet = parallel_pnet(hosts, planes, chip);
+    for (row, style, frac) in [
+        (&scale_out, DeploymentStyle::DiscreteFibers, 0.0),
+        (&chassis, DeploymentStyle::DiscreteFibers, 0.0),
+        (&pnet, DeploymentStyle::DiscreteFibers, 1.0 / 3.0),
+        (&pnet, DeploymentStyle::PatchPanel, 1.0 / 3.0),
+        (&pnet, DeploymentStyle::OpticalCircuitSwitch, 1.0 / 3.0),
+    ] {
+        let d = deployment(row, style, frac, &model);
+        dep.row(vec![
+            row.architecture.clone(),
+            format!("{style:?}"),
+            d.chips.to_string(),
+            d.transceivers.to_string(),
+            d.cable_runs.to_string(),
+            d.panel_ports.to_string(),
+            format!("{:.1}", d.power_kw),
+        ]);
+    }
+    dep.print();
+    println!();
+    println!(
+        "paper section 6.1: patch panels cut wiring complexity; an OCS core removes\n\
+         the spine chips and their transceivers — the parallel design's power win"
+    );
+}

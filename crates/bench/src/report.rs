@@ -1,0 +1,122 @@
+//! Aligned-table and CSV output for the experiment binaries.
+
+/// A simple text table with a header row.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    /// When true, also print the rows in CSV form after the table.
+    pub csv: bool,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>, csv: bool) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            csv,
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render the aligned table (plus CSV if enabled) to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.header));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        if self.csv {
+            println!();
+            println!("# csv");
+            println!("{}", self.header.join(","));
+            for row in &self.rows {
+                println!("{}", row.join(","));
+            }
+        }
+    }
+}
+
+/// Format a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float as a percentage of a baseline.
+pub fn pct(x: f64, base: f64) -> String {
+    format!("{:.1}%", 100.0 * x / base)
+}
+
+/// Format bytes human-readably (1.5MB etc.).
+pub fn human_bytes(b: u64) -> String {
+    if b >= 1_000_000_000 {
+        format!("{}GB", b / 1_000_000_000)
+    } else if b >= 1_000_000 {
+        format!("{}MB", b / 1_000_000)
+    } else if b >= 1_000 {
+        format!("{}kB", b / 1_000)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Print an experiment banner.
+pub fn banner(title: &str, detail: &str) {
+    println!("=== {title} ===");
+    if !detail.is_empty() {
+        println!("{detail}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_row_widths_checked() {
+        let mut t = Table::new(vec!["a", "b"], false);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn bad_row_rejected() {
+        let mut t = Table::new(vec!["a", "b"], false);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn human_bytes_scales() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(100_000), "100kB");
+        assert_eq!(human_bytes(30_000_000), "30MB");
+        assert_eq!(human_bytes(2_000_000_000), "2GB");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(80.1, 100.0), "80.1%");
+    }
+}

@@ -1,0 +1,130 @@
+//! Shared experiment scaffolding: the four comparison networks, per-class
+//! path policies, and flow factories for the packet simulator.
+
+use pnet_core::{PNet, PNetSpec, PathPolicy, PathSelector, TopologyKind};
+use pnet_htsim::apps::FlowFactory;
+use pnet_htsim::{SimConfig, SimTime};
+use pnet_topology::{Network, NetworkClass};
+
+/// A [`SimConfig`] with the minimum RTO set to `us` microseconds.
+///
+/// The paper tunes min-RTO to 10 ms (DCTCP's suggestion) at its full
+/// workload scale; experiments that scale flow sizes down by 10-100x scale
+/// the timeout along with them so that loss-recovery dynamics keep the same
+/// *relative* cost (otherwise a scaled-down run is pure-RTO quantized).
+pub fn config_with_rto_us(us: u64) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.tcp.min_rto = SimTime::from_us(us);
+    cfg
+}
+
+/// The network classes applicable to a topology family (fat trees have no
+/// heterogeneous variant).
+pub fn classes_for(topology: TopologyKind) -> Vec<NetworkClass> {
+    match topology {
+        TopologyKind::FatTree { .. } => vec![
+            NetworkClass::SerialLow,
+            NetworkClass::ParallelHomogeneous,
+            NetworkClass::SerialHigh,
+        ],
+        _ => NetworkClass::all().to_vec(),
+    }
+}
+
+/// Build one comparison network.
+pub fn build(topology: TopologyKind, class: NetworkClass, n_planes: usize, seed: u64) -> PNet {
+    PNetSpec::new(topology, class, n_planes, seed).build()
+}
+
+/// The paper's *single-path* configuration per class:
+///
+/// * serial networks: one plane, single shortest path;
+/// * parallel homogeneous: ECMP hash (identical planes — no hop advantage
+///   to exploit, load balancing is all that matters);
+/// * parallel heterogeneous: shortest-plane (exploit the hop-count
+///   advantage, section 5.2.1).
+pub fn single_path_policy(class: NetworkClass) -> PathPolicy {
+    match class {
+        NetworkClass::SerialLow | NetworkClass::SerialHigh => PathPolicy::ShortestPlane,
+        NetworkClass::ParallelHomogeneous => PathPolicy::EcmpHash,
+        NetworkClass::ParallelHeterogeneous => PathPolicy::ShortestPlane,
+    }
+}
+
+/// The paper's *multipath* configuration: K-shortest-path MPTCP with K
+/// matched to the plane count (`k_per_plane` subflows per plane; the paper
+/// uses 4-way total on 4-plane P-Nets for small-flow FCT, 8 per plane for
+/// bulk saturation).
+pub fn multipath_policy(class: NetworkClass, n_planes: usize, k_per_plane: usize) -> PathPolicy {
+    let k = match class {
+        NetworkClass::SerialLow | NetworkClass::SerialHigh => k_per_plane,
+        _ => k_per_plane * n_planes,
+    };
+    PathPolicy::MultipathKsp { k: k.max(1) }
+}
+
+/// Wrap a selector into a [`FlowFactory`] for the simulator apps. Each
+/// factory call is a new flow (fresh flow id for hashing policies).
+pub fn make_factory<'a>(net: &'a Network, mut selector: PathSelector) -> FlowFactory<'a> {
+    let mut flow_id = 0u64;
+    Box::new(move |src, dst, size| {
+        flow_id += 1;
+        selector.select(net, src, dst, flow_id, size)
+    })
+}
+
+/// Build the network *and* a single-path flow factory for a class in one
+/// step (the common case in the packet-level experiments).
+pub fn network_and_policy(
+    topology: TopologyKind,
+    class: NetworkClass,
+    n_planes: usize,
+    seed: u64,
+    policy: PathPolicy,
+) -> (PNet, PathPolicy) {
+    (build(topology, class, n_planes, seed), policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_lists() {
+        assert_eq!(classes_for(TopologyKind::FatTree { k: 4 }).len(), 3);
+        assert_eq!(
+            classes_for(TopologyKind::Jellyfish {
+                n_tors: 8,
+                degree: 3,
+                hosts_per_tor: 1
+            })
+            .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn multipath_k_scales_with_planes() {
+        let k_serial = match multipath_policy(NetworkClass::SerialLow, 4, 8) {
+            PathPolicy::MultipathKsp { k } => k,
+            _ => unreachable!(),
+        };
+        let k_par = match multipath_policy(NetworkClass::ParallelHomogeneous, 4, 8) {
+            PathPolicy::MultipathKsp { k } => k,
+            _ => unreachable!(),
+        };
+        assert_eq!(k_serial, 8);
+        assert_eq!(k_par, 32);
+    }
+
+    #[test]
+    fn factory_produces_routes() {
+        use pnet_topology::HostId;
+        let pnet = build(TopologyKind::FatTree { k: 4 }, NetworkClass::SerialLow, 4, 0);
+        let sel = pnet.selector(PathPolicy::ShortestPlane);
+        let mut f = make_factory(&pnet.net, sel);
+        let (routes, _) = f(HostId(0), HostId(15), 1000);
+        assert_eq!(routes.len(), 1);
+        assert!(routes[0].len() >= 2);
+    }
+}

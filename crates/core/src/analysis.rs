@@ -1,0 +1,174 @@
+//! Hop-count and resiliency analyses (sections 5.2.1 and 5.4).
+//!
+//! The heterogeneous P-Net advantage is structural: with N independently
+//! random planes, the minimum-over-planes path length between two racks is
+//! stochastically smaller than any single plane's. These helpers compute
+//! the hop statistics behind Figure 10's stepped CDFs and Figure 14's
+//! failure sweep.
+
+use pnet_routing::{bfs, PlaneGraph};
+use pnet_topology::Network;
+
+/// Mean switch hops over all rack pairs when every flow must stay in one
+/// *fixed* plane (serial networks, or per-plane view of a P-Net).
+pub fn mean_hops_single_plane(net: &Network) -> f64 {
+    let pg = PlaneGraph::build(net, pnet_topology::PlaneId(0));
+    bfs::mean_switch_hops(&bfs::rack_hop_matrix(&pg))
+}
+
+/// Mean switch hops over all rack pairs when the host may pick the best
+/// plane per destination (the P-Net host stack's shortest-plane interface).
+pub fn mean_hops_best_plane(net: &Network) -> f64 {
+    let matrices: Vec<Vec<Vec<u32>>> = PlaneGraph::build_all(net)
+        .iter()
+        .map(bfs::rack_hop_matrix)
+        .collect();
+    bfs::mean_switch_hops(&bfs::min_hops_across_planes(&matrices))
+}
+
+/// The distribution of best-plane switch hops over all ordered rack pairs
+/// (for the stepped RPC CDFs of Figure 10): `histogram[h]` = number of pairs
+/// at `h` switch hops. Disconnected pairs are counted in `unreachable`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopHistogram {
+    pub histogram: Vec<u64>,
+    pub unreachable: u64,
+}
+
+impl HopHistogram {
+    /// Mean switch hops of reachable pairs.
+    pub fn mean(&self) -> f64 {
+        let total: u64 = self.histogram.iter().sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let weighted: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(h, &c)| h as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Fraction of reachable pairs with at most `h` switch hops.
+    pub fn cdf_at(&self, h: usize) -> f64 {
+        let total: u64 = self.histogram.iter().sum();
+        let upto: u64 = self.histogram.iter().take(h + 1).sum();
+        upto as f64 / total as f64
+    }
+}
+
+/// Hop histogram with best-plane selection.
+pub fn hop_histogram_best_plane(net: &Network) -> HopHistogram {
+    let matrices: Vec<Vec<Vec<u32>>> = PlaneGraph::build_all(net)
+        .iter()
+        .map(bfs::rack_hop_matrix)
+        .collect();
+    let min = bfs::min_hops_across_planes(&matrices);
+    histogram_of(&min)
+}
+
+/// Hop histogram of plane 0 only (serial view).
+pub fn hop_histogram_single_plane(net: &Network) -> HopHistogram {
+    let pg = PlaneGraph::build(net, pnet_topology::PlaneId(0));
+    histogram_of(&bfs::rack_hop_matrix(&pg))
+}
+
+fn histogram_of(matrix: &[Vec<u32>]) -> HopHistogram {
+    let mut histogram = Vec::new();
+    let mut unreachable = 0u64;
+    for (a, row) in matrix.iter().enumerate() {
+        for (b, &d) in row.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            if d == u32::MAX {
+                unreachable += 1;
+                continue;
+            }
+            let hops = d as usize + 1; // switch hops = fabric links + 1
+            if histogram.len() <= hops {
+                histogram.resize(hops + 1, 0);
+            }
+            histogram[hops] += 1;
+        }
+    }
+    HopHistogram {
+        histogram,
+        unreachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnet_topology::{
+        assemble_homogeneous, parallel, FatTree, Jellyfish, LinkProfile, NetworkClass,
+    };
+
+    #[test]
+    fn fat_tree_hop_mix() {
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let h = hop_histogram_single_plane(&net);
+        // 8 racks: same-pod pairs at 3 switch hops (2 per pod x 2 ordered x
+        // 4 pods = 8... precisely: per pod 2 racks -> 2 ordered pairs), so 8
+        // pairs at 3 hops; the other 48 ordered pairs at 5 hops.
+        assert_eq!(h.histogram[3], 8);
+        assert_eq!(h.histogram[5], 48);
+        assert_eq!(h.unreachable, 0);
+        let expect_mean = (8.0 * 3.0 + 48.0 * 5.0) / 56.0;
+        assert!((h.mean() - expect_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_shortens_paths() {
+        // The paper's core structural claim: min-over-planes beats any
+        // single plane on expanders.
+        let proto = Jellyfish::new(32, 4, 1, 0);
+        let base = LinkProfile::paper_default();
+        let serial =
+            parallel::jellyfish_network(NetworkClass::SerialLow, proto, 4, 11, &base);
+        let hetero = parallel::jellyfish_network(
+            NetworkClass::ParallelHeterogeneous,
+            proto,
+            4,
+            11,
+            &base,
+        );
+        let homo = parallel::jellyfish_network(
+            NetworkClass::ParallelHomogeneous,
+            proto,
+            4,
+            11,
+            &base,
+        );
+        let s = mean_hops_single_plane(&serial);
+        let het = mean_hops_best_plane(&hetero);
+        let hom = mean_hops_best_plane(&homo);
+        assert!(
+            het < s - 0.2,
+            "heterogeneous mean {het} not clearly below serial {s}"
+        );
+        // Homogeneous planes are identical: best-plane = single-plane.
+        assert!((hom - s).abs() < 1e-9, "homogeneous {hom} vs serial {s}");
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let net = assemble_homogeneous(
+            &Jellyfish::new(20, 4, 1, 5),
+            2,
+            &LinkProfile::paper_default(),
+        );
+        let h = hop_histogram_best_plane(&net);
+        let mut prev = 0.0;
+        for hops in 0..h.histogram.len() {
+            let c = h.cdf_at(hops);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((prev - 1.0).abs() < 1e-12);
+    }
+}

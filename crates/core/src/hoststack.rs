@@ -1,0 +1,162 @@
+//! The end-host view of a P-Net (section 3.4 of the paper).
+//!
+//! "At the OS level, we expose multiple dataplanes to end hosts at the IP
+//! layer": every host gets one IP address per dataplane, applications pick a
+//! plane by binding the corresponding address, and plane failures are
+//! detected via link status. This module models that addressing plus the
+//! per-host uplink/failure view.
+
+use pnet_topology::{HostId, Network, PlaneId};
+use std::fmt;
+
+/// A per-plane IP-like address: `10.<plane>.<rack>.<host-in-rack>`.
+///
+/// One address per (host, plane) pair; applications select the dataplane by
+/// choosing which local address to bind — exactly the Linux multi-interface
+/// model the paper describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlaneAddr {
+    pub plane: PlaneId,
+    pub rack: u32,
+    pub host_in_rack: u8,
+}
+
+impl fmt::Display for PlaneAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "10.{}.{}.{}",
+            self.plane.0, self.rack, self.host_in_rack
+        )
+    }
+}
+
+/// The host stack: addresses and live-plane tracking for one host.
+#[derive(Debug, Clone)]
+pub struct HostStack {
+    pub host: HostId,
+    addrs: Vec<PlaneAddr>,
+    /// Which planes currently have a live uplink.
+    live: Vec<bool>,
+}
+
+impl HostStack {
+    /// Build the stack for `host` from the network's current link state.
+    pub fn new(net: &Network, host: HostId) -> Self {
+        let rack = net.rack_of_host(host);
+        // Position within the rack (stable small index for the address).
+        let host_in_rack = net.hosts_by_rack()[rack.index()]
+            .iter()
+            .position(|&h| h == host)
+            .expect("host missing from its rack") as u8;
+        let addrs = net
+            .planes()
+            .map(|plane| PlaneAddr {
+                plane,
+                rack: rack.0,
+                host_in_rack,
+            })
+            .collect();
+        let live = net
+            .planes()
+            .map(|p| net.host_uplink(host, p).is_some())
+            .collect();
+        HostStack { host, addrs, live }
+    }
+
+    /// The host's address on `plane`.
+    pub fn addr(&self, plane: PlaneId) -> PlaneAddr {
+        self.addrs[plane.index()]
+    }
+
+    /// All addresses (one per plane).
+    pub fn addrs(&self) -> &[PlaneAddr] {
+        &self.addrs
+    }
+
+    /// Is the uplink into `plane` alive?
+    pub fn plane_live(&self, plane: PlaneId) -> bool {
+        self.live[plane.index()]
+    }
+
+    /// Planes with live uplinks.
+    pub fn live_planes(&self) -> Vec<PlaneId> {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l)
+            .map(|(i, _)| PlaneId(i as u16))
+            .collect()
+    }
+
+    /// Re-read link status (after failures), returning planes that changed
+    /// state — the "quick detection via link status" hook.
+    pub fn refresh(&mut self, net: &Network) -> Vec<PlaneId> {
+        let mut changed = Vec::new();
+        for p in net.planes() {
+            let now = net.host_uplink(self.host, p).is_some();
+            if now != self.live[p.index()] {
+                self.live[p.index()] = now;
+                changed.push(p);
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnet_topology::{
+        assemble_homogeneous, failures, FatTree, LinkProfile,
+    };
+
+    fn net() -> Network {
+        assemble_homogeneous(&FatTree::three_tier(4), 4, &LinkProfile::paper_default())
+    }
+
+    #[test]
+    fn one_address_per_plane() {
+        let n = net();
+        let hs = HostStack::new(&n, HostId(5));
+        assert_eq!(hs.addrs().len(), 4);
+        // Rack of host 5 in k=4 fat tree: 5 / 2 = rack 2, position 1.
+        assert_eq!(hs.addr(PlaneId(2)).to_string(), "10.2.2.1");
+    }
+
+    #[test]
+    fn addresses_unique_across_hosts_and_planes() {
+        let n = net();
+        let mut seen = std::collections::HashSet::new();
+        for h in 0..n.n_hosts() {
+            let hs = HostStack::new(&n, HostId(h as u32));
+            for a in hs.addrs() {
+                assert!(seen.insert(a.to_string()), "duplicate address {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_planes_initially_live() {
+        let n = net();
+        let hs = HostStack::new(&n, HostId(0));
+        assert_eq!(hs.live_planes().len(), 4);
+    }
+
+    #[test]
+    fn failure_detection_on_refresh() {
+        let mut n = net();
+        let mut hs = HostStack::new(&n, HostId(0));
+        let up = n.host_uplink(HostId(0), PlaneId(1)).unwrap();
+        failures::fail_cable(&mut n, up);
+        let changed = hs.refresh(&n);
+        assert_eq!(changed, vec![PlaneId(1)]);
+        assert!(!hs.plane_live(PlaneId(1)));
+        assert_eq!(hs.live_planes().len(), 3);
+        // Restore.
+        failures::restore_cable(&mut n, up);
+        let changed = hs.refresh(&n);
+        assert_eq!(changed, vec![PlaneId(1)]);
+        assert!(hs.plane_live(PlaneId(1)));
+    }
+}

@@ -1,0 +1,73 @@
+//! Pseudo interfaces and traffic classes (section 3.4 of the paper).
+//!
+//! "End hosts are aware of the topologies of all dataplanes in P-Net, and
+//! thus can provide pseudo/proxy interfaces like 'low-latency'
+//! single-shortest-path and 'high-throughput' multipath interfaces.
+//! Applications/flows can use special tags like traffic classes to choose
+//! how to take advantage of the multiple dataplanes."
+
+use crate::policy::PathPolicy;
+
+/// Application-visible traffic classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Small, latency-critical traffic (RPCs, queries): single shortest
+    /// path on the lowest-hop plane.
+    LowLatency,
+    /// Bulk transfers: MPTCP over many paths across all planes.
+    HighThroughput,
+    /// Unclassified traffic: the size-threshold default of section 5.1.2.
+    Default,
+}
+
+impl TrafficClass {
+    /// The policy behind each pseudo interface; `n_planes` scales the
+    /// multipath level (the paper's "N dataplanes need N times as many
+    /// subflows" rule, with 8 subflows per plane).
+    pub fn policy(self, n_planes: usize) -> PathPolicy {
+        let k = subflows_for(n_planes);
+        match self {
+            TrafficClass::LowLatency => PathPolicy::ShortestPlane,
+            TrafficClass::HighThroughput => PathPolicy::MultipathKsp { k },
+            TrafficClass::Default => PathPolicy::paper_default(k),
+        }
+    }
+}
+
+/// The paper's multipath sizing rule: a serial network saturates with 8-way
+/// multipath, and "P-Nets with N dataplanes need N times as many subflows"
+/// (section 5.1.1, Figures 6c and 8c).
+pub fn subflows_for(n_planes: usize) -> usize {
+    8 * n_planes.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subflow_rule_matches_paper() {
+        // "8-way multipath can fully utilize serial networks, but
+        // 2-dataplane P-Nets need 16-way multipath and 4-dataplane P-Nets
+        // need 32-way multipath."
+        assert_eq!(subflows_for(1), 8);
+        assert_eq!(subflows_for(2), 16);
+        assert_eq!(subflows_for(4), 32);
+    }
+
+    #[test]
+    fn classes_map_to_expected_policies() {
+        assert!(matches!(
+            TrafficClass::LowLatency.policy(4),
+            PathPolicy::ShortestPlane
+        ));
+        assert!(matches!(
+            TrafficClass::HighThroughput.policy(4),
+            PathPolicy::MultipathKsp { k: 32 }
+        ));
+        assert!(matches!(
+            TrafficClass::Default.policy(2),
+            PathPolicy::SizeThreshold { .. }
+        ));
+    }
+}

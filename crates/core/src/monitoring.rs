@@ -1,0 +1,199 @@
+//! Per-plane monitoring and diagnostics (section 7 of the paper).
+//!
+//! "P-Net's adoption of multiple dataplanes brings management and diagnostic
+//! challenges, since each dataplane is logically separate... Existing
+//! systems will need to merge flow statistics from multiple dataplanes to
+//! accurately describe the network state and troubleshoot issues."
+//!
+//! [`PlaneReport`] is that merge: it rolls a simulator's per-queue counters
+//! up per dataplane and flags asymmetries (a plane dropping far more than
+//! its siblings is the first thing an operator would chase).
+
+use pnet_htsim::Simulator;
+use pnet_topology::{Network, PlaneId};
+
+/// Aggregated statistics of one dataplane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneStats {
+    pub plane: PlaneId,
+    /// Packets enqueued across the plane's queues.
+    pub enqueued: u64,
+    /// Packets dropped at full buffers.
+    pub dropped: u64,
+    /// Worst single-queue peak occupancy (bytes).
+    pub peak_queue_bytes: u64,
+    /// Fabric links of the plane currently down.
+    pub failed_links: usize,
+}
+
+impl PlaneStats {
+    /// Drop rate (drops / enqueued attempts).
+    pub fn drop_rate(&self) -> f64 {
+        if self.enqueued + self.dropped == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / (self.enqueued + self.dropped) as f64
+        }
+    }
+}
+
+/// The merged multi-plane view.
+#[derive(Debug, Clone)]
+pub struct PlaneReport {
+    pub planes: Vec<PlaneStats>,
+}
+
+impl PlaneReport {
+    /// Collect from a finished (or running) simulation.
+    pub fn collect(net: &Network, sim: &Simulator) -> Self {
+        let mut planes: Vec<PlaneStats> = net
+            .planes()
+            .map(|plane| PlaneStats {
+                plane,
+                enqueued: 0,
+                dropped: 0,
+                peak_queue_bytes: 0,
+                failed_links: 0,
+            })
+            .collect();
+        for (id, link) in net.links() {
+            let stats = &mut planes[link.plane.index()];
+            if !link.up {
+                stats.failed_links += 1;
+                continue;
+            }
+            let (enq, drop, peak) = sim.queue_stats(id);
+            stats.enqueued += enq;
+            stats.dropped += drop;
+            stats.peak_queue_bytes = stats.peak_queue_bytes.max(peak);
+        }
+        PlaneReport { planes }
+    }
+
+    /// Total load across planes.
+    pub fn total_enqueued(&self) -> u64 {
+        self.planes.iter().map(|p| p.enqueued).sum()
+    }
+
+    /// Load imbalance: max plane share over the uniform share (1.0 =
+    /// perfectly balanced; 4.0 on a 4-plane network = everything on one
+    /// plane).
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_enqueued();
+        if total == 0 || self.planes.is_empty() {
+            return 1.0;
+        }
+        let max = self.planes.iter().map(|p| p.enqueued).max().unwrap();
+        max as f64 * self.planes.len() as f64 / total as f64
+    }
+
+    /// Planes whose drop rate exceeds `factor` times the mean drop rate —
+    /// the troubleshooting shortlist.
+    pub fn anomalous_planes(&self, factor: f64) -> Vec<PlaneId> {
+        let mean: f64 =
+            self.planes.iter().map(|p| p.drop_rate()).sum::<f64>() / self.planes.len() as f64;
+        if mean == 0.0 {
+            return Vec::new();
+        }
+        self.planes
+            .iter()
+            .filter(|p| p.drop_rate() > factor * mean)
+            .map(|p| p.plane)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PNetSpec, PathPolicy, TopologyKind};
+    use pnet_htsim::{run_to_completion, FlowSpec, SimConfig};
+    use pnet_topology::{HostId, NetworkClass};
+
+    fn run_some_traffic(policy: PathPolicy) -> (pnet_topology::Network, Simulator) {
+        let pnet = PNetSpec::new(
+            TopologyKind::Jellyfish {
+                n_tors: 8,
+                degree: 3,
+                hosts_per_tor: 2,
+            },
+            NetworkClass::ParallelHomogeneous,
+            4,
+            5,
+        )
+        .build();
+        let mut selector = pnet.selector(policy);
+        let mut sim = Simulator::new(&pnet.net, SimConfig::default());
+        for i in 0..8u32 {
+            let (src, dst) = (HostId(i), HostId(15 - i));
+            let (routes, cc) = selector.select(&pnet.net, src, dst, i as u64, 600_000);
+            sim.start_flow(FlowSpec {
+                src,
+                dst,
+                size_bytes: 600_000,
+                routes,
+                cc,
+                owner_tag: 0,
+            });
+        }
+        run_to_completion(&mut sim);
+        (pnet.net, sim)
+    }
+
+    #[test]
+    fn round_robin_traffic_is_balanced() {
+        let (net, sim) = run_some_traffic(PathPolicy::RoundRobin);
+        let report = PlaneReport::collect(&net, &sim);
+        assert_eq!(report.planes.len(), 4);
+        assert!(report.total_enqueued() > 0);
+        assert!(
+            report.imbalance() < 2.0,
+            "round robin imbalance {}",
+            report.imbalance()
+        );
+    }
+
+    #[test]
+    fn pinned_traffic_shows_up_as_imbalance() {
+        let (net, sim) = run_some_traffic(PathPolicy::Pinned {
+            planes: vec![2],
+            inner: Box::new(PathPolicy::EcmpHash),
+        });
+        let report = PlaneReport::collect(&net, &sim);
+        // Everything on plane 2: imbalance = plane count.
+        assert!(report.imbalance() > 3.5);
+        assert_eq!(report.planes[0].enqueued, 0);
+        assert!(report.planes[2].enqueued > 0);
+    }
+
+    #[test]
+    fn failed_links_are_counted() {
+        let pnet = PNetSpec::new(
+            TopologyKind::Jellyfish {
+                n_tors: 8,
+                degree: 3,
+                hosts_per_tor: 1,
+            },
+            NetworkClass::ParallelHomogeneous,
+            2,
+            0,
+        )
+        .build();
+        let mut net = pnet.net;
+        let cables = pnet_topology::failures::fabric_cables(&net, Some(PlaneId(1)));
+        pnet_topology::failures::fail_cable(&mut net, cables[0]);
+        let sim = Simulator::new(&net, SimConfig::default());
+        let report = PlaneReport::collect(&net, &sim);
+        assert_eq!(report.planes[0].failed_links, 0);
+        assert_eq!(report.planes[1].failed_links, 2); // both directions
+    }
+
+    #[test]
+    fn no_anomalies_without_drops() {
+        let (net, sim) = run_some_traffic(PathPolicy::RoundRobin);
+        let report = PlaneReport::collect(&net, &sim);
+        if report.planes.iter().all(|p| p.dropped == 0) {
+            assert!(report.anomalous_planes(2.0).is_empty());
+        }
+    }
+}

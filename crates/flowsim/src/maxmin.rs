@@ -1,0 +1,213 @@
+//! Exact max-min fair rate allocation for fixed single-path flows
+//! (progressive filling / waterfilling).
+//!
+//! This is the flow-level model for the paper's *single-path* routing cases
+//! (ECMP on fat trees, hash-selected paths in P-Nets): each flow is pinned to
+//! one route, rates grow uniformly, and a flow freezes when some link on its
+//! route saturates. The outcome is the classic bottleneck max-min allocation,
+//! the steady state ideal that per-flow-fair TCP approximates.
+
+/// Compute max-min fair rates.
+///
+/// * `capacity[e]` — capacity of link `e` (any consistent unit).
+/// * `flow_links[f]` — the links flow `f` traverses (duplicates ignored).
+///
+/// Returns the rate of each flow in the same unit as capacities. Flows with
+/// empty link lists (e.g. two hosts colocated with zero network hops —
+/// cannot happen with our route construction, but tolerated) get
+/// `f64::INFINITY`.
+pub fn maxmin_rates(capacity: &[f64], flow_links: &[Vec<usize>]) -> Vec<f64> {
+    let n_links = capacity.len();
+    let n_flows = flow_links.len();
+
+    // Deduplicated link lists and per-link active-flow counts.
+    let mut links_of_flow: Vec<Vec<usize>> = Vec::with_capacity(n_flows);
+    let mut active_count = vec![0usize; n_links];
+    for links in flow_links {
+        let mut ls = links.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        for &l in &ls {
+            assert!(l < n_links, "flow references unknown link {l}");
+            active_count[l] += 1;
+        }
+        links_of_flow.push(ls);
+    }
+    let mut flows_of_link: Vec<Vec<usize>> = vec![Vec::new(); n_links];
+    for (f, ls) in links_of_flow.iter().enumerate() {
+        for &l in ls {
+            flows_of_link[l].push(f);
+        }
+    }
+
+    let mut residual: Vec<f64> = capacity.to_vec();
+    let mut rate = vec![f64::INFINITY; n_flows];
+    let mut frozen = vec![false; n_flows];
+    let mut n_frozen = links_of_flow.iter().filter(|l| l.is_empty()).count();
+    for (f, ls) in links_of_flow.iter().enumerate() {
+        if ls.is_empty() {
+            frozen[f] = true;
+        }
+    }
+
+    while n_frozen < n_flows {
+        // Bottleneck link: the one with the smallest fair share among links
+        // still carrying active flows.
+        let mut best_share = f64::INFINITY;
+        let mut best_link = usize::MAX;
+        for l in 0..n_links {
+            if active_count[l] > 0 {
+                let share = residual[l] / active_count[l] as f64;
+                if share < best_share {
+                    best_share = share;
+                    best_link = l;
+                }
+            }
+        }
+        if best_link == usize::MAX {
+            // No active links left but unfrozen flows remain: impossible
+            // given the bookkeeping, but guard against float oddities.
+            break;
+        }
+        // Freeze every active flow crossing the bottleneck at the fair share.
+        let victims: Vec<usize> = flows_of_link[best_link]
+            .iter()
+            .copied()
+            .filter(|&f| !frozen[f])
+            .collect();
+        for f in victims {
+            frozen[f] = true;
+            n_frozen += 1;
+            rate[f] = best_share;
+            for &l in &links_of_flow[f] {
+                residual[l] = (residual[l] - best_share).max(0.0);
+                active_count[l] -= 1;
+            }
+        }
+    }
+    rate
+}
+
+/// Sum of the finite rates of an allocation.
+pub fn total_rate(rates: &[f64]) -> f64 {
+    rates.iter().copied().filter(|r| r.is_finite()).sum()
+}
+
+/// Check (for tests) that `rates` is max-min fair: feasible, and no flow can
+/// be increased without decreasing a flow of equal or smaller rate. The
+/// standard certificate: every flow has a bottleneck link — a saturated link
+/// where the flow's rate is maximal among the link's flows.
+pub fn is_maxmin_fair(capacity: &[f64], flow_links: &[Vec<usize>], rates: &[f64]) -> bool {
+    let n_links = capacity.len();
+    let mut load = vec![0.0f64; n_links];
+    for (f, links) in flow_links.iter().enumerate() {
+        let mut ls = links.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        for &l in &ls {
+            load[l] += rates[f];
+        }
+    }
+    // Feasibility.
+    for l in 0..n_links {
+        if load[l] > capacity[l] * (1.0 + 1e-9) + 1e-9 {
+            return false;
+        }
+    }
+    // Bottleneck certificate.
+    'flows: for (f, links) in flow_links.iter().enumerate() {
+        if links.is_empty() {
+            continue;
+        }
+        for &l in links {
+            let saturated = load[l] >= capacity[l] * (1.0 - 1e-9) - 1e-9;
+            if saturated {
+                let max_on_link = flow_links
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ls)| ls.contains(&l))
+                    .map(|(g, _)| rates[g])
+                    .fold(0.0f64, f64::max);
+                if rates[f] >= max_on_link - 1e-9 {
+                    continue 'flows;
+                }
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_link_equal_split() {
+        let caps = vec![10.0];
+        let flows = vec![vec![0], vec![0]];
+        let r = maxmin_rates(&caps, &flows);
+        assert!((r[0] - 5.0).abs() < 1e-9);
+        assert!((r[1] - 5.0).abs() < 1e-9);
+        assert!(is_maxmin_fair(&caps, &flows, &r));
+    }
+
+    #[test]
+    fn classic_three_flow_example() {
+        // Two links in series with caps 10, 6. Flow A uses both, flow B uses
+        // link 0, flow C uses link 1.
+        // Max-min: bottleneck link 1 share = 3 -> A=C=3; B gets 10-3=7.
+        let caps = vec![10.0, 6.0];
+        let flows = vec![vec![0, 1], vec![0], vec![1]];
+        let r = maxmin_rates(&caps, &flows);
+        assert!((r[0] - 3.0).abs() < 1e-9);
+        assert!((r[1] - 7.0).abs() < 1e-9);
+        assert!((r[2] - 3.0).abs() < 1e-9);
+        assert!(is_maxmin_fair(&caps, &flows, &r));
+    }
+
+    #[test]
+    fn disjoint_flows_get_full_capacity() {
+        let caps = vec![4.0, 9.0];
+        let flows = vec![vec![0], vec![1]];
+        let r = maxmin_rates(&caps, &flows);
+        assert!((r[0] - 4.0).abs() < 1e-9);
+        assert!((r[1] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_links_counted_once() {
+        let caps = vec![8.0];
+        let flows = vec![vec![0, 0], vec![0]];
+        let r = maxmin_rates(&caps, &flows);
+        assert!((r[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_flow_is_unbounded() {
+        let caps = vec![1.0];
+        let flows = vec![vec![], vec![0]];
+        let r = maxmin_rates(&caps, &flows);
+        assert!(r[0].is_infinite());
+        assert!((r[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_of_bottlenecks() {
+        // Links 0..3 with caps 1, 2, 3, 4; flows: f_i uses links i..4.
+        let caps = vec![1.0, 2.0, 3.0, 4.0];
+        let flows = vec![vec![0, 1, 2, 3], vec![1, 2, 3], vec![2, 3], vec![3]];
+        let r = maxmin_rates(&caps, &flows);
+        assert!(is_maxmin_fair(&caps, &flows, &r));
+        // f0 limited by link0 = 1; link1 leaves 1 for f1; link2 leaves 1 for
+        // f2; link3 leaves 1 for f3.
+        for &x in &r {
+            assert!((x - 1.0).abs() < 1e-9, "rates {r:?}");
+        }
+    }
+
+    #[test]
+    fn total_rate_ignores_infinite() {
+        assert!((total_rate(&[1.0, f64::INFINITY, 2.0]) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,636 @@
+//! Max concurrent flow via the Garg–Könemann / Fleischer multiplicative-
+//! weights framework — the workspace's replacement for the paper's Gurobi LP.
+//!
+//! Given commodities (host-to-host demands) and either explicit candidate
+//! path sets (the "routes computed by ECMP or KSP" constraint of section
+//! 5.1.1) or free routing within each plane (the "ideal throughput under no
+//! path constraint" of Figure 7), the solver maximizes the uniform scale
+//! factor λ such that every commodity i can ship λ·dᵢ simultaneously without
+//! exceeding any link capacity.
+//!
+//! The algorithm maintains a length ℓₑ per link, starting at δ/cₑ, routes
+//! each commodity along its currently-shortest allowed path, and inflates
+//! lengths multiplicatively — the classic (1−ε)-approximation. We finish
+//! with a congestion rescale (divide all flow by the max link utilization),
+//! which guarantees a *feasible* primal solution regardless of floating-
+//! point noise; λ is then exact-feasible and ≥ (1−O(ε))·OPT.
+
+use crate::commodity::Commodity;
+use pnet_topology::{HostId, LinkId, Network, PlaneId};
+use std::collections::BinaryHeap;
+
+/// How commodities may be routed.
+#[derive(Debug, Clone)]
+pub enum PathMode {
+    /// `paths[i]` are the allowed routes of commodity `i`, each a full
+    /// host-to-host link sequence. A commodity may split across them.
+    Explicit(Vec<Vec<Vec<LinkId>>>),
+    /// Any path within any single plane (host uplink + fabric + downlink).
+    AnyPath,
+}
+
+/// Result of a max-concurrent-flow run.
+#[derive(Debug, Clone)]
+pub struct McfSolution {
+    /// The achieved uniform scale factor: commodity `i` ships `lambda *
+    /// demand_i` bits per second.
+    pub lambda: f64,
+    /// Phases executed by the multiplicative-weights loop.
+    pub phases: usize,
+    /// Feasible per-link flow (bits per second), after rescaling.
+    pub link_flow: Vec<f64>,
+    /// Feasible per-commodity rate (bits per second), after rescaling.
+    pub rates: Vec<f64>,
+}
+
+impl McfSolution {
+    /// Total shipped rate over all commodities (bits per second).
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+}
+
+/// Capacity of every directed link, indexed by `LinkId`. Down links get
+/// capacity 0 (they cannot carry flow).
+pub fn link_capacities(net: &Network) -> Vec<f64> {
+    net.links()
+        .map(|(_, l)| if l.up { l.capacity_bps as f64 } else { 0.0 })
+        .collect()
+}
+
+/// Solver options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct McfOptions {
+    /// Treat host attachment links as uncapacitated. This turns commodities
+    /// into *rack-level* demands constrained only by the switch fabric —
+    /// the paper's "ideal throughput under no path constraint, representing
+    /// the total capacity of the network core" (Figure 7).
+    pub host_links_free: bool,
+}
+
+/// Solve max concurrent flow. `eps` trades accuracy for speed (the result is
+/// ≥ (1−O(eps))·OPT; 0.05–0.15 are sensible).
+///
+/// # Panics
+/// If a commodity has an empty or no allowed path (`Explicit` mode) — the
+/// caller should filter unroutable commodities first (λ would be 0).
+pub fn solve(net: &Network, commodities: &[Commodity], mode: &PathMode, eps: f64) -> McfSolution {
+    solve_with_options(net, commodities, mode, eps, McfOptions::default())
+}
+
+/// [`solve`] with explicit [`McfOptions`].
+pub fn solve_with_options(
+    net: &Network,
+    commodities: &[Commodity],
+    mode: &PathMode,
+    eps: f64,
+    opts: McfOptions,
+) -> McfSolution {
+    assert!(!commodities.is_empty(), "no commodities");
+    assert!(eps > 0.0 && eps < 0.5, "eps out of range");
+    if let PathMode::Explicit(paths) = mode {
+        assert_eq!(paths.len(), commodities.len());
+        for (i, p) in paths.iter().enumerate() {
+            assert!(!p.is_empty(), "commodity {i} has no allowed path");
+        }
+    }
+
+    let mut caps = link_capacities(net);
+    if opts.host_links_free {
+        for (id, l) in net.links() {
+            if l.up
+                && (net.node(l.src).kind.is_host() || net.node(l.dst).kind.is_host())
+            {
+                caps[id.index()] = f64::INFINITY;
+            }
+        }
+    }
+    let m = caps.iter().filter(|&&c| c > 0.0 && c.is_finite()).count() as f64;
+
+    // --- Demand pre-scaling so that OPT λ' is Θ(1). -----------------------
+    // Lower bound: route every commodity on a shortest allowed path and
+    // scale by the resulting congestion.
+    let seed_routes = shortest_routes_unit(net, commodities, mode);
+    let mut seed_load = vec![0.0f64; caps.len()];
+    for (c, route) in commodities.iter().zip(&seed_routes) {
+        for &l in route {
+            seed_load[l.index()] += c.demand;
+        }
+    }
+    let seed_congestion = seed_load
+        .iter()
+        .zip(&caps)
+        .filter(|&(_, &c)| c > 0.0)
+        .map(|(&f, &c)| f / c)
+        .fold(0.0f64, f64::max);
+    assert!(
+        seed_congestion > 0.0,
+        "all commodities have empty routes; nothing to solve"
+    );
+    let lambda_lb = 1.0 / seed_congestion;
+    let scale = lambda_lb; // demands multiplied by this => OPT' in [1, ...]
+
+    // --- Fleischer phases. -------------------------------------------------
+    let delta = (m / (1.0 - eps)).powf(-1.0 / eps);
+    let mut length: Vec<f64> = caps
+        .iter()
+        .map(|&c| if c > 0.0 { delta / c } else { f64::INFINITY })
+        .collect();
+    let mut d_sum: f64 = m * delta; // Σ cₑ·ℓₑ over usable links
+    let mut flow = vec![0.0f64; caps.len()];
+    let mut sent = vec![0.0f64; commodities.len()];
+    let mut phases = 0usize;
+    // Hard cap: generous versus the theoretical bound; prevents runaway
+    // loops if inputs are degenerate.
+    let max_phases = 200_000;
+
+    // Group commodities by source for shared oracle trees in AnyPath mode.
+    let mut by_src: Vec<Vec<usize>> = vec![Vec::new(); net.n_hosts()];
+    for (i, c) in commodities.iter().enumerate() {
+        by_src[c.src.index()].push(i);
+    }
+
+    let oracle = AnyPathOracle::new(net);
+
+    'outer: while d_sum < 1.0 && phases < max_phases {
+        phases += 1;
+        for (src, group) in by_src.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // AnyPath: one shortest-path tree per plane from this source's
+            // rack, under current lengths.
+            let trees = match mode {
+                PathMode::AnyPath => Some(oracle.trees(net, HostId(src as u32), &length)),
+                PathMode::Explicit(_) => None,
+            };
+            for &i in group {
+                let mut remaining = commodities[i].demand * scale;
+                while remaining > 0.0 {
+                    if d_sum >= 1.0 {
+                        break 'outer;
+                    }
+                    let route: Vec<LinkId> = match mode {
+                        PathMode::Explicit(paths) => {
+                            best_explicit(&paths[i], &length).to_vec()
+                        }
+                        PathMode::AnyPath => oracle.best_route(
+                            net,
+                            commodities[i].src,
+                            commodities[i].dst,
+                            trees.as_ref().unwrap(),
+                            &length,
+                        ),
+                    };
+                    let bottleneck = route
+                        .iter()
+                        .map(|&l| caps[l.index()])
+                        .fold(f64::INFINITY, f64::min);
+                    let push = remaining.min(bottleneck);
+                    for &l in &route {
+                        let e = l.index();
+                        flow[e] += push;
+                        if !caps[e].is_finite() {
+                            continue; // uncapacitated (rack-level host link)
+                        }
+                        let grow = eps * push / caps[e];
+                        let old = length[e];
+                        length[e] = old * (1.0 + grow);
+                        d_sum += caps[e] * (length[e] - old);
+                    }
+                    sent[i] += push;
+                    remaining -= push;
+                }
+            }
+        }
+    }
+
+    // --- Congestion rescale to a feasible primal. --------------------------
+    let congestion = flow
+        .iter()
+        .zip(&caps)
+        .filter(|&(_, &c)| c > 0.0)
+        .map(|(&f, &c)| f / c)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let rates: Vec<f64> = sent
+        .iter()
+        .zip(commodities)
+        .map(|(&s, _)| s / congestion)
+        .collect();
+    let lambda = rates
+        .iter()
+        .zip(commodities)
+        .map(|(&r, c)| r / c.demand)
+        .fold(f64::INFINITY, f64::min);
+    let link_flow: Vec<f64> = flow.iter().map(|&f| f / congestion).collect();
+
+    McfSolution {
+        lambda,
+        phases,
+        link_flow,
+        rates,
+    }
+}
+
+/// Shortest allowed route per commodity under unit lengths (used for demand
+/// pre-scaling). Explicit mode: fewest links among candidates. AnyPath:
+/// BFS-shortest across planes.
+fn shortest_routes_unit(
+    net: &Network,
+    commodities: &[Commodity],
+    mode: &PathMode,
+) -> Vec<Vec<LinkId>> {
+    match mode {
+        PathMode::Explicit(paths) => paths
+            .iter()
+            .map(|cands| {
+                cands
+                    .iter()
+                    .min_by_key(|p| p.len())
+                    .expect("commodity with no candidate path")
+                    .clone()
+            })
+            .collect(),
+        PathMode::AnyPath => {
+            let unit: Vec<f64> = net.links().map(|_| 1.0).collect();
+            let oracle = AnyPathOracle::new(net);
+            commodities
+                .iter()
+                .map(|c| {
+                    let trees = oracle.trees(net, c.src, &unit);
+                    oracle.best_route(net, c.src, c.dst, &trees, &unit)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Pick the minimum-length candidate.
+fn best_explicit<'a>(candidates: &'a [Vec<LinkId>], length: &[f64]) -> &'a [LinkId] {
+    candidates
+        .iter()
+        .min_by(|a, b| {
+            let la: f64 = a.iter().map(|&l| length[l.index()]).sum();
+            let lb: f64 = b.iter().map(|&l| length[l.index()]).sum();
+            la.partial_cmp(&lb).unwrap()
+        })
+        .expect("no candidate path")
+}
+
+// --------------------------------------------------------------------------
+// AnyPath oracle: per-plane Dijkstra over the switch graphs.
+// --------------------------------------------------------------------------
+
+use pnet_routing::PlaneGraph;
+
+/// Shortest-path trees from one source rack, one per plane.
+pub struct PlaneTrees {
+    /// Per plane: (dist to each dense switch, parent link of each switch).
+    trees: Vec<(Vec<f64>, Vec<Option<(usize, LinkId)>>)>,
+}
+
+struct AnyPathOracle {
+    planes: Vec<PlaneGraph>,
+}
+
+#[derive(PartialEq)]
+struct HeapItem(f64, usize);
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap; weights are finite positives.
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap()
+            .then(other.1.cmp(&self.1))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl AnyPathOracle {
+    fn new(net: &Network) -> Self {
+        AnyPathOracle {
+            planes: PlaneGraph::build_all(net),
+        }
+    }
+
+    /// Dijkstra from `src`'s ToR in every plane under `length`.
+    fn trees(&self, net: &Network, src: HostId, length: &[f64]) -> PlaneTrees {
+        let rack = net.rack_of_host(src);
+        let trees = self
+            .planes
+            .iter()
+            .map(|pg| {
+                let s = pg.tor(rack);
+                let n = pg.n_switches();
+                let mut dist = vec![f64::INFINITY; n];
+                let mut parent: Vec<Option<(usize, LinkId)>> = vec![None; n];
+                let mut heap = BinaryHeap::new();
+                dist[s] = 0.0;
+                heap.push(HeapItem(0.0, s));
+                while let Some(HeapItem(d, u)) = heap.pop() {
+                    if d > dist[u] {
+                        continue;
+                    }
+                    for &(v, l) in pg.neighbors(u) {
+                        let nd = d + length[l.index()];
+                        if nd < dist[v] {
+                            dist[v] = nd;
+                            parent[v] = Some((u, l));
+                            heap.push(HeapItem(nd, v));
+                        }
+                    }
+                }
+                (dist, parent)
+            })
+            .collect();
+        PlaneTrees { trees }
+    }
+
+    /// Best full route `src -> dst` across all planes given precomputed
+    /// trees. Falls back across planes where a host lacks an uplink.
+    fn best_route(
+        &self,
+        net: &Network,
+        src: HostId,
+        dst: HostId,
+        trees: &PlaneTrees,
+        length: &[f64],
+    ) -> Vec<LinkId> {
+        let dst_rack = net.rack_of_host(dst);
+        let mut best: Option<(f64, usize)> = None;
+        for (p, (dist, _)) in trees.trees.iter().enumerate() {
+            let plane = PlaneId(p as u16);
+            let (Some(up), Some(down)) = (
+                net.host_uplink(src, plane),
+                net.host_uplink(dst, plane).map(|l| l.reverse()),
+            ) else {
+                continue;
+            };
+            let t = self.planes[p].tor(dst_rack);
+            if dist[t].is_infinite() {
+                continue;
+            }
+            let total = length[up.index()] + dist[t] + length[down.index()];
+            if best.is_none_or(|(b, _)| total < b) {
+                best = Some((total, p));
+            }
+        }
+        let (_, p) = best.expect("no plane connects the commodity endpoints");
+        let plane = PlaneId(p as u16);
+        let pg = &self.planes[p];
+        let (_, parent) = &trees.trees[p];
+        let mut fabric = Vec::new();
+        let mut cur = pg.tor(dst_rack);
+        while let Some((q, l)) = parent[cur] {
+            fabric.push(l);
+            cur = q;
+        }
+        fabric.reverse();
+        let mut route = Vec::with_capacity(fabric.len() + 2);
+        route.push(net.host_uplink(src, plane).unwrap());
+        route.extend(fabric);
+        route.push(net.host_uplink(dst, plane).unwrap().reverse());
+        route
+    }
+}
+
+/// Convenience: the paths of a [`pnet_routing::Path`] set expanded to full
+/// host routes for one commodity.
+pub fn expand_host_routes(
+    net: &Network,
+    src: HostId,
+    dst: HostId,
+    rack_paths: &[pnet_routing::Path],
+) -> Vec<Vec<LinkId>> {
+    rack_paths
+        .iter()
+        .filter_map(|p| pnet_routing::host_route(net, src, dst, p))
+        .collect()
+}
+
+/// Helper bundling router + commodity list into explicit K-path mode across
+/// all planes (the MPTCP + KSP configuration).
+pub fn ksp_mode(
+    net: &Network,
+    router: &mut pnet_routing::Router,
+    commodities: &[Commodity],
+    k: usize,
+) -> PathMode {
+    let paths = commodities
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let (sa, sb) = (net.rack_of_host(c.src), net.rack_of_host(c.dst));
+            let rack_paths = if sa == sb {
+                // Intra-rack: one host->ToR->host path per plane (MPTCP can
+                // still stripe across all planes).
+                net.planes().map(pnet_routing::Path::intra_rack).collect()
+            } else {
+                // Fetch a wide candidate set, hash-rotate each equal-length
+                // tier per flow (the MPTCP path manager's spread), then keep
+                // the K best for this flow.
+                let wide = (2 * k).max(8);
+                let mut ps = router.k_best_across_planes(sa, sb, wide);
+                pnet_routing::path::rotate_ties(
+                    &mut ps,
+                    pnet_routing::flow_hash(c.src, c.dst, i as u64),
+                );
+                ps.truncate(k);
+                ps
+            };
+            expand_host_routes(net, c.src, c.dst, &rack_paths)
+        })
+        .collect();
+    PathMode::Explicit(paths)
+}
+
+/// Helper: single hash-selected ECMP path per commodity (plane by hash, then
+/// equal-cost path by hash), the paper's naive P-Net ECMP.
+pub fn ecmp_mode(
+    net: &Network,
+    router: &mut pnet_routing::Router,
+    commodities: &[Commodity],
+) -> PathMode {
+    use pnet_routing::{flow_hash, hash_plane, hash_select};
+    let n_planes = net.n_planes();
+    let paths = commodities
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let h = flow_hash(c.src, c.dst, i as u64);
+            let plane = hash_plane(n_planes, h);
+            let (sa, sb) = (net.rack_of_host(c.src), net.rack_of_host(c.dst));
+            let rack_path = if sa == sb {
+                pnet_routing::Path::intra_rack(plane)
+            } else {
+                let set = router.paths_in_plane(plane, sa, sb);
+                assert!(!set.is_empty(), "no ECMP path in plane {plane}");
+                hash_select(&set, h).clone()
+            };
+            expand_host_routes(net, c.src, c.dst, &[rack_path])
+        })
+        .collect();
+    PathMode::Explicit(paths)
+}
+
+/// Max-min throughput of fixed single routes (see [`crate::maxmin`]) — used
+/// for ECMP cases where the paper's LP would allocate on pinned paths.
+pub fn single_path_maxmin(net: &Network, routes: &[Vec<LinkId>]) -> Vec<f64> {
+    let caps = link_capacities(net);
+    let idx: Vec<Vec<usize>> = routes
+        .iter()
+        .map(|r| r.iter().map(|l| l.index()).collect())
+        .collect();
+    crate::maxmin::maxmin_rates(&caps, &idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commodity;
+    use pnet_routing::{RouteAlgo, Router};
+    use pnet_topology::{
+        assemble_homogeneous, gbps, FatTree, Jellyfish, LinkProfile,
+    };
+
+    const EPS: f64 = 0.05;
+
+    #[test]
+    fn single_pair_gets_link_rate() {
+        // Two hosts in different racks of a 1-plane fat tree; only
+        // commodity. λ·d should equal one link rate (100G).
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let c = vec![Commodity::unit(HostId(0), HostId(15))];
+        let sol = solve(&net, &c, &PathMode::AnyPath, EPS);
+        let rate = sol.rates[0];
+        assert!(
+            (rate - gbps(100) as f64).abs() / (gbps(100) as f64) < 3.0 * EPS,
+            "rate {rate} not ~100G"
+        );
+    }
+
+    #[test]
+    fn uplink_is_the_bottleneck_for_fan_out() {
+        // One source sending to 4 destinations: the source's single 100G
+        // uplink caps total at 100G, so λ·d = 25G each.
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let c: Vec<Commodity> = [4u32, 8, 12, 15]
+            .iter()
+            .map(|&d| Commodity::unit(HostId(0), HostId(d)))
+            .collect();
+        let sol = solve(&net, &c, &PathMode::AnyPath, EPS);
+        for &r in &sol.rates {
+            assert!(
+                (r - 25e9).abs() / 25e9 < 4.0 * EPS,
+                "rates {:?}",
+                sol.rates
+            );
+        }
+    }
+
+    #[test]
+    fn two_planes_double_the_pair_rate() {
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let c = vec![Commodity::unit(HostId(0), HostId(15))];
+        let sol = solve(&net, &c, &PathMode::AnyPath, EPS);
+        assert!(
+            (sol.rates[0] - 200e9).abs() / 200e9 < 3.0 * EPS,
+            "rate {} not ~200G",
+            sol.rates[0]
+        );
+    }
+
+    #[test]
+    fn explicit_single_path_restricts() {
+        // Same pair, but restricted to one plane-0 route: 100G even though
+        // the network has two planes.
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let mut router = Router::new(&net, RouteAlgo::Ksp { k: 1 });
+        let c = vec![Commodity::unit(HostId(0), HostId(15))];
+        let mode = ksp_mode(&net, &mut router, &c, 1);
+        let sol = solve(&net, &c, &mode, EPS);
+        assert!(
+            (sol.rates[0] - 100e9).abs() / 100e9 < 3.0 * EPS,
+            "rate {}",
+            sol.rates[0]
+        );
+    }
+
+    #[test]
+    fn feasibility_always_holds() {
+        let net = assemble_homogeneous(
+            &Jellyfish::new(12, 3, 2, 5),
+            2,
+            &LinkProfile::paper_default(),
+        );
+        let c = commodity::all_to_all(8);
+        let sol = solve(&net, &c, &PathMode::AnyPath, 0.1);
+        let caps = link_capacities(&net);
+        for (f, c) in sol.link_flow.iter().zip(&caps) {
+            assert!(f <= &(c * 1.000001 + 1.0), "infeasible link flow");
+        }
+        assert!(sol.lambda > 0.0);
+    }
+
+    #[test]
+    fn permutation_fat_tree_full_bisection_with_ecmp_paths() {
+        // k=4 fat tree is non-blocking: a permutation routed over ALL
+        // equal-cost paths (splittable) achieves the full 100G per host.
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let mut router = Router::new(&net, RouteAlgo::Ecmp { cap: 16 });
+        // Cross-pod cyclic shift permutation: host i -> (i + 8) mod 16.
+        let perm: Vec<usize> = (0..16).map(|i| (i + 8) % 16).collect();
+        let c = commodity::permutation(&perm);
+        let paths: Vec<Vec<Vec<LinkId>>> = c
+            .iter()
+            .map(|cm| {
+                let (ra, rb) = (net.rack_of_host(cm.src), net.rack_of_host(cm.dst));
+                let set = router.paths_in_plane(PlaneId(0), ra, rb);
+                expand_host_routes(&net, cm.src, cm.dst, &set)
+            })
+            .collect();
+        let sol = solve(&net, &c, &PathMode::Explicit(paths), EPS);
+        let per_host = sol.rates[0];
+        assert!(
+            per_host > 0.85 * 100e9,
+            "expected near-full bisection, got {per_host}"
+        );
+    }
+
+    #[test]
+    fn lambda_matches_min_rate_ratio() {
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let c = vec![
+            Commodity {
+                src: HostId(0),
+                dst: HostId(15),
+                demand: 1.0,
+            },
+            Commodity {
+                src: HostId(1),
+                dst: HostId(14),
+                demand: 2.0,
+            },
+        ];
+        let sol = solve(&net, &c, &PathMode::AnyPath, EPS);
+        // λ = min_i rate_i / d_i by definition.
+        let expect = (sol.rates[0] / 1.0).min(sol.rates[1] / 2.0);
+        assert!((sol.lambda - expect).abs() <= expect * 1e-9);
+        // Weighted fairness: commodity 1 should get ~2x commodity 0.
+        let ratio = sol.rates[1] / sol.rates[0];
+        assert!((ratio - 2.0).abs() < 0.5, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,60 @@
+//! # pnet-htsim
+//!
+//! A discrete-event, packet-granular network simulator in the style of
+//! `htsim` (Handley et al., SIGCOMM'17 \[23\]) — the packet-level evaluation
+//! substrate of the P-Net paper.
+//!
+//! Components:
+//!
+//! * [`Simulator`] — event engine: one drop-tail queue per directed link,
+//!   source-routed packets, picosecond clock, deterministic event ordering;
+//! * [`tcp`] — packet-level TCP (NewReno) and MPTCP (RFC 6356 LIA) with the
+//!   paper's datacenter tuning (10 ms minimum RTO);
+//! * [`apps`] — workload drivers: one-shot flow batches, closed-loop
+//!   sources, RPC ping-pong, and staged shuffle jobs;
+//! * [`metrics`] — FCT percentiles, CDFs, summaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use pnet_htsim::{run_to_completion, CcAlgo, FlowSpec, SimConfig, Simulator};
+//! use pnet_routing::{host_route, RouteAlgo, Router};
+//! use pnet_topology::{assemble_homogeneous, FatTree, HostId, LinkProfile, PlaneId};
+//!
+//! let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+//! let mut router = Router::new(&net, RouteAlgo::Ksp { k: 1 });
+//! let path = router
+//!     .paths_in_plane(PlaneId(0), net.rack_of_host(HostId(0)), net.rack_of_host(HostId(15)))
+//!     .first()
+//!     .cloned()
+//!     .unwrap();
+//! let route = host_route(&net, HostId(0), HostId(15), &path).unwrap();
+//!
+//! let mut sim = Simulator::new(&net, SimConfig::default());
+//! sim.start_flow(FlowSpec {
+//!     src: HostId(0),
+//!     dst: HostId(15),
+//!     size_bytes: 150_000,
+//!     routes: vec![route],
+//!     cc: CcAlgo::Reno,
+//!     owner_tag: 0,
+//! });
+//! run_to_completion(&mut sim);
+//! assert_eq!(sim.records.len(), 1);
+//! ```
+
+pub mod apps;
+pub mod event;
+pub mod metrics;
+pub mod packet;
+pub mod queue;
+pub mod sim;
+pub mod tcp;
+pub mod time;
+
+pub use packet::{ConnId, Packet, PacketKind, ACK_BYTES, MTU_BYTES};
+pub use sim::{
+    run, run_to_completion, Driver, FlowRecord, FlowSpec, NullDriver, SimConfig, Simulator,
+};
+pub use tcp::{CcAlgo, TcpConfig};
+pub use time::SimTime;

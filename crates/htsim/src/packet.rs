@@ -1,0 +1,118 @@
+//! Packets: the unit the simulator forwards.
+//!
+//! Packets are *source-routed*: each carries (a shared reference to) the full
+//! sequence of directed links from the source host to the destination host.
+//! This mirrors the paper's end-host-routing model — the host picks the
+//! plane and path; switches merely forward along it — and keeps switch state
+//! out of the simulator entirely.
+
+use crate::time::SimTime;
+use pnet_topology::LinkId;
+use std::sync::Arc;
+
+/// Data packets occupy a full MTU on the wire (1500 B, as in the paper's RPC
+/// experiment).
+pub const MTU_BYTES: u32 = 1500;
+
+/// ACK wire size.
+pub const ACK_BYTES: u32 = 40;
+
+/// Identifier of a connection within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A data segment: `seq` counts MTU-sized packets within one subflow.
+    Data {
+        conn: ConnId,
+        subflow: u8,
+        seq: u64,
+        /// Send timestamp, echoed by the ACK for RTT sampling.
+        ts: SimTime,
+        /// True if this is a retransmission (Karn's rule: no RTT sample).
+        rtx: bool,
+        /// ECN Congestion Experienced: set by a queue whose occupancy
+        /// exceeded its marking threshold (DCTCP).
+        ce: bool,
+    },
+    /// A cumulative acknowledgment for one subflow.
+    Ack {
+        conn: ConnId,
+        subflow: u8,
+        /// All packets with seq < `cum` have been received in order.
+        cum: u64,
+        /// Echo of the triggering data packet's timestamp / rtx flag.
+        ts_echo: SimTime,
+        rtx_echo: bool,
+        /// ECN-Echo: the triggering data packet carried a CE mark.
+        ece: bool,
+    },
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// The full source route, shared between all packets of a subflow.
+    pub route: Arc<Vec<LinkId>>,
+    /// Index into `route` of the next link to traverse.
+    pub hop: u16,
+    /// Wire size in bytes.
+    pub size_bytes: u32,
+    /// Payload descriptor.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// The next link this packet must traverse, or `None` if it has arrived.
+    #[inline]
+    pub fn next_link(&self) -> Option<LinkId> {
+        self.route.get(self.hop as usize).copied()
+    }
+
+    /// Number of switch hops on the packet's route (links − 1: the route
+    /// includes the host uplink and downlink).
+    #[inline]
+    pub fn switch_hops(&self) -> usize {
+        self.route.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(route: Vec<LinkId>) -> Packet {
+        Packet {
+            route: Arc::new(route),
+            hop: 0,
+            size_bytes: MTU_BYTES,
+            kind: PacketKind::Data {
+                conn: ConnId(0),
+                subflow: 0,
+                seq: 0,
+                ts: SimTime::ZERO,
+                rtx: false,
+                ce: false,
+            },
+        }
+    }
+
+    #[test]
+    fn next_link_advances() {
+        let mut p = pkt(vec![LinkId(0), LinkId(2), LinkId(5)]);
+        assert_eq!(p.next_link(), Some(LinkId(0)));
+        p.hop = 2;
+        assert_eq!(p.next_link(), Some(LinkId(5)));
+        p.hop = 3;
+        assert_eq!(p.next_link(), None);
+    }
+
+    #[test]
+    fn switch_hops_counts_interior_nodes() {
+        // host -> ToR -> ToR -> host: 3 links, 2 switches.
+        let p = pkt(vec![LinkId(0), LinkId(2), LinkId(5)]);
+        assert_eq!(p.switch_hops(), 2);
+    }
+}

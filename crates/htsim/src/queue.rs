@@ -1,0 +1,251 @@
+//! Per-link drop-tail output queues.
+//!
+//! Every directed link of the network has one FIFO output queue that
+//! serializes packets at the link rate and then hands them to the link's
+//! propagation delay. This is the htsim component model: queue → pipe, fused
+//! here because a pipe never reorders or drops.
+
+use crate::packet::Packet;
+use crate::time::{serialization_ps, SimTime};
+use std::collections::VecDeque;
+
+/// A drop-tail FIFO with a byte-capacity bound and optional ECN marking.
+#[derive(Debug)]
+pub struct Queue {
+    /// Line rate, bits per second.
+    pub rate_bps: u64,
+    /// Propagation delay of the attached link, picoseconds.
+    pub delay_ps: u64,
+    /// Buffer bound in bytes (drop-tail beyond this).
+    pub capacity_bytes: u64,
+    /// ECN marking threshold (DCTCP's K): data packets enqueued while the
+    /// occupancy exceeds this get a CE mark. `None` disables marking.
+    pub ecn_threshold_bytes: Option<u64>,
+    /// When false the link is dark: every arriving packet is dropped
+    /// (mid-simulation link failure). Already-buffered packets still drain.
+    pub link_up: bool,
+    /// Packets marked CE.
+    pub marked: u64,
+    /// Bytes currently buffered (including the packet in service).
+    buffered_bytes: u64,
+    fifo: VecDeque<Packet>,
+    /// True while a packet is being serialized (a departure event is
+    /// outstanding).
+    busy: bool,
+    /// Statistics.
+    pub enqueued: u64,
+    pub dropped: u64,
+    /// Peak queue occupancy in bytes.
+    pub peak_bytes: u64,
+}
+
+/// Outcome of an enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Packet accepted and serialization should start now (the caller must
+    /// schedule the departure event at `now + serialization`).
+    StartService,
+    /// Packet accepted behind others; a departure event is already pending.
+    Queued,
+    /// Buffer full: packet dropped.
+    Dropped,
+}
+
+impl Queue {
+    /// New queue for a link.
+    pub fn new(rate_bps: u64, delay_ps: u64, capacity_bytes: u64) -> Self {
+        Queue {
+            rate_bps,
+            delay_ps,
+            capacity_bytes,
+            ecn_threshold_bytes: None,
+            link_up: true,
+            marked: 0,
+            buffered_bytes: 0,
+            fifo: VecDeque::new(),
+            busy: false,
+            enqueued: 0,
+            dropped: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// Try to accept `packet`.
+    pub fn enqueue(&mut self, mut packet: Packet) -> Enqueue {
+        let size = packet.size_bytes as u64;
+        if !self.link_up || self.buffered_bytes + size > self.capacity_bytes {
+            self.dropped += 1;
+            return Enqueue::Dropped;
+        }
+        self.buffered_bytes += size;
+        self.peak_bytes = self.peak_bytes.max(self.buffered_bytes);
+        self.enqueued += 1;
+        if let Some(k) = self.ecn_threshold_bytes {
+            if self.buffered_bytes > k {
+                if let crate::packet::PacketKind::Data { ce, .. } = &mut packet.kind {
+                    if !*ce {
+                        *ce = true;
+                        self.marked += 1;
+                    }
+                }
+            }
+        }
+        self.fifo.push_back(packet);
+        if self.busy {
+            Enqueue::Queued
+        } else {
+            self.busy = true;
+            Enqueue::StartService
+        }
+    }
+
+    /// Serialization time of the head-of-line packet (call when starting
+    /// service).
+    pub fn head_service_ps(&self) -> u64 {
+        let head = self.fifo.front().expect("service on empty queue");
+        serialization_ps(head.size_bytes, self.rate_bps)
+    }
+
+    /// Complete service of the head packet: returns it together with the
+    /// absolute arrival time at the other end of the link, and whether
+    /// another departure event must be scheduled (`Some(next_service_ps)`)
+    /// for the new head.
+    pub fn depart(&mut self, now: SimTime) -> (Packet, SimTime, Option<u64>) {
+        let packet = self.fifo.pop_front().expect("departure from empty queue");
+        self.buffered_bytes -= packet.size_bytes as u64;
+        let arrival = now + SimTime::from_ps(self.delay_ps);
+        let next = if self.fifo.is_empty() {
+            self.busy = false;
+            None
+        } else {
+            Some(self.head_service_ps())
+        };
+        (packet, arrival, next)
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.buffered_bytes
+    }
+
+    /// Packets currently buffered.
+    pub fn depth(&self) -> usize {
+        self.fifo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{ConnId, PacketKind, MTU_BYTES};
+    use pnet_topology::LinkId;
+    use std::sync::Arc;
+
+    fn pkt(size: u32) -> Packet {
+        Packet {
+            route: Arc::new(vec![LinkId(0)]),
+            hop: 0,
+            size_bytes: size,
+            kind: PacketKind::Data {
+                conn: ConnId(0),
+                subflow: 0,
+                seq: 0,
+                ts: SimTime::ZERO,
+                rtx: false,
+                ce: false,
+            },
+        }
+    }
+
+    #[test]
+    fn first_packet_starts_service() {
+        let mut q = Queue::new(100_000_000_000, 1000, 10 * MTU_BYTES as u64);
+        assert_eq!(q.enqueue(pkt(1500)), Enqueue::StartService);
+        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Queued);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn service_time_is_serialization() {
+        let mut q = Queue::new(100_000_000_000, 1000, 10 * MTU_BYTES as u64);
+        q.enqueue(pkt(1500));
+        assert_eq!(q.head_service_ps(), 120_000); // 120 ns at 100G
+    }
+
+    #[test]
+    fn departure_adds_propagation() {
+        let mut q = Queue::new(100_000_000_000, 5_000_000, 10 * MTU_BYTES as u64);
+        q.enqueue(pkt(1500));
+        let now = SimTime::from_ps(120_000);
+        let (p, arrival, next) = q.depart(now);
+        assert_eq!(p.size_bytes, 1500);
+        assert_eq!(arrival, SimTime::from_ps(120_000 + 5_000_000));
+        assert!(next.is_none());
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut q = Queue::new(100_000_000_000, 0, 2 * 1500);
+        assert_eq!(q.enqueue(pkt(1500)), Enqueue::StartService);
+        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Queued);
+        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Dropped);
+        assert_eq!(q.dropped, 1);
+        assert_eq!(q.enqueued, 2);
+    }
+
+    #[test]
+    fn small_packet_fits_after_big_drop() {
+        let mut q = Queue::new(100_000_000_000, 0, 1540);
+        q.enqueue(pkt(1500));
+        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Dropped);
+        assert_eq!(q.enqueue(pkt(40)), Enqueue::Queued);
+    }
+
+    #[test]
+    fn pipeline_of_departures() {
+        let mut q = Queue::new(100_000_000_000, 0, 10_000);
+        q.enqueue(pkt(1500));
+        q.enqueue(pkt(1500));
+        let (_, _, next) = q.depart(SimTime::from_ps(120_000));
+        assert_eq!(next, Some(120_000));
+        let (_, _, next) = q.depart(SimTime::from_ps(240_000));
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold() {
+        let mut q = Queue::new(100_000_000_000, 0, 100 * 1500);
+        q.ecn_threshold_bytes = Some(2 * 1500);
+        q.enqueue(pkt(1500)); // occupancy 1500 <= 3000: no mark
+        q.enqueue(pkt(1500)); // occupancy 3000 <= 3000: no mark
+        q.enqueue(pkt(1500)); // occupancy 4500 > 3000: mark
+        assert_eq!(q.marked, 1);
+        // Verify the mark landed on the third packet.
+        let (p1, _, _) = q.depart(SimTime::ZERO);
+        let (p2, _, _) = q.depart(SimTime::ZERO);
+        let (p3, _, _) = q.depart(SimTime::ZERO);
+        let ce = |p: &Packet| matches!(p.kind, PacketKind::Data { ce, .. } if ce);
+        assert!(!ce(&p1));
+        assert!(!ce(&p2));
+        assert!(ce(&p3));
+    }
+
+    #[test]
+    fn no_marking_when_disabled() {
+        let mut q = Queue::new(100_000_000_000, 0, 100 * 1500);
+        for _ in 0..50 {
+            q.enqueue(pkt(1500));
+        }
+        assert_eq!(q.marked, 0);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut q = Queue::new(1_000_000_000, 0, 100_000);
+        q.enqueue(pkt(1500));
+        q.enqueue(pkt(1500));
+        q.depart(SimTime::ZERO);
+        assert_eq!(q.peak_bytes, 3000);
+    }
+}

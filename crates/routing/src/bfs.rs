@@ -1,0 +1,288 @@
+//! Breadth-first shortest paths on plane graphs: distances, deterministic
+//! single paths, equal-cost path enumeration, and hop-count matrices.
+
+use crate::path::Path;
+use crate::plane_graph::PlaneGraph;
+use pnet_topology::{LinkId, RackId};
+use std::collections::VecDeque;
+
+/// Distance (in fabric links) from `src` to every switch; `u32::MAX` for
+/// unreachable switches.
+pub fn bfs_dist(pg: &PlaneGraph, src: usize) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; pg.n_switches()];
+    let mut queue = VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in pg.neighbors(u) {
+            if dist[v] == u32::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// One shortest ToR-to-ToR path, deterministic (prefers lowest link ids).
+/// `None` if unreachable. Same-rack queries return the empty intra-rack path.
+pub fn shortest_path(pg: &PlaneGraph, src: RackId, dst: RackId) -> Option<Path> {
+    if src == dst {
+        return Some(Path::intra_rack(pg.plane));
+    }
+    let s = pg.tor(src);
+    let t = pg.tor(dst);
+    // BFS storing the first (lowest-link-id) parent; neighbor lists are
+    // sorted by link id, so first discovery is the deterministic choice.
+    let mut parent: Vec<Option<(usize, LinkId)>> = vec![None; pg.n_switches()];
+    let mut dist = vec![u32::MAX; pg.n_switches()];
+    let mut queue = VecDeque::new();
+    dist[s] = 0;
+    queue.push_back(s);
+    'search: while let Some(u) = queue.pop_front() {
+        for &(v, l) in pg.neighbors(u) {
+            if dist[v] == u32::MAX {
+                dist[v] = dist[u] + 1;
+                parent[v] = Some((u, l));
+                if v == t {
+                    break 'search;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    if dist[t] == u32::MAX {
+        return None;
+    }
+    let mut links = Vec::with_capacity(dist[t] as usize);
+    let mut cur = t;
+    while let Some((p, l)) = parent[cur] {
+        links.push(l);
+        cur = p;
+    }
+    links.reverse();
+    Some(Path {
+        plane: pg.plane,
+        links,
+    })
+}
+
+/// All equal-cost shortest paths between two racks, up to `cap` of them,
+/// in deterministic (lowest-link-id-first) order.
+pub fn all_shortest_paths(pg: &PlaneGraph, src: RackId, dst: RackId, cap: usize) -> Vec<Path> {
+    if src == dst {
+        return vec![Path::intra_rack(pg.plane)];
+    }
+    let s = pg.tor(src);
+    let t = pg.tor(dst);
+    let dist = bfs_dist(pg, s);
+    if dist[t] == u32::MAX || cap == 0 {
+        return Vec::new();
+    }
+    // DFS forward along the shortest-path DAG (dist strictly increasing).
+    let mut out = Vec::new();
+    let mut stack: Vec<LinkId> = Vec::new();
+    dfs_enumerate(pg, &dist, s, t, cap, &mut stack, &mut out);
+    out
+}
+
+fn dfs_enumerate(
+    pg: &PlaneGraph,
+    dist: &[u32],
+    u: usize,
+    t: usize,
+    cap: usize,
+    stack: &mut Vec<LinkId>,
+    out: &mut Vec<Path>,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if u == t {
+        out.push(Path {
+            plane: pg.plane,
+            links: stack.clone(),
+        });
+        return;
+    }
+    for &(v, l) in pg.neighbors(u) {
+        if dist[v] == dist[u] + 1 && dist[v] <= dist[t] {
+            stack.push(l);
+            dfs_enumerate(pg, dist, v, t, cap, stack, out);
+            stack.pop();
+            if out.len() >= cap {
+                return;
+            }
+        }
+    }
+}
+
+/// Rack-to-rack fabric-link distances for one plane: `matrix[a][b]` is the
+/// number of ToR-to-ToR links on the shortest path (0 on the diagonal,
+/// `u32::MAX` if disconnected).
+pub fn rack_hop_matrix(pg: &PlaneGraph) -> Vec<Vec<u32>> {
+    (0..pg.n_racks())
+        .map(|r| {
+            let dist = bfs_dist(pg, pg.tor(RackId(r as u32)));
+            (0..pg.n_racks())
+                .map(|q| dist[pg.tor(RackId(q as u32))])
+                .collect()
+        })
+        .collect()
+}
+
+/// Element-wise minimum of per-plane hop matrices: the hop count an end host
+/// sees when it may pick the best plane per destination (the heterogeneous
+/// P-Net advantage of sections 5.2.1 and 5.4).
+pub fn min_hops_across_planes(matrices: &[Vec<Vec<u32>>]) -> Vec<Vec<u32>> {
+    assert!(!matrices.is_empty());
+    let n = matrices[0].len();
+    let mut min = matrices[0].clone();
+    for m in &matrices[1..] {
+        assert_eq!(m.len(), n);
+        for (row_min, row) in min.iter_mut().zip(m) {
+            for (cell_min, &cell) in row_min.iter_mut().zip(row) {
+                *cell_min = (*cell_min).min(cell);
+            }
+        }
+    }
+    min
+}
+
+/// Mean of the finite off-diagonal entries of a hop matrix, in *switch* hops
+/// (fabric links + 1). Pairs that became disconnected are excluded, matching
+/// the paper's "average hop count across all src/dst pairs" metric.
+pub fn mean_switch_hops(matrix: &[Vec<u32>]) -> f64 {
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    for (a, row) in matrix.iter().enumerate() {
+        for (b, &d) in row.iter().enumerate() {
+            if a != b && d != u32::MAX {
+                sum += d as u64 + 1;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        return f64::NAN;
+    }
+    sum as f64 / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnet_topology::{
+        assemble_homogeneous, FatTree, Jellyfish, LinkProfile, Network, PlaneId,
+    };
+
+    fn ft_net() -> Network {
+        assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default())
+    }
+
+    #[test]
+    fn same_pod_distance_is_two_links() {
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        // Racks 0 and 1 share pod 0: ToR-agg-ToR = 2 links = 3 switch hops.
+        let p = shortest_path(&pg, RackId(0), RackId(1)).unwrap();
+        assert_eq!(p.links.len(), 2);
+        assert_eq!(p.switch_hops(), 3);
+        p.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn cross_pod_distance_is_four_links() {
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let p = shortest_path(&pg, RackId(0), RackId(7)).unwrap();
+        assert_eq!(p.links.len(), 4); // ToR-agg-core-agg-ToR
+        assert_eq!(p.switch_hops(), 5);
+        p.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn ecmp_path_count_in_fat_tree() {
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        // k=4 fat tree: (k/2)^2 = 4 shortest cross-pod paths.
+        let paths = all_shortest_paths(&pg, RackId(0), RackId(7), 64);
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert_eq!(p.links.len(), 4);
+            p.validate(&net).unwrap();
+        }
+        // Same-pod: k/2 = 2 paths.
+        let paths = all_shortest_paths(&pg, RackId(0), RackId(1), 64);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn enumeration_respects_cap() {
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let paths = all_shortest_paths(&pg, RackId(0), RackId(7), 3);
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn paths_are_distinct() {
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let paths = all_shortest_paths(&pg, RackId(0), RackId(7), 64);
+        let set: std::collections::HashSet<_> = paths.iter().map(|p| p.links.clone()).collect();
+        assert_eq!(set.len(), paths.len());
+    }
+
+    #[test]
+    fn hop_matrix_symmetry_and_diagonal() {
+        let net = assemble_homogeneous(
+            &Jellyfish::new(12, 3, 1, 9),
+            1,
+            &LinkProfile::paper_default(),
+        );
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let m = rack_hop_matrix(&pg);
+        for a in 0..12 {
+            assert_eq!(m[a][a], 0);
+            for b in 0..12 {
+                assert_eq!(m[a][b], m[b][a]);
+            }
+        }
+    }
+
+    #[test]
+    fn min_across_planes_never_worse() {
+        let net = assemble_homogeneous(
+            &Jellyfish::new(12, 3, 1, 9),
+            1,
+            &LinkProfile::paper_default(),
+        );
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let m = rack_hop_matrix(&pg);
+        let min = min_hops_across_planes(&[m.clone(), m.clone()]);
+        assert_eq!(min, m);
+    }
+
+    #[test]
+    fn mean_switch_hops_small_case() {
+        // Two racks at distance 1 link: mean switch hops = 2.
+        let matrix = vec![vec![0, 1], vec![1, 0]];
+        assert!((mean_switch_hops(&matrix) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_pairs_excluded_from_mean() {
+        let matrix = vec![vec![0, u32::MAX], vec![u32::MAX, 0]];
+        assert!(mean_switch_hops(&matrix).is_nan());
+    }
+
+    #[test]
+    fn deterministic_shortest_path() {
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let a = shortest_path(&pg, RackId(0), RackId(7)).unwrap();
+        let b = shortest_path(&pg, RackId(0), RackId(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,167 @@
+//! Edge-disjoint path sets.
+//!
+//! MPTCP subflows that share links also share fate (one congested or failed
+//! cable degrades several subflows at once). For resilience-sensitive
+//! placement it is useful to trade path length for *edge-disjointness*:
+//! compute up to `k` pairwise edge-disjoint paths, shortest first, by
+//! repeated shortest-path extraction with used links removed (the standard
+//! greedy approximation; within a plane of a P-Net, min-cut many disjoint
+//! paths exist by construction of the regular topologies used here).
+
+use crate::path::Path;
+use crate::plane_graph::PlaneGraph;
+use pnet_topology::{LinkId, RackId};
+use std::collections::{HashSet, VecDeque};
+
+/// Up to `k` pairwise edge-disjoint ToR-to-ToR paths within one plane,
+/// shortest first. Disjointness is over *undirected* cables (a pair of
+/// paths may not use the same cable in either direction). Same-rack queries
+/// return the single intra-rack path.
+pub fn edge_disjoint_paths(pg: &PlaneGraph, src: RackId, dst: RackId, k: usize) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if src == dst {
+        return vec![Path::intra_rack(pg.plane)];
+    }
+    let s = pg.tor(src);
+    let t = pg.tor(dst);
+    let mut banned: HashSet<u32> = HashSet::new(); // cable ids (link id / 2)
+    let mut out = Vec::new();
+    while out.len() < k {
+        let Some(links) = bfs_avoiding(pg, s, t, &banned) else {
+            break;
+        };
+        for &l in &links {
+            banned.insert(l.0 / 2);
+        }
+        out.push(Path {
+            plane: pg.plane,
+            links,
+        });
+    }
+    out
+}
+
+/// BFS shortest path avoiding banned cables; deterministic (lowest link id
+/// first).
+fn bfs_avoiding(
+    pg: &PlaneGraph,
+    s: usize,
+    t: usize,
+    banned: &HashSet<u32>,
+) -> Option<Vec<LinkId>> {
+    let n = pg.n_switches();
+    let mut parent: Vec<Option<(usize, LinkId)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[s] = true;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        if u == t {
+            break;
+        }
+        for &(v, l) in pg.neighbors(u) {
+            if seen[v] || banned.contains(&(l.0 / 2)) {
+                continue;
+            }
+            seen[v] = true;
+            parent[v] = Some((u, l));
+            queue.push_back(v);
+        }
+    }
+    if !seen[t] {
+        return None;
+    }
+    let mut links = Vec::new();
+    let mut cur = t;
+    while let Some((p, l)) = parent[cur] {
+        links.push(l);
+        cur = p;
+    }
+    links.reverse();
+    Some(links)
+}
+
+/// Check (for tests and callers) that a path set is pairwise edge-disjoint
+/// over undirected cables.
+pub fn are_edge_disjoint(paths: &[Path]) -> bool {
+    let mut seen = HashSet::new();
+    for p in paths {
+        for l in &p.links {
+            if !seen.insert(l.0 / 2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnet_topology::{assemble_homogeneous, FatTree, Jellyfish, LinkProfile, PlaneId};
+
+    #[test]
+    fn fat_tree_cross_pod_disjoint_count() {
+        // k=4 fat tree: a ToR has 2 agg uplinks, so at most 2 edge-disjoint
+        // paths to another pod.
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let paths = edge_disjoint_paths(&pg, RackId(0), RackId(7), 8);
+        assert_eq!(paths.len(), 2);
+        assert!(are_edge_disjoint(&paths));
+        assert_eq!(paths[0].links.len(), 4);
+        for p in &paths {
+            p.validate(&net).unwrap();
+        }
+    }
+
+    #[test]
+    fn jellyfish_disjoint_paths_bounded_by_degree() {
+        let net = assemble_homogeneous(
+            &Jellyfish::new(16, 4, 1, 5),
+            1,
+            &LinkProfile::paper_default(),
+        );
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        for b in 1..16u32 {
+            let paths = edge_disjoint_paths(&pg, RackId(0), RackId(b), 16);
+            assert!(are_edge_disjoint(&paths), "overlap toward rack {b}");
+            assert!(
+                paths.len() <= 4,
+                "more disjoint paths than the ToR degree"
+            );
+            assert!(!paths.is_empty());
+            // Shortest first.
+            for w in paths.windows(2) {
+                assert!(w[0].links.len() <= w[1].links.len());
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_first_path_is_shortest() {
+        let net = assemble_homogeneous(
+            &Jellyfish::new(14, 4, 1, 2),
+            1,
+            &LinkProfile::paper_default(),
+        );
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let d = edge_disjoint_paths(&pg, RackId(1), RackId(9), 4);
+        let sp = crate::bfs::shortest_path(&pg, RackId(1), RackId(9)).unwrap();
+        assert_eq!(d[0].links.len(), sp.links.len());
+    }
+
+    #[test]
+    fn same_rack_and_k_zero() {
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        assert!(edge_disjoint_paths(&pg, RackId(0), RackId(7), 0).is_empty());
+        let same = edge_disjoint_paths(&pg, RackId(2), RackId(2), 3);
+        assert_eq!(same.len(), 1);
+        assert!(same[0].links.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # pnet-routing
+//!
+//! Path computation for P-Nets: per-plane shortest paths (BFS), equal-cost
+//! multipath enumeration, Yen K-shortest-paths, hash-based ECMP selection,
+//! and a caching [`Router`] that merges path sets across dataplanes.
+//!
+//! The forwarding model follows the paper exactly: a path lives entirely in
+//! one plane (packets never cross planes mid-flight), hosts choose the
+//! plane(s) and path(s) per flow, and multipath transport spreads subflows
+//! over the K globally shortest paths across all planes.
+//!
+//! ## Example
+//!
+//! ```
+//! use pnet_routing::{Router, RouteAlgo};
+//! use pnet_topology::{assemble_homogeneous, FatTree, LinkProfile, RackId};
+//!
+//! let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+//! let mut router = Router::new(&net, RouteAlgo::Ksp { k: 4 });
+//! let paths = router.k_best_across_planes(RackId(0), RackId(7), 8);
+//! assert_eq!(paths.len(), 8);
+//! assert!(paths.iter().all(|p| p.switch_hops() == 5)); // 4+4 equal-cost across 2 planes
+//! ```
+
+pub mod bfs;
+pub mod disjoint;
+pub mod ecmp;
+pub mod path;
+pub mod plane_graph;
+pub mod router;
+pub mod yen;
+
+pub use disjoint::{are_edge_disjoint, edge_disjoint_paths};
+pub use ecmp::{flow_hash, hash_plane, hash_select};
+pub use path::{host_route, reverse_route, rotate_ties, sort_paths, Path};
+pub use plane_graph::PlaneGraph;
+pub use router::{RouteAlgo, Router};
+pub use yen::ksp;

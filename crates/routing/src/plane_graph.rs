@@ -1,0 +1,176 @@
+//! Compact per-plane switch graphs.
+//!
+//! All routing algorithms run on a [`PlaneGraph`]: the switches of one plane
+//! with dense indices and an adjacency list that remembers the underlying
+//! [`LinkId`]s. Building it once per plane avoids filtering the full
+//! multi-plane [`Network`] adjacency on every traversal.
+
+use pnet_topology::{LinkId, Network, NodeId, NodeKind, PlaneId, RackId};
+use std::collections::HashMap;
+
+/// Switch-level graph of a single plane. Only *up* links are included, so a
+/// graph built after failure injection reflects the failures (rebuild after
+/// changing link state).
+#[derive(Debug, Clone)]
+pub struct PlaneGraph {
+    /// Which plane this graph describes.
+    pub plane: PlaneId,
+    /// Node id of each switch, indexed by dense switch index.
+    nodes: Vec<NodeId>,
+    /// Dense index of each switch node.
+    index: HashMap<NodeId, usize>,
+    /// adjacency\[u\] = (dense neighbor, link id) pairs, sorted by link id for
+    /// deterministic traversal order.
+    adjacency: Vec<Vec<(usize, LinkId)>>,
+    /// Dense switch index of each rack's ToR.
+    tor_of_rack: Vec<usize>,
+}
+
+impl PlaneGraph {
+    /// Extract the switch graph of `plane` from `net`.
+    pub fn build(net: &Network, plane: PlaneId) -> Self {
+        let mut nodes = Vec::new();
+        let mut index = HashMap::new();
+        let mut tor_of_rack = vec![usize::MAX; net.n_racks()];
+        for (id, node) in net.nodes() {
+            if node.kind.is_switch() && node.plane == Some(plane) {
+                let dense = nodes.len();
+                index.insert(id, dense);
+                if let NodeKind::Tor { rack } = node.kind {
+                    tor_of_rack[rack.index()] = dense;
+                }
+                nodes.push(id);
+            }
+        }
+        let mut adjacency = vec![Vec::new(); nodes.len()];
+        for (u, &nid) in nodes.iter().enumerate() {
+            for l in net.out_links_in_plane(nid, plane) {
+                let link = net.link(l);
+                if let Some(&v) = index.get(&link.dst) {
+                    adjacency[u].push((v, l));
+                }
+            }
+            adjacency[u].sort_by_key(|&(_, l)| l);
+        }
+        PlaneGraph {
+            plane,
+            nodes,
+            index,
+            adjacency,
+            tor_of_rack,
+        }
+    }
+
+    /// Build all plane graphs of a network.
+    pub fn build_all(net: &Network) -> Vec<PlaneGraph> {
+        net.planes().map(|p| PlaneGraph::build(net, p)).collect()
+    }
+
+    /// Number of switches in the plane.
+    #[inline]
+    pub fn n_switches(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of racks served.
+    #[inline]
+    pub fn n_racks(&self) -> usize {
+        self.tor_of_rack.len()
+    }
+
+    /// Dense switch index of a rack's ToR.
+    ///
+    /// # Panics
+    /// If the rack has no ToR in this plane.
+    #[inline]
+    pub fn tor(&self, rack: RackId) -> usize {
+        let t = self.tor_of_rack[rack.index()];
+        assert!(t != usize::MAX, "rack {rack} has no ToR in {}", self.plane);
+        t
+    }
+
+    /// Node id of a dense switch index.
+    #[inline]
+    pub fn node(&self, dense: usize) -> NodeId {
+        self.nodes[dense]
+    }
+
+    /// Dense index of a switch node, if it is in this plane.
+    #[inline]
+    pub fn dense(&self, node: NodeId) -> Option<usize> {
+        self.index.get(&node).copied()
+    }
+
+    /// Neighbors of a dense switch index.
+    #[inline]
+    pub fn neighbors(&self, dense: usize) -> &[(usize, LinkId)] {
+        &self.adjacency[dense]
+    }
+
+    /// Total directed fabric links in the plane graph.
+    pub fn n_directed_links(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnet_topology::{
+        assemble_homogeneous, failures, FatTree, Jellyfish, LinkProfile,
+    };
+
+    #[test]
+    fn fat_tree_plane_graph_counts() {
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        assert_eq!(pg.n_switches(), 20);
+        assert_eq!(pg.n_racks(), 8);
+        // 32 duplex fabric cables -> 64 directed links.
+        assert_eq!(pg.n_directed_links(), 64);
+        // Every rack has a ToR.
+        for r in 0..8 {
+            let t = pg.tor(RackId(r));
+            assert!(t < pg.n_switches());
+        }
+    }
+
+    #[test]
+    fn failed_links_excluded() {
+        let mut net =
+            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let before = PlaneGraph::build(&net, PlaneId(0)).n_directed_links();
+        let cables = failures::fabric_cables(&net, None);
+        failures::fail_cable(&mut net, cables[0]);
+        let after = PlaneGraph::build(&net, PlaneId(0)).n_directed_links();
+        assert_eq!(after, before - 2);
+    }
+
+    #[test]
+    fn planes_have_disjoint_switches() {
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let pg0 = PlaneGraph::build(&net, PlaneId(0));
+        let pg1 = PlaneGraph::build(&net, PlaneId(1));
+        for i in 0..pg0.n_switches() {
+            assert!(pg1.dense(pg0.node(i)).is_none());
+        }
+    }
+
+    #[test]
+    fn jellyfish_plane_graph() {
+        let net = assemble_homogeneous(
+            &Jellyfish::new(10, 3, 1, 4),
+            1,
+            &LinkProfile::paper_default(),
+        );
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        assert_eq!(pg.n_switches(), 10);
+        assert_eq!(pg.n_directed_links(), 30);
+        // 3-regular.
+        for u in 0..10 {
+            assert_eq!(pg.neighbors(u).len(), 3);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The caching multi-plane router.
+//!
+//! A [`Router`] wraps the per-plane graphs of a network and serves path sets
+//! on demand, memoizing per (plane, src rack, dst rack). Two algorithms are
+//! supported, matching the paper's two routing regimes:
+//!
+//! * [`RouteAlgo::Ecmp`] — all equal-cost shortest paths (capped), the
+//!   fat-tree default;
+//! * [`RouteAlgo::Ksp`] — Yen K-shortest-paths, the expander default and the
+//!   multipath substrate for MPTCP.
+//!
+//! Cross-plane queries ([`Router::k_best_across_planes`]) merge the per-plane
+//! path sets shortest-first — this is how a P-Net host builds its bounded set
+//! of subflow paths spanning all dataplanes.
+
+use crate::bfs;
+use crate::path::{sort_paths, Path};
+use crate::plane_graph::PlaneGraph;
+use crate::yen;
+use pnet_topology::{Network, PlaneId, RackId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which path computation the router serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteAlgo {
+    /// All equal-cost shortest paths, up to `cap` per plane.
+    Ecmp { cap: usize },
+    /// Yen K-shortest-paths, `k` per plane.
+    Ksp { k: usize },
+}
+
+impl RouteAlgo {
+    /// Paths this algorithm yields per plane at most.
+    pub fn per_plane_limit(self) -> usize {
+        match self {
+            RouteAlgo::Ecmp { cap } => cap,
+            RouteAlgo::Ksp { k } => k,
+        }
+    }
+}
+
+/// Caching path provider over all planes of one network.
+pub struct Router {
+    planes: Vec<PlaneGraph>,
+    algo: RouteAlgo,
+    cache: HashMap<(PlaneId, RackId, RackId), Arc<Vec<Path>>>,
+}
+
+impl Router {
+    /// Build a router for `net` (captures the current link up/down state;
+    /// rebuild after failure injection).
+    pub fn new(net: &Network, algo: RouteAlgo) -> Self {
+        Router {
+            planes: PlaneGraph::build_all(net),
+            algo,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The algorithm in use.
+    pub fn algo(&self) -> RouteAlgo {
+        self.algo
+    }
+
+    /// Number of planes.
+    pub fn n_planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// The plane graphs (e.g. for custom analyses).
+    pub fn plane_graphs(&self) -> &[PlaneGraph] {
+        &self.planes
+    }
+
+    /// Path set between two racks within one plane (cached, shared).
+    pub fn paths_in_plane(&mut self, plane: PlaneId, src: RackId, dst: RackId) -> Arc<Vec<Path>> {
+        let key = (plane, src, dst);
+        if let Some(p) = self.cache.get(&key) {
+            return Arc::clone(p);
+        }
+        let pg = &self.planes[plane.index()];
+        let mut paths = match self.algo {
+            RouteAlgo::Ecmp { cap } => bfs::all_shortest_paths(pg, src, dst, cap),
+            RouteAlgo::Ksp { k } => yen::ksp(pg, src, dst, k),
+        };
+        sort_paths(&mut paths);
+        let arc = Arc::new(paths);
+        self.cache.insert(key, Arc::clone(&arc));
+        arc
+    }
+
+    /// The `k` globally best paths between two racks across *all* planes,
+    /// shortest first. Within an equal-length tier the planes are
+    /// *interleaved* (plane 0's first tie, plane 1's first tie, ...), so a
+    /// truncated prefix spreads over as many planes as possible — which is
+    /// what an MPTCP path manager wants from its subflow set.
+    pub fn k_best_across_planes(&mut self, src: RackId, dst: RackId, k: usize) -> Vec<Path> {
+        let mut all: Vec<Path> = Vec::new();
+        for plane in 0..self.planes.len() {
+            let paths = self.paths_in_plane(PlaneId(plane as u16), src, dst);
+            all.extend(paths.iter().cloned());
+        }
+        sort_paths(&mut all);
+        // Re-order each equal-length tier: round-robin over planes.
+        let mut out: Vec<Path> = Vec::with_capacity(all.len());
+        let mut start = 0;
+        while start < all.len() {
+            let len = all[start].links.len();
+            let mut end = start + 1;
+            while end < all.len() && all[end].links.len() == len {
+                end += 1;
+            }
+            // The tier is sorted by (plane, links); split per plane
+            // preserving order, then interleave.
+            let tier: Vec<Path> = all[start..end].to_vec();
+            let mut per_plane: Vec<Vec<Path>> = vec![Vec::new(); self.planes.len()];
+            for p in tier {
+                per_plane[p.plane.index()].push(p);
+            }
+            let mut idx = 0;
+            loop {
+                let mut any = false;
+                for plane_paths in &mut per_plane {
+                    if idx < plane_paths.len() {
+                        out.push(plane_paths[idx].clone());
+                        any = true;
+                    }
+                }
+                if !any {
+                    break;
+                }
+                idx += 1;
+            }
+            start = end;
+        }
+        out.truncate(k);
+        out
+    }
+
+    /// The plane offering the shortest path between two racks (the paper's
+    /// "low-latency" interface selects this plane for small RPCs). Ties go
+    /// to the lowest plane id. `None` if no plane connects the racks.
+    pub fn shortest_plane(&mut self, src: RackId, dst: RackId) -> Option<(PlaneId, usize)> {
+        let mut best: Option<(PlaneId, usize)> = None;
+        for plane in 0..self.planes.len() {
+            let paths = self.paths_in_plane(PlaneId(plane as u16), src, dst);
+            if let Some(p) = paths.first() {
+                let hops = p.switch_hops();
+                if best.is_none_or(|(_, b)| hops < b) {
+                    best = Some((PlaneId(plane as u16), hops));
+                }
+            }
+        }
+        best
+    }
+
+    /// Invalidate the cache and re-extract the plane graphs (after failures).
+    pub fn refresh(&mut self, net: &Network) {
+        self.planes = PlaneGraph::build_all(net);
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnet_topology::{
+        assemble_homogeneous, failures, parallel, FatTree, Jellyfish, LinkProfile,
+        NetworkClass,
+    };
+
+    #[test]
+    fn ecmp_router_caches() {
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let mut r = Router::new(&net, RouteAlgo::Ecmp { cap: 16 });
+        let a = r.paths_in_plane(PlaneId(0), RackId(0), RackId(7));
+        let b = r.paths_in_plane(PlaneId(0), RackId(0), RackId(7));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn cross_plane_merge_respects_k() {
+        let net =
+            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let mut r = Router::new(&net, RouteAlgo::Ksp { k: 4 });
+        let merged = r.k_best_across_planes(RackId(0), RackId(7), 6);
+        assert_eq!(merged.len(), 6);
+        // With two identical planes, the 4+4 candidates interleave; the
+        // merged set must be sorted by length.
+        for w in merged.windows(2) {
+            assert!(w[0].links.len() <= w[1].links.len());
+        }
+        // Both planes should be represented (homogeneous planes tie, sort
+        // breaks ties by plane, so first 4 come from plane 0 then plane 1).
+        assert!(merged.iter().any(|p| p.plane == PlaneId(1)));
+    }
+
+    #[test]
+    fn shortest_plane_prefers_shorter_heterogeneous_plane() {
+        let proto = Jellyfish::new(16, 4, 2, 0);
+        let net = parallel::jellyfish_network(
+            NetworkClass::ParallelHeterogeneous,
+            proto,
+            4,
+            77,
+            &LinkProfile::paper_default(),
+        );
+        let mut r = Router::new(&net, RouteAlgo::Ksp { k: 1 });
+        // For every pair, the chosen plane must not be beaten by any other.
+        for a in 0..4u32 {
+            for b in 4..8u32 {
+                let (plane, hops) = r.shortest_plane(RackId(a), RackId(b)).unwrap();
+                for p in 0..4u16 {
+                    let paths = r.paths_in_plane(PlaneId(p), RackId(a), RackId(b));
+                    if let Some(best) = paths.first() {
+                        assert!(
+                            hops <= best.switch_hops(),
+                            "plane {plane} not minimal for ({a},{b})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_picks_up_failures() {
+        let mut net =
+            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let mut r = Router::new(&net, RouteAlgo::Ecmp { cap: 16 });
+        assert_eq!(r.paths_in_plane(PlaneId(0), RackId(0), RackId(7)).len(), 4);
+        // Fail one agg-core cable on a path and refresh.
+        let cables = failures::fabric_cables(&net, None);
+        failures::fail_cable(&mut net, cables[0]);
+        r.refresh(&net);
+        let after = r.paths_in_plane(PlaneId(0), RackId(0), RackId(7)).len();
+        assert!(after <= 4);
+    }
+}

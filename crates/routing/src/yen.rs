@@ -1,0 +1,315 @@
+//! Yen's K-shortest-loopless-paths algorithm (Yen 1971 \[45\]) on plane graphs.
+//!
+//! The paper pairs KSP routing with MPTCP as the forwarding scheme that can
+//! actually exploit P-Net capacity (section 4), following Jellyfish \[38\].
+//! Paths are ranked by fabric-link count with deterministic tie-breaking, so
+//! route tables are reproducible across runs.
+
+use crate::path::Path;
+use crate::plane_graph::PlaneGraph;
+use pnet_topology::{LinkId, RackId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Dijkstra from `src` to `dst` with unit weights, honoring banned links and
+/// banned switches. Returns the link sequence, deterministic under ties
+/// (lexicographically smallest link-id sequence among shortest).
+fn constrained_shortest(
+    pg: &PlaneGraph,
+    src: usize,
+    dst: usize,
+    banned_links: &HashSet<LinkId>,
+    banned_nodes: &[bool],
+) -> Option<Vec<LinkId>> {
+    // Unit weights: BFS suffices and is deterministic because neighbor lists
+    // are sorted by link id.
+    let n = pg.n_switches();
+    let mut dist = vec![u32::MAX; n];
+    let mut parent: Vec<Option<(usize, LinkId)>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    if banned_nodes[src] {
+        return None;
+    }
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        if u == dst {
+            break;
+        }
+        for &(v, l) in pg.neighbors(u) {
+            if banned_nodes[v] || banned_links.contains(&l) {
+                continue;
+            }
+            if dist[v] == u32::MAX {
+                dist[v] = dist[u] + 1;
+                parent[v] = Some((u, l));
+                queue.push_back(v);
+            }
+        }
+    }
+    if dist[dst] == u32::MAX {
+        return None;
+    }
+    let mut links = Vec::with_capacity(dist[dst] as usize);
+    let mut cur = dst;
+    while let Some((p, l)) = parent[cur] {
+        links.push(l);
+        cur = p;
+    }
+    links.reverse();
+    Some(links)
+}
+
+/// Candidate path in Yen's B-heap, ordered shortest-first with
+/// deterministic ties.
+#[derive(PartialEq, Eq)]
+struct Candidate(Vec<LinkId>);
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .len()
+            .cmp(&other.0.len())
+            .then_with(|| self.0.cmp(&other.0))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// K shortest loopless ToR-to-ToR paths within one plane, shortest first.
+/// Returns fewer than `k` paths when the graph does not contain `k` simple
+/// paths. Same-rack queries return the single intra-rack path.
+pub fn ksp(pg: &PlaneGraph, src: RackId, dst: RackId, k: usize) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if src == dst {
+        return vec![Path::intra_rack(pg.plane)];
+    }
+    let s = pg.tor(src);
+    let t = pg.tor(dst);
+
+    let mut accepted: Vec<Vec<LinkId>> = Vec::with_capacity(k);
+    let mut heap: BinaryHeap<Reverse<Candidate>> = BinaryHeap::new();
+    let mut in_heap: HashSet<Vec<LinkId>> = HashSet::new();
+
+    let no_ban_links = HashSet::new();
+    let no_ban_nodes = vec![false; pg.n_switches()];
+    match constrained_shortest(pg, s, t, &no_ban_links, &no_ban_nodes) {
+        Some(p) => accepted.push(p),
+        None => return Vec::new(),
+    }
+
+    while accepted.len() < k {
+        let prev = accepted.last().unwrap().clone();
+        // Nodes along prev, in order: s, then dst of each link.
+        let mut prev_nodes = Vec::with_capacity(prev.len() + 1);
+        prev_nodes.push(s);
+        for &l in &prev {
+            // Neighbor index lookup: find dense dst via plane graph scan of
+            // the source's adjacency (cheap: adjacency lists are short).
+            let u = *prev_nodes.last().unwrap();
+            let v = pg
+                .neighbors(u)
+                .iter()
+                .find(|&&(_, ll)| ll == l)
+                .map(|&(v, _)| v)
+                .expect("accepted path uses a link absent from the graph");
+            prev_nodes.push(v);
+        }
+
+        for spur_idx in 0..prev.len() {
+            let spur_node = prev_nodes[spur_idx];
+            let root = &prev[..spur_idx];
+
+            // Ban links that would recreate an already-accepted path with
+            // the same root.
+            let mut banned_links = HashSet::new();
+            for acc in &accepted {
+                if acc.len() > spur_idx && &acc[..spur_idx] == root {
+                    banned_links.insert(acc[spur_idx]);
+                }
+            }
+            // Ban the root's nodes (except the spur node) to keep paths
+            // simple.
+            let mut banned_nodes = vec![false; pg.n_switches()];
+            for &n in &prev_nodes[..spur_idx] {
+                banned_nodes[n] = true;
+            }
+
+            if let Some(spur) = constrained_shortest(pg, spur_node, t, &banned_links, &banned_nodes)
+            {
+                let mut total = root.to_vec();
+                total.extend_from_slice(&spur);
+                if in_heap.insert(total.clone()) {
+                    heap.push(Reverse(Candidate(total)));
+                }
+            }
+        }
+
+        match heap.pop() {
+            Some(Reverse(Candidate(p))) => accepted.push(p),
+            None => break,
+        }
+    }
+
+    accepted
+        .into_iter()
+        .map(|links| Path {
+            plane: pg.plane,
+            links,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnet_topology::{
+        assemble_homogeneous, FatTree, Jellyfish, LinkProfile, Network, PlaneId,
+    };
+
+    fn ft_net() -> Network {
+        assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default())
+    }
+
+    #[test]
+    fn first_path_is_shortest() {
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let paths = ksp(&pg, RackId(0), RackId(7), 8);
+        assert_eq!(paths[0].links.len(), 4);
+        for w in paths.windows(2) {
+            assert!(w[0].links.len() <= w[1].links.len(), "not sorted by length");
+        }
+    }
+
+    #[test]
+    fn paths_are_simple_and_distinct() {
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let paths = ksp(&pg, RackId(0), RackId(7), 16);
+        let set: HashSet<_> = paths.iter().map(|p| p.links.clone()).collect();
+        assert_eq!(set.len(), paths.len(), "duplicate path");
+        for p in &paths {
+            p.validate(&net).expect("non-simple or broken path");
+        }
+    }
+
+    #[test]
+    fn matches_ecmp_count_for_equal_cost_prefix() {
+        // In a k=4 fat tree there are exactly 4 shortest cross-pod paths;
+        // KSP(4) must return exactly those 4 (all length 4).
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let paths = ksp(&pg, RackId(0), RackId(7), 4);
+        assert_eq!(paths.len(), 4);
+        assert!(paths.iter().all(|p| p.links.len() == 4));
+    }
+
+    #[test]
+    fn longer_paths_appear_after_shortest_exhausted() {
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let paths = ksp(&pg, RackId(0), RackId(7), 6);
+        assert_eq!(paths.len(), 6);
+        assert!(paths[4].links.len() > 4);
+    }
+
+    #[test]
+    fn jellyfish_ksp_is_deterministic() {
+        let net = assemble_homogeneous(
+            &Jellyfish::new(16, 4, 1, 3),
+            1,
+            &LinkProfile::paper_default(),
+        );
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let a = ksp(&pg, RackId(0), RackId(9), 8);
+        let b = ksp(&pg, RackId(0), RackId(9), 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn k_zero_and_same_rack() {
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        assert!(ksp(&pg, RackId(0), RackId(7), 0).is_empty());
+        let same = ksp(&pg, RackId(3), RackId(3), 5);
+        assert_eq!(same.len(), 1);
+        assert!(same[0].links.is_empty());
+    }
+
+    #[test]
+    fn ksp_prefix_stability() {
+        // ksp(k) is a prefix of ksp(k') for k < k' — required for the
+        // multipath sweeps of Figures 6c and 8c to be monotone.
+        let net = assemble_homogeneous(
+            &Jellyfish::new(14, 4, 1, 8),
+            1,
+            &LinkProfile::paper_default(),
+        );
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let small = ksp(&pg, RackId(1), RackId(12), 4);
+        let big = ksp(&pg, RackId(1), RackId(12), 8);
+        assert_eq!(&big[..4], &small[..]);
+    }
+
+    #[test]
+    fn brute_force_agreement_on_small_graph() {
+        // Compare against exhaustive enumeration of simple paths on a small
+        // Jellyfish.
+        let net = assemble_homogeneous(
+            &Jellyfish::new(8, 3, 1, 5),
+            1,
+            &LinkProfile::paper_default(),
+        );
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let k = 12;
+        let yen_paths = ksp(&pg, RackId(0), RackId(5), k);
+
+        // Brute force: DFS all simple ToR paths, sort by (len, links).
+        fn dfs(
+            pg: &PlaneGraph,
+            u: usize,
+            t: usize,
+            seen: &mut Vec<bool>,
+            stack: &mut Vec<LinkId>,
+            out: &mut Vec<Vec<LinkId>>,
+        ) {
+            if u == t {
+                out.push(stack.clone());
+                return;
+            }
+            for &(v, l) in pg.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(l);
+                    dfs(pg, v, t, seen, stack, out);
+                    stack.pop();
+                    seen[v] = false;
+                }
+            }
+        }
+        let s = pg.tor(RackId(0));
+        let t = pg.tor(RackId(5));
+        let mut seen = vec![false; pg.n_switches()];
+        seen[s] = true;
+        let mut all = Vec::new();
+        dfs(&pg, s, t, &mut seen, &mut Vec::new(), &mut all);
+        all.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+
+        // Lengths must agree for the first k (the exact path sets can differ
+        // within an equal-length tier only if tie-breaks differ — Yen's with
+        // our deterministic BFS yields the lexicographically-first spur, but
+        // candidate insertion order makes full lexicographic agreement
+        // across tiers non-guaranteed; lengths are the spec).
+        let yen_lens: Vec<usize> = yen_paths.iter().map(|p| p.links.len()).collect();
+        let brute_lens: Vec<usize> = all.iter().take(k).map(Vec::len).collect();
+        assert_eq!(yen_lens, brute_lens);
+    }
+}

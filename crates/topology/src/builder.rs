@@ -1,0 +1,180 @@
+//! The plane-builder abstraction and P-Net assembly.
+//!
+//! A [`PlaneBuilder`] knows how to lay one dataplane's switches and fabric
+//! links into a [`Network`]. [`assemble`] stitches N plane builders together
+//! into a single multi-plane network: hosts are created once and wired to the
+//! ToR of their rack in *every* plane — exactly the paper's topology where
+//! "each host is connected to N different disjoint network planes".
+
+use crate::graph::{Network, NodeKind};
+use crate::ids::{NodeId, PlaneId, RackId};
+use crate::profile::LinkProfile;
+
+/// Builds the switch fabric of a single dataplane.
+pub trait PlaneBuilder {
+    /// Number of racks (== ToR switches) this plane serves.
+    fn n_racks(&self) -> usize;
+
+    /// Hosts attached to each rack's ToR.
+    fn hosts_per_rack(&self) -> usize;
+
+    /// Create this plane's switches and switch-to-switch links inside `net`,
+    /// returning the ToR node of each rack, indexed by rack id.
+    ///
+    /// Implementations must tag every switch and link with `plane` and must
+    /// not touch hosts — host attachment is done by [`assemble`].
+    fn build_plane(&self, net: &mut Network, plane: PlaneId, profile: &LinkProfile)
+        -> Vec<NodeId>;
+
+    /// A short human-readable description (used in experiment output).
+    fn describe(&self) -> String;
+}
+
+/// Assemble a (possibly multi-plane) network from one builder per plane.
+///
+/// All builders must agree on rack count and hosts per rack; the hosts are
+/// shared across planes while each plane gets its own disjoint set of
+/// switches and links.
+///
+/// # Panics
+/// If `planes` is empty or the builders disagree on rack/host counts.
+pub fn assemble(planes: &[&dyn PlaneBuilder], profile: &LinkProfile) -> Network {
+    let profiles = vec![*profile; planes.len()];
+    assemble_with_profiles(planes, &profiles)
+}
+
+/// Like [`assemble`] but with a per-plane [`LinkProfile`], allowing
+/// mixed-speed P-Nets — e.g. one 400G fat-tree plane for bulk next to three
+/// 100G expander planes, or the paper's §6.3 multi-channel-NIC splits where
+/// a 400G host port becomes 4 x 100G channels into different planes.
+///
+/// # Panics
+/// If the lengths differ, `planes` is empty, or the builders disagree on
+/// rack/host counts.
+pub fn assemble_with_profiles(planes: &[&dyn PlaneBuilder], profiles: &[LinkProfile]) -> Network {
+    assert!(!planes.is_empty(), "need at least one plane");
+    assert_eq!(
+        planes.len(),
+        profiles.len(),
+        "one link profile per plane required"
+    );
+    let n_racks = planes[0].n_racks();
+    let hosts_per_rack = planes[0].hosts_per_rack();
+    for p in planes {
+        assert_eq!(p.n_racks(), n_racks, "plane rack counts must match");
+        assert_eq!(
+            p.hosts_per_rack(),
+            hosts_per_rack,
+            "plane host counts must match"
+        );
+    }
+
+    let mut net = Network::new(planes.len() as u16);
+
+    // Hosts first, densely by rack.
+    let mut host_nodes = Vec::with_capacity(n_racks * hosts_per_rack);
+    for rack in 0..n_racks {
+        for _ in 0..hosts_per_rack {
+            host_nodes.push(net.add_host(RackId(rack as u32)));
+        }
+    }
+
+    // Each plane's fabric, then host attachment links into that plane.
+    for (i, (builder, profile)) in planes.iter().zip(profiles).enumerate() {
+        let plane = PlaneId(i as u16);
+        let tors = builder.build_plane(&mut net, plane, profile);
+        assert_eq!(tors.len(), n_racks, "builder returned wrong ToR count");
+        for (rack, &tor) in tors.iter().enumerate() {
+            debug_assert!(matches!(
+                net.node(tor).kind,
+                NodeKind::Tor { rack: r } if r == RackId(rack as u32)
+            ));
+            for h in 0..hosts_per_rack {
+                let host = host_nodes[rack * hosts_per_rack + h];
+                net.add_duplex_link(
+                    host,
+                    tor,
+                    profile.link_speed_bps,
+                    profile.host_delay_ps,
+                    plane,
+                );
+            }
+        }
+    }
+
+    debug_assert_eq!(net.validate(), Ok(()));
+    net
+}
+
+/// Assemble a homogeneous P-Net: `n` identical copies of one plane design.
+pub fn assemble_homogeneous(builder: &dyn PlaneBuilder, n: usize, profile: &LinkProfile) -> Network {
+    let planes: Vec<&dyn PlaneBuilder> = (0..n).map(|_| builder).collect();
+    assemble(&planes, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTree;
+    use crate::ids::HostId;
+
+    #[test]
+    fn homogeneous_assembly_shares_hosts() {
+        let ft = FatTree::three_tier(4);
+        let net = assemble_homogeneous(&ft, 2, &LinkProfile::paper_default());
+        assert_eq!(net.n_planes(), 2);
+        assert_eq!(net.n_hosts(), 16);
+        // Every host has exactly one uplink per plane.
+        for h in 0..net.n_hosts() {
+            for p in net.planes() {
+                assert!(net.host_uplink(HostId(h as u32), p).is_some());
+            }
+        }
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn planes_are_switch_disjoint() {
+        let ft = FatTree::three_tier(4);
+        let net = assemble_homogeneous(&ft, 3, &LinkProfile::paper_default());
+        // Each switch belongs to exactly one plane; counts are equal.
+        let per_plane: Vec<usize> = net.planes().map(|p| net.switches_in_plane(p)).collect();
+        assert!(per_plane.iter().all(|&c| c == per_plane[0]));
+        let total: usize = per_plane.iter().sum();
+        let switches = net.nodes().filter(|(_, n)| n.kind.is_switch()).count();
+        assert_eq!(total, switches);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one plane")]
+    fn empty_assembly_rejected() {
+        assemble(&[], &LinkProfile::paper_default());
+    }
+
+    #[test]
+    fn mixed_speed_planes() {
+        // A 400G plane next to a 100G plane (the multi-channel NIC split of
+        // section 6.3).
+        let ft = FatTree::three_tier(4);
+        let planes: Vec<&dyn PlaneBuilder> = vec![&ft, &ft];
+        let profiles = vec![
+            LinkProfile::speed_gbps(400),
+            LinkProfile::speed_gbps(100),
+        ];
+        let net = assemble_with_profiles(&planes, &profiles);
+        net.validate().unwrap();
+        let h0 = HostId(0);
+        let fast = net.host_uplink(h0, crate::ids::PlaneId(0)).unwrap();
+        let slow = net.host_uplink(h0, crate::ids::PlaneId(1)).unwrap();
+        assert_eq!(net.link(fast).capacity_bps, 400_000_000_000);
+        assert_eq!(net.link(slow).capacity_bps, 100_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "one link profile per plane")]
+    fn profile_count_mismatch_rejected() {
+        let ft = FatTree::three_tier(4);
+        let planes: Vec<&dyn PlaneBuilder> = vec![&ft, &ft];
+        assemble_with_profiles(&planes, &[LinkProfile::paper_default()]);
+    }
+}

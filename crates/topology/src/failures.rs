@@ -1,0 +1,197 @@
+//! Link-failure injection (section 5.4 / Figure 14 of the paper).
+//!
+//! Failures are applied to *fabric* (switch-to-switch) cables: a failed cable
+//! takes both directed links down. Host attachment links are left intact —
+//! the paper's resiliency argument is about losing paths in the core, while a
+//! failed host uplink would simply disconnect that host from one plane (also
+//! expressible here via [`fail_cable`]).
+
+use crate::graph::Network;
+use crate::ids::{LinkId, PlaneId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Fail the duplex cable containing `link` (both directions go down).
+pub fn fail_cable(net: &mut Network, link: LinkId) {
+    net.link_mut(link).up = false;
+    net.link_mut(link.reverse()).up = false;
+}
+
+/// Restore the duplex cable containing `link`.
+pub fn restore_cable(net: &mut Network, link: LinkId) {
+    net.link_mut(link).up = true;
+    net.link_mut(link.reverse()).up = true;
+}
+
+/// Restore every link in the network.
+pub fn restore_all(net: &mut Network) {
+    let n = net.n_links() as u32;
+    for i in 0..n {
+        net.link_mut(LinkId(i)).up = true;
+    }
+}
+
+/// All fabric cables (one representative `LinkId` per duplex pair, the even
+/// direction), optionally restricted to one plane.
+pub fn fabric_cables(net: &Network, plane: Option<PlaneId>) -> Vec<LinkId> {
+    net.links()
+        .filter(|(id, l)| {
+            id.0 % 2 == 0
+                && net.node(l.src).kind.is_switch()
+                && net.node(l.dst).kind.is_switch()
+                && plane.is_none_or(|p| l.plane == p)
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Fail a fraction of fabric cables, chosen uniformly at random across the
+/// whole network ("link failures are random across the network", section
+/// 5.4). Returns the failed cables. Deterministic in `seed`.
+pub fn fail_random_fraction(net: &mut Network, fraction: f64, seed: u64) -> Vec<LinkId> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let mut cables = fabric_cables(net, None);
+    let mut rng = StdRng::seed_from_u64(seed);
+    cables.shuffle(&mut rng);
+    let n_fail = ((cables.len() as f64) * fraction).round() as usize;
+    let failed: Vec<LinkId> = cables.into_iter().take(n_fail).collect();
+    for &c in &failed {
+        fail_cable(net, c);
+    }
+    failed
+}
+
+/// Fail an entire switch: every link touching `node` goes down (both
+/// directions). Models a switch/ToR death — the paper's "rack-level network
+/// redundancy removes a major single point of failure" (section 5.4): in a
+/// P-Net the rack's hosts keep connectivity through the other planes' ToRs,
+/// while in a serial network a dead ToR strands the whole rack.
+pub fn fail_switch(net: &mut Network, node: crate::ids::NodeId) {
+    assert!(
+        net.node(node).kind.is_switch(),
+        "fail_switch on a host node"
+    );
+    let links: Vec<LinkId> = net.out_links(node).to_vec();
+    for l in links {
+        fail_cable(net, l);
+    }
+}
+
+/// Fraction of fabric cables currently down.
+pub fn failed_fraction(net: &Network) -> f64 {
+    let cables = fabric_cables(net, None);
+    if cables.is_empty() {
+        return 0.0;
+    }
+    let down = cables.iter().filter(|&&c| !net.link(c).up).count();
+    down as f64 / cables.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::assemble_homogeneous;
+    use crate::fattree::FatTree;
+    use crate::profile::LinkProfile;
+
+    fn net() -> Network {
+        assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default())
+    }
+
+    #[test]
+    fn fail_and_restore_roundtrip() {
+        let mut n = net();
+        let cables = fabric_cables(&n, None);
+        fail_cable(&mut n, cables[0]);
+        assert!(!n.link(cables[0]).up);
+        assert!(!n.link(cables[0].reverse()).up);
+        restore_cable(&mut n, cables[0]);
+        assert!(n.link(cables[0]).up);
+    }
+
+    #[test]
+    fn fraction_failure_counts() {
+        let mut n = net();
+        let total = fabric_cables(&n, None).len();
+        let failed = fail_random_fraction(&mut n, 0.25, 42);
+        assert_eq!(failed.len(), (total as f64 * 0.25).round() as usize);
+        assert!((failed_fraction(&n) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn failure_is_deterministic_in_seed() {
+        let mut a = net();
+        let mut b = net();
+        let fa = fail_random_fraction(&mut a, 0.3, 7);
+        let fb = fail_random_fraction(&mut b, 0.3, 7);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn different_seeds_fail_different_cables() {
+        let mut a = net();
+        let mut b = net();
+        let fa = fail_random_fraction(&mut a, 0.3, 7);
+        let fb = fail_random_fraction(&mut b, 0.3, 8);
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn host_links_never_fail_randomly() {
+        let mut n = net();
+        fail_random_fraction(&mut n, 1.0, 1);
+        for (_, l) in n.links() {
+            if n.node(l.src).kind.is_host() || n.node(l.dst).kind.is_host() {
+                assert!(l.up, "host link failed by fabric failure injection");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_all_clears_failures() {
+        let mut n = net();
+        fail_random_fraction(&mut n, 0.5, 3);
+        restore_all(&mut n);
+        assert_eq!(failed_fraction(&n), 0.0);
+    }
+
+    #[test]
+    fn tor_death_strands_rack_in_serial_but_not_pnet() {
+        use crate::ids::{HostId, PlaneId, RackId};
+        // Serial (1 plane): killing rack 0's ToR disconnects host 0.
+        let mut serial =
+            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let tor = serial.tor_of_rack(RackId(0), PlaneId(0)).unwrap();
+        fail_switch(&mut serial, tor);
+        assert!(serial.host_uplink(HostId(0), PlaneId(0)).is_none());
+        assert!(!serial.plane_connects_all_hosts(PlaneId(0)));
+
+        // 2-plane P-Net: same failure leaves plane 1 fully working.
+        let mut pn =
+            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let tor = pn.tor_of_rack(RackId(0), PlaneId(0)).unwrap();
+        fail_switch(&mut pn, tor);
+        assert!(pn.host_uplink(HostId(0), PlaneId(0)).is_none());
+        assert!(pn.host_uplink(HostId(0), PlaneId(1)).is_some());
+        assert!(pn.plane_connects_all_hosts(PlaneId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "host node")]
+    fn fail_switch_rejects_hosts() {
+        let mut n = net();
+        let host = n.host_node(crate::ids::HostId(0));
+        fail_switch(&mut n, host);
+    }
+
+    #[test]
+    fn plane_filter_restricts_cables() {
+        let n = net();
+        let all = fabric_cables(&n, None).len();
+        let p0 = fabric_cables(&n, Some(PlaneId(0))).len();
+        let p1 = fabric_cables(&n, Some(PlaneId(1))).len();
+        assert_eq!(p0 + p1, all);
+        assert_eq!(p0, p1);
+    }
+}

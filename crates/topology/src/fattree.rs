@@ -1,0 +1,267 @@
+//! Fat-tree (folded-Clos) plane builders.
+//!
+//! Two shapes are provided:
+//!
+//! * [`FatTree::three_tier`] — the classic k-ary fat tree of Al-Fares et
+//!   al. \[5\]: k pods, k/2 edge (ToR) and k/2 aggregation switches per pod,
+//!   (k/2)^2 core switches, k^3/4 hosts. This is the paper's simulation
+//!   topology (k = 16 gives the 1024-host network of Figure 6).
+//! * [`FatTree::two_tier`] — a leaf-spine folded Clos built from full-radix
+//!   chips, the per-plane topology of the parallel designs in Table 1
+//!   (radix 128 gives 8192 hosts per plane with 3 switch hops).
+//!
+//! Both are non-blocking: every tier boundary carries as many links as there
+//! are hosts below it.
+
+use crate::builder::PlaneBuilder;
+use crate::graph::{Network, NodeKind};
+use crate::ids::{NodeId, PlaneId, RackId};
+use crate::profile::LinkProfile;
+
+/// Shape of one fat-tree plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FatTreeShape {
+    /// k-ary three-tier fat tree (edge/agg/core).
+    ThreeTier { k: usize },
+    /// Leaf-spine two-tier folded Clos from radix-r chips.
+    TwoTier { radix: usize },
+}
+
+/// A fat-tree plane builder.
+#[derive(Debug, Clone, Copy)]
+pub struct FatTree {
+    shape: FatTreeShape,
+}
+
+impl FatTree {
+    /// k-ary three-tier fat tree. `k` must be even and >= 4.
+    ///
+    /// Hosts: k^3/4. Racks: k^2/2 (one per edge switch). Switch hops between
+    /// hosts in different pods: 5 (edge-agg-core-agg-edge).
+    pub fn three_tier(k: usize) -> Self {
+        assert!(k >= 4 && k.is_multiple_of(2), "k must be even and >= 4");
+        FatTree {
+            shape: FatTreeShape::ThreeTier { k },
+        }
+    }
+
+    /// Two-tier leaf-spine from radix-`r` chips. `r` must be even and >= 4.
+    ///
+    /// Leaves: r (each with r/2 hosts and r/2 uplinks). Spines: r/2 (each
+    /// with r downlinks, one per leaf). Hosts: r^2/2. Switch hops between
+    /// racks: 3 (leaf-spine-leaf).
+    pub fn two_tier(radix: usize) -> Self {
+        assert!(radix >= 4 && radix.is_multiple_of(2), "radix must be even and >= 4");
+        FatTree {
+            shape: FatTreeShape::TwoTier { radix },
+        }
+    }
+
+    /// The shape of this builder.
+    pub fn shape(&self) -> FatTreeShape {
+        self.shape
+    }
+
+    /// Total hosts supported by one plane.
+    pub fn n_hosts(&self) -> usize {
+        self.n_racks() * self.hosts_per_rack()
+    }
+}
+
+impl PlaneBuilder for FatTree {
+    fn n_racks(&self) -> usize {
+        match self.shape {
+            FatTreeShape::ThreeTier { k } => k * k / 2,
+            FatTreeShape::TwoTier { radix } => radix,
+        }
+    }
+
+    fn hosts_per_rack(&self) -> usize {
+        match self.shape {
+            FatTreeShape::ThreeTier { k } => k / 2,
+            FatTreeShape::TwoTier { radix } => radix / 2,
+        }
+    }
+
+    fn build_plane(
+        &self,
+        net: &mut Network,
+        plane: PlaneId,
+        profile: &LinkProfile,
+    ) -> Vec<NodeId> {
+        match self.shape {
+            FatTreeShape::ThreeTier { k } => build_three_tier(net, plane, profile, k),
+            FatTreeShape::TwoTier { radix } => build_two_tier(net, plane, profile, radix),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.shape {
+            FatTreeShape::ThreeTier { k } => {
+                format!("fat-tree(k={k}, hosts={})", k * k * k / 4)
+            }
+            FatTreeShape::TwoTier { radix } => {
+                format!("leaf-spine(r={radix}, hosts={})", radix * radix / 2)
+            }
+        }
+    }
+}
+
+fn build_three_tier(
+    net: &mut Network,
+    plane: PlaneId,
+    profile: &LinkProfile,
+    k: usize,
+) -> Vec<NodeId> {
+    let half = k / 2;
+    let cap = profile.link_speed_bps;
+    let delay = profile.fabric_delay_ps;
+
+    // Core switches: (k/2)^2, grouped in k/2 groups of k/2. Group j serves
+    // the j-th aggregation switch of every pod.
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|_| net.add_switch(NodeKind::Core, plane))
+        .collect();
+
+    let mut tors = Vec::with_capacity(half * k);
+    for pod in 0..k {
+        let aggs: Vec<NodeId> = (0..half)
+            .map(|_| net.add_switch(NodeKind::Agg { pod: pod as u32 }, plane))
+            .collect();
+        // Agg j of each pod connects to cores j*half .. (j+1)*half.
+        for (j, &agg) in aggs.iter().enumerate() {
+            for c in 0..half {
+                net.add_duplex_link(agg, cores[j * half + c], cap, delay, plane);
+            }
+        }
+        for e in 0..half {
+            let rack = RackId((pod * half + e) as u32);
+            let tor = net.add_switch(NodeKind::Tor { rack }, plane);
+            for &agg in &aggs {
+                net.add_duplex_link(tor, agg, cap, delay, plane);
+            }
+            tors.push(tor);
+        }
+    }
+    tors
+}
+
+fn build_two_tier(
+    net: &mut Network,
+    plane: PlaneId,
+    profile: &LinkProfile,
+    radix: usize,
+) -> Vec<NodeId> {
+    let half = radix / 2;
+    let cap = profile.link_speed_bps;
+    let delay = profile.fabric_delay_ps;
+
+    let spines: Vec<NodeId> = (0..half)
+        .map(|_| net.add_switch(NodeKind::Core, plane))
+        .collect();
+    let mut tors = Vec::with_capacity(radix);
+    for rack in 0..radix {
+        let tor = net.add_switch(
+            NodeKind::Tor {
+                rack: RackId(rack as u32),
+            },
+            plane,
+        );
+        for &spine in &spines {
+            net.add_duplex_link(tor, spine, cap, delay, plane);
+        }
+        tors.push(tor);
+    }
+    tors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::assemble_homogeneous;
+    use crate::ids::HostId;
+
+    #[test]
+    fn three_tier_counts() {
+        let ft = FatTree::three_tier(4);
+        assert_eq!(ft.n_racks(), 8);
+        assert_eq!(ft.hosts_per_rack(), 2);
+        assert_eq!(ft.n_hosts(), 16);
+        let net = assemble_homogeneous(&ft, 1, &LinkProfile::paper_default());
+        // Switches: 8 edge + 8 agg + 4 core = 20.
+        assert_eq!(net.switches_in_plane(PlaneId(0)), 20);
+        // Fabric cables: edge-agg 8*2=16, agg-core 8*2=16 -> 32.
+        assert_eq!(net.fabric_cables_in_plane(PlaneId(0)), 32);
+        net.validate().unwrap();
+        assert!(net.plane_connects_all_hosts(PlaneId(0)));
+    }
+
+    #[test]
+    fn three_tier_k8() {
+        let ft = FatTree::three_tier(8);
+        assert_eq!(ft.n_hosts(), 128);
+        let net = assemble_homogeneous(&ft, 1, &LinkProfile::paper_default());
+        // 32 edge + 32 agg + 16 core = 80 switches (5/4 * k^2).
+        assert_eq!(net.switches_in_plane(PlaneId(0)), 80);
+        assert!(net.plane_connects_all_hosts(PlaneId(0)));
+    }
+
+    #[test]
+    fn paper_scale_k16_has_1024_hosts() {
+        let ft = FatTree::three_tier(16);
+        assert_eq!(ft.n_hosts(), 1024);
+        assert_eq!(ft.n_racks(), 128);
+    }
+
+    #[test]
+    fn two_tier_counts() {
+        let ft = FatTree::two_tier(8);
+        assert_eq!(ft.n_racks(), 8);
+        assert_eq!(ft.hosts_per_rack(), 4);
+        assert_eq!(ft.n_hosts(), 32);
+        let net = assemble_homogeneous(&ft, 1, &LinkProfile::paper_default());
+        // 8 leaves + 4 spines.
+        assert_eq!(net.switches_in_plane(PlaneId(0)), 12);
+        // Fabric cables: 8 leaves x 4 spines = 32.
+        assert_eq!(net.fabric_cables_in_plane(PlaneId(0)), 32);
+        assert!(net.plane_connects_all_hosts(PlaneId(0)));
+    }
+
+    #[test]
+    fn table1_plane_shape() {
+        // The 8x parallel design of Table 1: radix-128 chips, 8192 hosts,
+        // 128 + 64 = 192 chips per plane.
+        let ft = FatTree::two_tier(128);
+        assert_eq!(ft.n_hosts(), 8192);
+        assert_eq!(ft.n_racks(), 128);
+    }
+
+    #[test]
+    fn every_tor_degree_matches_k() {
+        let ft = FatTree::three_tier(4);
+        let net = assemble_homogeneous(&ft, 1, &LinkProfile::paper_default());
+        // Each ToR: k/2 hosts + k/2 aggs = k out-links.
+        for (id, n) in net.nodes() {
+            if matches!(n.kind, NodeKind::Tor { .. }) {
+                assert_eq!(net.out_links(id).len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_plane_fat_tree_keeps_hosts_shared() {
+        let ft = FatTree::three_tier(4);
+        let net = assemble_homogeneous(&ft, 4, &LinkProfile::paper_default());
+        assert_eq!(net.n_hosts(), 16);
+        for h in 0..16 {
+            // One uplink per plane: 4 out-links per host.
+            assert_eq!(net.out_links(net.host_node(HostId(h))).len(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn odd_k_rejected() {
+        FatTree::three_tier(5);
+    }
+}

@@ -1,0 +1,70 @@
+//! Physical link parameters shared by all plane builders.
+
+use crate::graph::{gbps, micros_ps, nanos_ps};
+
+/// Speeds and delays applied to the links of one plane.
+///
+/// The paper's defaults: each plane runs 100 Gb/s links; serialization of an
+/// MTU packet at 100G is 120 ns while propagation is ~1 µs per switch hop
+/// (200 m of fiber), so propagation dominates. Host attachment links are
+/// short intra-rack cables (100 ns here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkProfile {
+    /// Line rate of every link in the plane (host uplinks and fabric links),
+    /// in bits per second.
+    pub link_speed_bps: u64,
+    /// Propagation delay of host-to-ToR links, picoseconds.
+    pub host_delay_ps: u64,
+    /// Propagation delay of switch-to-switch links, picoseconds.
+    pub fabric_delay_ps: u64,
+}
+
+impl LinkProfile {
+    /// Paper-default delays with the given line rate in Gb/s.
+    pub fn speed_gbps(g: u64) -> Self {
+        LinkProfile {
+            link_speed_bps: gbps(g),
+            host_delay_ps: nanos_ps(100),
+            fabric_delay_ps: micros_ps(1),
+        }
+    }
+
+    /// The paper's baseline plane speed: 100 Gb/s.
+    pub fn paper_default() -> Self {
+        Self::speed_gbps(100)
+    }
+
+    /// Scale the line rate by `factor` (used for "serial high-bandwidth"
+    /// comparison networks running at N x 100G).
+    pub fn scaled(self, factor: u64) -> Self {
+        LinkProfile {
+            link_speed_bps: self.link_speed_bps * factor,
+            ..self
+        }
+    }
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_100g() {
+        let p = LinkProfile::paper_default();
+        assert_eq!(p.link_speed_bps, 100_000_000_000);
+        assert_eq!(p.fabric_delay_ps, 1_000_000);
+    }
+
+    #[test]
+    fn scaling_multiplies_rate_only() {
+        let p = LinkProfile::paper_default().scaled(4);
+        assert_eq!(p.link_speed_bps, 400_000_000_000);
+        assert_eq!(p.host_delay_ps, LinkProfile::paper_default().host_delay_ps);
+    }
+}

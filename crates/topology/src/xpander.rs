@@ -1,0 +1,199 @@
+//! Xpander-style deterministic-construction expanders (Valadarsky et al.,
+//! CoNEXT'16 \[42\]).
+//!
+//! Xpander builds a d-regular expander by repeatedly applying random 2-lifts
+//! to the complete graph K_{d+1}. A 2-lift duplicates every vertex and, for
+//! every original edge {u, v}, either keeps the parallel pair
+//! {(u,0),(v,0)},{(u,1),(v,1)} or crosses it {(u,0),(v,1)},{(u,1),(v,0)} — a
+//! fair coin per edge. Lifting preserves d-regularity and (w.h.p.) expansion.
+//!
+//! The paper cites Xpander as the *pseudorandom* expander candidate for
+//! heterogeneous P-Nets: different lift coin-flips per plane produce distinct
+//! planes with identical structural parameters.
+
+use crate::builder::PlaneBuilder;
+use crate::graph::{Network, NodeKind};
+use crate::ids::{NodeId, PlaneId, RackId};
+use crate::profile::LinkProfile;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// An Xpander plane builder.
+#[derive(Debug, Clone, Copy)]
+pub struct Xpander {
+    /// Network degree d; the base graph is K_{d+1}.
+    pub degree: usize,
+    /// Number of 2-lifts applied; the plane has (d+1) * 2^lifts ToRs.
+    pub lifts: u32,
+    /// Hosts attached to each ToR.
+    pub hosts_per_tor: usize,
+    /// Seed for the lift coin flips (the per-plane heterogeneity knob).
+    pub seed: u64,
+}
+
+impl Xpander {
+    /// Create a builder with `degree >= 3` (expansion requires d >= 3).
+    pub fn new(degree: usize, lifts: u32, hosts_per_tor: usize, seed: u64) -> Self {
+        assert!(degree >= 3, "expanders need degree >= 3");
+        assert!(lifts <= 16, "2^lifts nodes would be enormous");
+        Xpander {
+            degree,
+            lifts,
+            hosts_per_tor,
+            seed,
+        }
+    }
+
+    /// Number of ToRs: (d+1) * 2^lifts.
+    pub fn n_tors(&self) -> usize {
+        (self.degree + 1) << self.lifts
+    }
+
+    /// Total hosts of one plane.
+    pub fn n_hosts(&self) -> usize {
+        self.n_tors() * self.hosts_per_tor
+    }
+
+    /// Generate the lifted edge list (pairs of ToR indices). Deterministic
+    /// in `seed`.
+    pub fn generate_edges(&self) -> Vec<(usize, usize)> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Base: K_{d+1}.
+        let mut n = self.degree + 1;
+        let mut edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .collect();
+        for _ in 0..self.lifts {
+            let mut lifted = Vec::with_capacity(edges.len() * 2);
+            for &(u, v) in &edges {
+                // Copies: (x, 0) -> x, (x, 1) -> x + n.
+                if rng.random::<bool>() {
+                    // parallel
+                    lifted.push((u, v));
+                    lifted.push((u + n, v + n));
+                } else {
+                    // crossed
+                    lifted.push((u, v + n));
+                    lifted.push((u + n, v));
+                }
+            }
+            edges = lifted;
+            n *= 2;
+        }
+        edges
+    }
+}
+
+impl PlaneBuilder for Xpander {
+    fn n_racks(&self) -> usize {
+        self.n_tors()
+    }
+
+    fn hosts_per_rack(&self) -> usize {
+        self.hosts_per_tor
+    }
+
+    fn build_plane(
+        &self,
+        net: &mut Network,
+        plane: PlaneId,
+        profile: &LinkProfile,
+    ) -> Vec<NodeId> {
+        let tors: Vec<NodeId> = (0..self.n_tors())
+            .map(|r| {
+                net.add_switch(
+                    NodeKind::Tor {
+                        rack: RackId(r as u32),
+                    },
+                    plane,
+                )
+            })
+            .collect();
+        for (a, b) in self.generate_edges() {
+            net.add_duplex_link(
+                tors[a],
+                tors[b],
+                profile.link_speed_bps,
+                profile.fabric_delay_ps,
+                plane,
+            );
+        }
+        tors
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "xpander(d={}, tors={}, h={}, seed={})",
+            self.degree,
+            self.n_tors(),
+            self.hosts_per_tor,
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::assemble_homogeneous;
+    use std::collections::HashSet;
+
+    fn degrees(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+        let mut deg = vec![0usize; n];
+        for &(a, b) in edges {
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        deg
+    }
+
+    #[test]
+    fn base_graph_is_complete() {
+        let x = Xpander::new(3, 0, 1, 0);
+        let edges = x.generate_edges();
+        assert_eq!(edges.len(), 6); // K4
+        assert!(degrees(4, &edges).iter().all(|&d| d == 3));
+    }
+
+    #[test]
+    fn lifts_preserve_regularity() {
+        for lifts in 1..5 {
+            let x = Xpander::new(4, lifts, 1, 11);
+            let edges = x.generate_edges();
+            let n = x.n_tors();
+            assert_eq!(n, 5 << lifts);
+            assert_eq!(edges.len(), n * 4 / 2);
+            assert!(degrees(n, &edges).iter().all(|&d| d == 4));
+        }
+    }
+
+    #[test]
+    fn lifted_graph_is_simple() {
+        let x = Xpander::new(5, 3, 1, 3);
+        let edges = x.generate_edges();
+        let mut seen = HashSet::new();
+        for &(a, b) in &edges {
+            assert_ne!(a, b);
+            let k = if a < b { (a, b) } else { (b, a) };
+            assert!(seen.insert(k), "duplicate edge {k:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = Xpander::new(4, 3, 1, 7).generate_edges();
+        let b = Xpander::new(4, 3, 1, 7).generate_edges();
+        let c = Xpander::new(4, 3, 1, 8).generate_edges();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn builds_connected_network() {
+        let x = Xpander::new(4, 2, 2, 21);
+        let net = assemble_homogeneous(&x, 1, &LinkProfile::paper_default());
+        net.validate().unwrap();
+        assert!(net.plane_connects_all_hosts(PlaneId(0)));
+        assert_eq!(net.n_hosts(), 20 * 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Arrival processes for open-loop workloads.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Exp};
+
+/// A Poisson arrival process: exponentially distributed inter-arrival gaps
+/// with the given mean (picoseconds). Deterministic in the seed.
+pub struct PoissonArrivals {
+    rng: StdRng,
+    exp: Exp<f64>,
+}
+
+impl PoissonArrivals {
+    /// Mean inter-arrival gap in picoseconds (must be positive).
+    pub fn new(mean_gap_ps: f64, seed: u64) -> Self {
+        assert!(mean_gap_ps > 0.0, "mean gap must be positive");
+        PoissonArrivals {
+            rng: StdRng::seed_from_u64(seed),
+            exp: Exp::new(1.0 / mean_gap_ps).expect("invalid rate"),
+        }
+    }
+
+    /// For an offered load `rho` against `capacity_bps` with mean flow size
+    /// `mean_bytes`: gaps so that `rho * capacity = lambda * mean_bytes * 8`.
+    pub fn for_load(rho: f64, capacity_bps: f64, mean_bytes: f64, seed: u64) -> Self {
+        assert!(rho > 0.0 && capacity_bps > 0.0 && mean_bytes > 0.0);
+        let lambda_per_sec = rho * capacity_bps / (mean_bytes * 8.0);
+        Self::new(1e12 / lambda_per_sec, seed)
+    }
+
+    /// Next inter-arrival gap in picoseconds (at least 1).
+    pub fn next_gap_ps(&mut self) -> u64 {
+        (self.exp.sample(&mut self.rng).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_gap_is_respected() {
+        let mut p = PoissonArrivals::new(1_000_000.0, 7); // 1 us mean
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.next_gap_ps()).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - 1_000_000.0).abs() < 30_000.0,
+            "mean gap {mean} ps not ~1e6"
+        );
+    }
+
+    #[test]
+    fn load_formula() {
+        // rho=0.5 of 100G with 1 MB flows: lambda = 0.5*1e11/(8e6) = 6250/s
+        // => mean gap = 160 us.
+        let mut p = PoissonArrivals::for_load(0.5, 1e11, 1e6, 3);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.next_gap_ps()).sum();
+        let mean_us = total as f64 / n as f64 / 1e6;
+        assert!((mean_us - 160.0).abs() < 5.0, "mean gap {mean_us} us");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let take = |seed| {
+            let mut p = PoissonArrivals::new(500.0, seed);
+            (0..50).map(|_| p.next_gap_ps()).collect::<Vec<_>>()
+        };
+        assert_eq!(take(1), take(1));
+        assert_ne!(take(1), take(2));
+    }
+
+    #[test]
+    fn gaps_are_positive() {
+        let mut p = PoissonArrivals::new(10.0, 0);
+        assert!((0..1000).all(|_| p.next_gap_ps() >= 1));
+    }
+}

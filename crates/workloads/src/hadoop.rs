@@ -1,0 +1,285 @@
+//! The Hadoop-sort workload of section 5.2.2.
+//!
+//! "We simulated the Hadoop traffic of a sorting application in a 250-host
+//! cluster, in which we distribute 100G data to 32 mappers and 32 reducers.
+//! Each mapper loads data in blocks of 128 MB [...] the shuffle stage
+//! consists of 32 x 32 flows of the same size [...] After a reducer
+//! completes sorting, it will write to a replica in a random rack. We
+//! configured our mappers and reducers to read/write 4 concurrent blocks at
+//! a time."
+//!
+//! The job compiles to three [`JobStage`]s of transfers; the
+//! `pnet-htsim` `ShuffleDriver` executes them with the
+//! per-worker concurrency limit.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// One network transfer of the job (indices are host indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTransfer {
+    pub src: usize,
+    pub dst: usize,
+    pub size_bytes: u64,
+    /// Which worker's stage-completion clock this transfer belongs to.
+    pub worker: usize,
+}
+
+/// One stage of the job.
+#[derive(Debug, Clone)]
+pub struct JobStage {
+    pub name: &'static str,
+    pub transfers: Vec<JobTransfer>,
+}
+
+/// The sort job parameters (defaults are the paper's).
+#[derive(Debug, Clone, Copy)]
+pub struct SortJob {
+    /// Hosts in the cluster.
+    pub n_hosts: usize,
+    pub n_mappers: usize,
+    pub n_reducers: usize,
+    /// Total bytes to sort.
+    pub total_bytes: u64,
+    /// Block size for reads and writes.
+    pub block_bytes: u64,
+    /// Concurrent blocks per worker ("4 concurrent blocks at a time").
+    pub concurrency: usize,
+    /// Placement and data-source randomness.
+    pub seed: u64,
+}
+
+impl SortJob {
+    /// The paper's configuration: 250 hosts, 100 GB, 32 + 32 workers,
+    /// 128 MB blocks, concurrency 4.
+    pub fn paper_default(seed: u64) -> Self {
+        SortJob {
+            n_hosts: 250,
+            n_mappers: 32,
+            n_reducers: 32,
+            total_bytes: 100_000_000_000,
+            block_bytes: 128_000_000,
+            concurrency: 4,
+            seed,
+        }
+    }
+
+    /// A scaled copy (total and block sizes multiplied by `factor`) for
+    /// fast runs that keep the flow-count structure intact.
+    pub fn scaled(self, factor: f64) -> Self {
+        SortJob {
+            total_bytes: ((self.total_bytes as f64 * factor) as u64).max(1),
+            block_bytes: ((self.block_bytes as f64 * factor) as u64).max(1),
+            ..self
+        }
+    }
+
+    /// Total workers (max of mappers and reducers; worker indices 0..n are
+    /// mappers in stages 1-2 and reducers in stage 3).
+    pub fn n_workers(&self) -> usize {
+        self.n_mappers.max(self.n_reducers)
+    }
+
+    /// Lay out the job: worker placement plus the three stages of
+    /// transfers. Deterministic in the seed.
+    ///
+    /// # Panics
+    /// If the cluster is too small to give every mapper and reducer its own
+    /// host.
+    pub fn stages(&self) -> (Placement, Vec<JobStage>) {
+        assert!(
+            self.n_hosts >= self.n_mappers + self.n_reducers,
+            "cluster too small for disjoint mapper/reducer placement"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut hosts: Vec<usize> = (0..self.n_hosts).collect();
+        hosts.shuffle(&mut rng);
+        let mappers: Vec<usize> = hosts[..self.n_mappers].to_vec();
+        let reducers: Vec<usize> = hosts[self.n_mappers..self.n_mappers + self.n_reducers].to_vec();
+        let others: Vec<usize> = hosts[self.n_mappers + self.n_reducers..].to_vec();
+        let pick_other = |rng: &mut StdRng, exclude: usize| -> usize {
+            if others.is_empty() {
+                // Degenerate small clusters: pick any host other than `exclude`.
+                loop {
+                    let h = rng.random_range(0..self.n_hosts);
+                    if h != exclude {
+                        return h;
+                    }
+                }
+            } else {
+                others[rng.random_range(0..others.len())]
+            }
+        };
+
+        // Stage 1 — read input: each mapper loads total/n_mappers bytes in
+        // blocks from random remote (non-worker) hosts.
+        let per_mapper = self.total_bytes / self.n_mappers as u64;
+        let mut read = Vec::new();
+        for (w, &m) in mappers.iter().enumerate() {
+            let mut left = per_mapper;
+            while left > 0 {
+                let sz = left.min(self.block_bytes);
+                let src = pick_other(&mut rng, m);
+                read.push(JobTransfer {
+                    src,
+                    dst: m,
+                    size_bytes: sz,
+                    worker: w,
+                });
+                left -= sz;
+            }
+        }
+
+        // Stage 2 — shuffle: n_mappers x n_reducers equal flows; measured at
+        // the mapper ("we measure this at each mapper for the read input and
+        // shuffle stages").
+        let shuffle_sz = self.total_bytes / (self.n_mappers as u64 * self.n_reducers as u64);
+        let mut shuffle = Vec::new();
+        for (w, &m) in mappers.iter().enumerate() {
+            for &r in &reducers {
+                shuffle.push(JobTransfer {
+                    src: m,
+                    dst: r,
+                    size_bytes: shuffle_sz.max(1),
+                    worker: w,
+                });
+            }
+        }
+
+        // Stage 3 — write output: each reducer writes total/n_reducers bytes
+        // in blocks to a replica on a random host.
+        let per_reducer = self.total_bytes / self.n_reducers as u64;
+        let mut write = Vec::new();
+        for (w, &r) in reducers.iter().enumerate() {
+            let mut left = per_reducer;
+            while left > 0 {
+                let sz = left.min(self.block_bytes);
+                let dst = pick_other(&mut rng, r);
+                write.push(JobTransfer {
+                    src: r,
+                    dst,
+                    size_bytes: sz,
+                    worker: w,
+                });
+                left -= sz;
+            }
+        }
+
+        (
+            Placement { mappers, reducers },
+            vec![
+                JobStage {
+                    name: "read input",
+                    transfers: read,
+                },
+                JobStage {
+                    name: "shuffle",
+                    transfers: shuffle,
+                },
+                JobStage {
+                    name: "write output",
+                    transfers: write,
+                },
+            ],
+        )
+    }
+}
+
+/// Which hosts run the workers.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    pub mappers: Vec<usize>,
+    pub reducers: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SortJob {
+        SortJob {
+            n_hosts: 32,
+            n_mappers: 8,
+            n_reducers: 8,
+            total_bytes: 64_000_000,
+            block_bytes: 8_000_000,
+            concurrency: 4,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn stage_structure() {
+        let job = small();
+        let (placement, stages) = job.stages();
+        assert_eq!(stages.len(), 3);
+        assert_eq!(placement.mappers.len(), 8);
+        assert_eq!(placement.reducers.len(), 8);
+        // Read: 64M/8 mappers = 8M each = 1 block each.
+        assert_eq!(stages[0].transfers.len(), 8);
+        // Shuffle: 8 x 8.
+        assert_eq!(stages[1].transfers.len(), 64);
+        // Write: 8 reducers x 1 block.
+        assert_eq!(stages[2].transfers.len(), 8);
+    }
+
+    #[test]
+    fn byte_conservation_per_stage() {
+        let job = small();
+        let (_, stages) = job.stages();
+        for stage in &stages {
+            let total: u64 = stage.transfers.iter().map(|t| t.size_bytes).sum();
+            assert_eq!(total, job.total_bytes, "stage {}", stage.name);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_uniform() {
+        let (_, stages) = small().stages();
+        let sz = stages[1].transfers[0].size_bytes;
+        assert!(stages[1].transfers.iter().all(|t| t.size_bytes == sz));
+        assert_eq!(sz, 1_000_000);
+    }
+
+    #[test]
+    fn workers_disjoint_and_sources_remote() {
+        let (placement, stages) = small().stages();
+        for m in &placement.mappers {
+            assert!(!placement.reducers.contains(m));
+        }
+        for t in &stages[0].transfers {
+            assert_ne!(t.src, t.dst, "read from self");
+        }
+        for t in &stages[2].transfers {
+            assert_ne!(t.src, t.dst, "write to self");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (_, a) = small().stages();
+        let (_, b) = small().stages();
+        assert_eq!(a[0].transfers, b[0].transfers);
+        assert_eq!(a[2].transfers, b[2].transfers);
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let job = SortJob::paper_default(0);
+        let (_, stages) = job.stages();
+        // 100G / 32 mappers = 3.125G per mapper = 25 blocks of 128M (24 full
+        // + remainder), so 32 x 25 = 800ish transfers.
+        assert!(stages[0].transfers.len() >= 32 * 24);
+        assert_eq!(stages[1].transfers.len(), 1024);
+    }
+
+    #[test]
+    fn scaling_preserves_structure() {
+        let job = small().scaled(0.125);
+        let (_, stages) = job.stages();
+        assert_eq!(stages[1].transfers.len(), 64);
+        let total: u64 = stages[0].transfers.iter().map(|t| t.size_bytes).sum();
+        assert_eq!(total, 8_000_000);
+    }
+}

@@ -1,0 +1,175 @@
+//! Flow-size distributions: empirical CDF sampling.
+//!
+//! The paper's trace-driven experiments draw flow sizes from CDFs digitized
+//! out of published figures ("we captured the CDF curves from figures in
+//! these papers and saved them as CSV files" — artifact appendix B.3.4).
+//! [`EmpiricalCdf`] is that CSV: a piecewise log-linear CDF over flow sizes.
+
+use rand::Rng;
+
+/// An empirical flow-size CDF: sorted `(bytes, cumulative_fraction)` points,
+/// ending at fraction 1.0. Sampling inverts the CDF with log-linear
+/// interpolation between points (flow sizes span many decades, so linear
+/// interpolation in log-size is the faithful reading of a log-x CDF plot).
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl EmpiricalCdf {
+    /// Build from `(bytes, cdf)` points. Points must be strictly increasing
+    /// in both coordinates and end at cdf 1.0; a starting point is implied
+    /// at (min_bytes, 0).
+    pub fn new(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must increase: {w:?}");
+            assert!(w[0].1 <= w[1].1, "cdf must not decrease: {w:?}");
+        }
+        let last = points.last().unwrap();
+        assert!(
+            (last.1 - 1.0).abs() < 1e-9,
+            "cdf must end at 1.0, got {}",
+            last.1
+        );
+        assert!(points[0].0 >= 1.0, "sizes must be >= 1 byte");
+        assert!(points[0].1 >= 0.0);
+        EmpiricalCdf {
+            points: points.to_vec(),
+        }
+    }
+
+    /// Inverse-CDF sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Uniform in (0, 1]; rand's random::<f64>() is [0, 1).
+        let mut u: f64 = 1.0 - rand::RngExt::random::<f64>(rng);
+        u = u.clamp(f64::MIN_POSITIVE, 1.0);
+        self.quantile(u)
+    }
+
+    /// The size at cumulative fraction `u` (0 < u <= 1).
+    pub fn quantile(&self, u: f64) -> u64 {
+        let pts = &self.points;
+        if u <= pts[0].1 {
+            return pts[0].0.round() as u64;
+        }
+        for w in pts.windows(2) {
+            let (x0, c0) = w[0];
+            let (x1, c1) = w[1];
+            if u <= c1 {
+                if c1 <= c0 + f64::EPSILON {
+                    return x1.round() as u64;
+                }
+                let t = (u - c0) / (c1 - c0);
+                let lx = x0.ln() + t * (x1.ln() - x0.ln());
+                return lx.exp().round().max(1.0) as u64;
+            }
+        }
+        pts.last().unwrap().0.round() as u64
+    }
+
+    /// Mean flow size implied by the piecewise log-linear CDF, estimated by
+    /// numerical integration of the quantile function.
+    pub fn mean_bytes(&self) -> f64 {
+        let n = 10_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            sum += self.quantile(u) as f64;
+        }
+        sum / n as f64
+    }
+
+    /// A copy with all sizes multiplied by `factor` (used to scale
+    /// experiments down while preserving the distribution's shape).
+    pub fn scaled(&self, factor: f64) -> EmpiricalCdf {
+        assert!(factor > 0.0);
+        EmpiricalCdf {
+            points: self
+                .points
+                .iter()
+                .map(|&(x, c)| ((x * factor).max(1.0), c))
+                .collect(),
+        }
+    }
+
+    /// The CDF points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Largest size in the support.
+    pub fn max_bytes(&self) -> u64 {
+        self.points.last().unwrap().0.round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simple() -> EmpiricalCdf {
+        EmpiricalCdf::new(&[(1_000.0, 0.5), (1_000_000.0, 1.0)])
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let c = simple();
+        assert_eq!(c.quantile(0.25), 1_000);
+        assert_eq!(c.quantile(0.5), 1_000);
+        assert_eq!(c.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn quantile_log_interpolates() {
+        let c = simple();
+        // Midway in CDF between 0.5 and 1.0 => geometric mean of sizes.
+        let q = c.quantile(0.75);
+        let gm = (1_000.0f64 * 1_000_000.0).sqrt();
+        assert!((q as f64 - gm).abs() / gm < 0.01, "q={q}, gm={gm}");
+    }
+
+    #[test]
+    fn samples_within_support() {
+        let c = simple();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let s = c.sample(&mut rng);
+            assert!((1_000..=1_000_000).contains(&s), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn sample_fractions_match_cdf() {
+        let c = simple();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let small = (0..n)
+            .filter(|_| c.sample(&mut rng) <= 1_000)
+            .count() as f64
+            / n as f64;
+        assert!((small - 0.5).abs() < 0.02, "P(size<=1k) = {small}");
+    }
+
+    #[test]
+    fn mean_is_between_extremes() {
+        let c = simple();
+        let m = c.mean_bytes();
+        assert!(m > 1_000.0 && m < 1_000_000.0);
+    }
+
+    #[test]
+    fn scaling_shrinks_sizes() {
+        let c = simple().scaled(0.01);
+        assert_eq!(c.max_bytes(), 10_000);
+        assert_eq!(c.quantile(0.25), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "end at 1.0")]
+    fn incomplete_cdf_rejected() {
+        EmpiricalCdf::new(&[(10.0, 0.2), (100.0, 0.9)]);
+    }
+}

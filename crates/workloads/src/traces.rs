@@ -1,0 +1,177 @@
+//! Flow-size CDFs of the five published datacenter traces used in section
+//! 5.3 and Appendix A (Figure 13a).
+//!
+//! The paper's artifact obtained these by digitizing the CDF figures of the
+//! source papers into CSV files; the point sets below are the same kind of
+//! digitization (approximate, by construction — the originals are plots, not
+//! data releases):
+//!
+//! * **websearch** — DCTCP, Alizadeh et al., SIGCOMM 2010 \[6\]: query/response
+//!   traffic; flows from a few kB to tens of MB, byte-heavy tail.
+//! * **datamining** — VL2, Greenberg et al., SIGCOMM 2009 \[22\]: mice
+//!   dominate flow count (half under ~1 kB) while a thin >100 MB tail
+//!   carries most bytes.
+//! * **webserver**, **cache**, **hadoop** — Facebook production clusters,
+//!   Roy et al., SIGCOMM 2015 \[35\]: webserver flows are overwhelmingly tiny;
+//!   cache flows are small-to-medium; Hadoop flows are small but with a
+//!   longer tail.
+
+use crate::sizes::EmpiricalCdf;
+
+/// The five traces of Figure 13a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trace {
+    Websearch,
+    Datamining,
+    Webserver,
+    Cache,
+    Hadoop,
+}
+
+impl Trace {
+    /// All traces in the paper's presentation order.
+    pub fn all() -> [Trace; 5] {
+        [
+            Trace::Webserver,
+            Trace::Cache,
+            Trace::Hadoop,
+            Trace::Datamining,
+            Trace::Websearch,
+        ]
+    }
+
+    /// Label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Trace::Websearch => "websearch",
+            Trace::Datamining => "datamining",
+            Trace::Webserver => "webserver",
+            Trace::Cache => "cache",
+            Trace::Hadoop => "hadoop",
+        }
+    }
+
+    /// The flow-size CDF of this trace.
+    pub fn cdf(self) -> EmpiricalCdf {
+        match self {
+            // DCTCP web search (sizes in bytes). Digitized from the CDF used
+            // throughout the literature (pFabric et al.).
+            Trace::Websearch => EmpiricalCdf::new(&[
+                (6_000.0, 0.15),
+                (13_000.0, 0.20),
+                (19_000.0, 0.30),
+                (33_000.0, 0.40),
+                (53_000.0, 0.53),
+                (133_000.0, 0.60),
+                (667_000.0, 0.70),
+                (1_333_000.0, 0.80),
+                (3_333_000.0, 0.90),
+                (6_667_000.0, 0.95),
+                (20_000_000.0, 0.98),
+                (30_000_000.0, 1.00),
+            ]),
+            // VL2 data mining: half the flows are mice; a thin tail reaches
+            // 1 GB and dominates bytes.
+            Trace::Datamining => EmpiricalCdf::new(&[
+                (100.0, 0.03),
+                (300.0, 0.20),
+                (1_000.0, 0.50),
+                (2_000.0, 0.60),
+                (3_000.0, 0.70),
+                (10_000.0, 0.80),
+                (1_000_000.0, 0.90),
+                (30_000_000.0, 0.95),
+                (100_000_000.0, 0.98),
+                (1_000_000_000.0, 1.00),
+            ]),
+            // Facebook web servers: overwhelmingly sub-10 kB responses.
+            Trace::Webserver => EmpiricalCdf::new(&[
+                (100.0, 0.05),
+                (300.0, 0.30),
+                (1_000.0, 0.70),
+                (3_000.0, 0.85),
+                (10_000.0, 0.95),
+                (100_000.0, 0.99),
+                (1_000_000.0, 1.00),
+            ]),
+            // Facebook cache followers: small-to-medium objects.
+            Trace::Cache => EmpiricalCdf::new(&[
+                (100.0, 0.10),
+                (1_000.0, 0.40),
+                (10_000.0, 0.75),
+                (100_000.0, 0.90),
+                (1_000_000.0, 0.97),
+                (10_000_000.0, 1.00),
+            ]),
+            // Facebook Hadoop: small flows with a modest tail.
+            Trace::Hadoop => EmpiricalCdf::new(&[
+                (100.0, 0.10),
+                (300.0, 0.50),
+                (1_000.0, 0.70),
+                (10_000.0, 0.90),
+                (100_000.0, 0.95),
+                (10_000_000.0, 0.99),
+                (100_000_000.0, 1.00),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_traces_build() {
+        for t in Trace::all() {
+            let c = t.cdf();
+            assert!(c.max_bytes() >= 1_000_000, "{} tail too short", t.label());
+        }
+    }
+
+    #[test]
+    fn datamining_is_mice_dominated() {
+        // Half the flows at or under ~1 kB (the VL2 signature).
+        let c = Trace::Datamining.cdf();
+        assert!(c.quantile(0.50) <= 1_000);
+        assert!(c.quantile(0.999) >= 100_000_000);
+    }
+
+    #[test]
+    fn websearch_flows_are_larger() {
+        let ws = Trace::Websearch.cdf();
+        let dm = Trace::Datamining.cdf();
+        assert!(ws.quantile(0.5) > dm.quantile(0.5) * 10);
+    }
+
+    #[test]
+    fn webserver_is_tiniest() {
+        let c = Trace::Webserver.cdf();
+        assert!(c.quantile(0.95) <= 10_000);
+        assert!(c.max_bytes() <= 1_000_000);
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let c = Trace::Cache.cdf();
+        let take = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| c.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(take(9), take(9));
+        assert_ne!(take(9), take(10));
+    }
+
+    #[test]
+    fn mean_sizes_are_ordered_sensibly() {
+        // Byte-heavy traces have much larger means.
+        let ws = Trace::Websearch.cdf().mean_bytes();
+        let web = Trace::Webserver.cdf().mean_bytes();
+        assert!(
+            ws > 50.0 * web,
+            "websearch mean {ws} not >> webserver mean {web}"
+        );
+    }
+}

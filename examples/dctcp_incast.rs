@@ -1,0 +1,70 @@
+//! Incast on a P-Net: spreading fan-in over planes, and what DCTCP adds —
+//! a runnable version of the paper's section 6.5 discussion.
+//!
+//! Run with: `cargo run --release --example dctcp_incast`
+
+use pnet::core::{PNetSpec, PathPolicy, TopologyKind};
+use pnet::htsim::{metrics, run_to_completion, CcAlgo, FlowSpec, SimConfig, Simulator};
+use pnet::topology::{HostId, NetworkClass};
+
+fn main() {
+    let spec = PNetSpec::new(
+        TopologyKind::Jellyfish {
+            n_tors: 16,
+            degree: 5,
+            hosts_per_tor: 4,
+        },
+        NetworkClass::ParallelHeterogeneous,
+        4,
+        7,
+    );
+    let n_senders = 16;
+    let block = 1_000_000u64;
+
+    println!(
+        "{n_senders}-to-1 incast of {} blocks into host 0, 4-plane P-Net\n",
+        pnet_bench::human_bytes(block)
+    );
+    println!(
+        "{:<28} {:>12} {:>10} {:>8}",
+        "transport", "last FCT", "drops", "rtx"
+    );
+    for (label, cc, ecn) in [
+        ("TCP (Reno)", CcAlgo::Reno, None),
+        ("DCTCP (K=20 pkts)", CcAlgo::Dctcp, Some(20u32)),
+    ] {
+        let pnet = spec.build();
+        // Round-robin spreads the fan-in across the four planes.
+        let mut selector = pnet.selector(PathPolicy::RoundRobin);
+        let cfg = SimConfig {
+            ecn_threshold_packets: ecn,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&pnet.net, cfg);
+        for s in 0..n_senders {
+            let src = HostId(4 + 3 * s as u32); // hosts 4,7,...,49 (well inside 0..64)
+            let (routes, _) = selector.select(&pnet.net, src, HostId(0), s as u64, block);
+            sim.start_flow(FlowSpec {
+                src,
+                dst: HostId(0),
+                size_bytes: block,
+                routes,
+                cc,
+                owner_tag: s as u64,
+            });
+        }
+        run_to_completion(&mut sim);
+        let fcts = metrics::fcts_us(&sim.records);
+        let last = fcts.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{:<28} {:>10.0}us {:>10} {:>8}",
+            label,
+            last,
+            sim.dropped_packets,
+            sim.records.iter().map(|r| r.retransmits).sum::<u64>()
+        );
+    }
+    println!();
+    println!("DCTCP keeps every queue near its marking threshold: zero drops, no");
+    println!("retransmit timeouts, and the incast completes at line rate.");
+}

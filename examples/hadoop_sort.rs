@@ -1,0 +1,88 @@
+//! A Hadoop-style sort job on a P-Net versus a serial network — a
+//! miniature of the paper's section 5.2.2 shuffle study.
+//!
+//! Run with: `cargo run --release --example hadoop_sort`
+
+use pnet::core::{PNetSpec, PathPolicy, TopologyKind};
+use pnet::htsim::apps::{ShuffleDriver, Stage, Transfer};
+use pnet::htsim::{metrics, run, SimConfig, Simulator};
+use pnet::topology::{HostId, NetworkClass};
+use pnet::workloads::SortJob;
+
+fn main() {
+    let topology = TopologyKind::Jellyfish {
+        n_tors: 20,
+        degree: 5,
+        hosts_per_tor: 4,
+    };
+    // A scaled-down sort: 512 MB over 8 mappers and 8 reducers in 8 MB
+    // blocks, 4 concurrent blocks per worker (the paper's concurrency).
+    let job = SortJob {
+        n_hosts: 80,
+        n_mappers: 8,
+        n_reducers: 8,
+        total_bytes: 512_000_000,
+        block_bytes: 8_000_000,
+        concurrency: 4,
+        seed: 3,
+    };
+    let (_, stages) = job.stages();
+    println!(
+        "sort job: {} MB total, stages: {:?}\n",
+        job.total_bytes / 1_000_000,
+        stages.iter().map(|s| (s.name, s.transfers.len())).collect::<Vec<_>>()
+    );
+
+    for class in [
+        NetworkClass::SerialLow,
+        NetworkClass::ParallelHeterogeneous,
+        NetworkClass::SerialHigh,
+    ] {
+        let pnet = PNetSpec::new(topology, class, 4, 5).build();
+        let mut selector = pnet.selector(PathPolicy::ShortestPlane);
+        let net = &pnet.net;
+        let mut flow = 0u64;
+        let factory = Box::new(move |src, dst, size| {
+            flow += 1;
+            selector.select(net, src, dst, flow, size)
+        });
+        let sim_stages: Vec<Stage> = stages
+            .iter()
+            .map(|s| Stage {
+                name: s.name.to_string(),
+                transfers: s
+                    .transfers
+                    .iter()
+                    .map(|t| Transfer {
+                        src: HostId(t.src as u32),
+                        dst: HostId(t.dst as u32),
+                        size_bytes: t.size_bytes,
+                        worker: t.worker,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut sim = Simulator::new(&pnet.net, SimConfig::default());
+        let mut driver =
+            ShuffleDriver::start(&mut sim, sim_stages, factory, job.concurrency, job.n_workers());
+        run(&mut sim, &mut driver, None);
+        assert!(driver.done());
+
+        println!("{}:", class.label());
+        for (si, name) in ["read input", "shuffle", "write output"].iter().enumerate() {
+            let ms: Vec<f64> = driver.results[si]
+                .iter()
+                .filter(|&&t| t > 0.0)
+                .map(|t| t / 1e3)
+                .collect();
+            let s = metrics::Summary::of(&ms);
+            println!(
+                "  {name:<13} worker completion: median {:>8.2}ms  p90 {:>8.2}ms  max {:>8.2}ms",
+                s.median, s.p90, s.max
+            );
+        }
+        println!();
+    }
+    println!("paper: parallel helps most in the sparse read/write stages;");
+    println!("       the dense shuffle approaches serial high-bw behaviour");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: build a 4-plane heterogeneous P-Net, inspect the host stack,
+//! pick paths under different policies, and run a small packet simulation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pnet::core::{HostStack, PNetSpec, PathPolicy, TopologyKind, TrafficClass};
+use pnet::htsim::{run_to_completion, FlowSpec, SimConfig, Simulator};
+use pnet::topology::{HostId, NetworkClass, PlaneId};
+
+fn main() {
+    // 1. Build a 4-plane heterogeneous P-Net: four differently-seeded
+    //    Jellyfish planes over 32 racks with 2 hosts each.
+    let spec = PNetSpec::new(
+        TopologyKind::Jellyfish {
+            n_tors: 32,
+            degree: 5,
+            hosts_per_tor: 2,
+        },
+        NetworkClass::ParallelHeterogeneous,
+        4,
+        42,
+    );
+    let pnet = spec.build();
+    println!(
+        "built {:?}: {} hosts, {} planes, {} switches",
+        spec.class,
+        pnet.net.n_hosts(),
+        pnet.net.n_planes(),
+        pnet.net.nodes().filter(|(_, n)| n.kind.is_switch()).count(),
+    );
+
+    // 2. The host stack: one IP-like address per plane, live-plane tracking.
+    let stack = HostStack::new(&pnet.net, HostId(0));
+    println!("host 0 addresses: {:?}", stack.addrs().iter().map(|a| a.to_string()).collect::<Vec<_>>());
+    println!("host 0 live planes: {:?}", stack.live_planes());
+
+    // 3. Path selection through the pseudo interfaces.
+    let src = HostId(0);
+    let dst = HostId(63);
+    for class in [TrafficClass::LowLatency, TrafficClass::HighThroughput] {
+        let mut selector = pnet.selector(class.policy(4));
+        let (routes, cc) = selector.select(&pnet.net, src, dst, 1, 1_000_000);
+        let hops: Vec<usize> = routes.iter().map(|r| r.len() - 1).collect();
+        let planes: Vec<PlaneId> = routes.iter().map(|r| pnet.net.link(r[0]).plane).collect();
+        println!(
+            "{class:?}: {} subflow(s), cc {cc:?}, switch hops {hops:?}, planes {planes:?}",
+            routes.len(),
+        );
+    }
+
+    // 4. A small packet simulation: one 1 MB transfer under the paper's
+    //    default policy (small flows single path, big flows MPTCP).
+    let mut selector = pnet.selector(PathPolicy::paper_default(32));
+    let (routes, cc) = selector.select(&pnet.net, src, dst, 2, 1_000_000);
+    let mut sim = Simulator::new(&pnet.net, SimConfig::default());
+    sim.start_flow(FlowSpec {
+        src,
+        dst,
+        size_bytes: 1_000_000,
+        routes,
+        cc,
+        owner_tag: 0,
+    });
+    run_to_completion(&mut sim);
+    let rec = &sim.records[0];
+    println!(
+        "1 MB transfer: fct {}, {} retransmits, {} switch hops min",
+        rec.fct(),
+        rec.retransmits,
+        rec.min_switch_hops
+    );
+}

@@ -1,0 +1,75 @@
+//! RPC latency across the four network classes — a miniature of the paper's
+//! section 5.2.1 / Table 2 result: heterogeneous P-Nets complete MTU-sized
+//! RPCs faster because another plane often has a shorter path.
+//!
+//! Run with: `cargo run --release --example rpc_latency`
+
+use pnet::core::{PNetSpec, PathPolicy, TopologyKind};
+use pnet::htsim::apps::{RpcDriver, RpcSlot};
+use pnet::htsim::{metrics, run, SimConfig, Simulator};
+use pnet::topology::{HostId, NetworkClass};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let topology = TopologyKind::Jellyfish {
+        n_tors: 24,
+        degree: 5,
+        hosts_per_tor: 4,
+    };
+    let planes = 4;
+
+    println!("1500B ping-pong RPCs, 30 rounds per host, single-path routing\n");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "network", "median", "mean", "p99"
+    );
+
+    let mut baseline = None;
+    for class in NetworkClass::all() {
+        let pnet = PNetSpec::new(topology, class, planes, 7).build();
+        let n_hosts = pnet.net.n_hosts() as u32;
+        // Serial & hetero: shortest plane; homogeneous: ECMP hash.
+        let policy = match class {
+            NetworkClass::ParallelHomogeneous => PathPolicy::EcmpHash,
+            _ => PathPolicy::ShortestPlane,
+        };
+        let mut selector = pnet.selector(policy);
+        let net = &pnet.net;
+        let mut flow = 0u64;
+        let factory = Box::new(move |src, dst, size| {
+            flow += 1;
+            selector.select(net, src, dst, flow, size)
+        });
+
+        let mut sim = Simulator::new(&pnet.net, SimConfig::default());
+        let mut rng = StdRng::seed_from_u64(99);
+        let slots: Vec<RpcSlot> = (0..n_hosts)
+            .map(|h| {
+                let mut r = StdRng::seed_from_u64(rng.random());
+                RpcSlot {
+                    client: HostId(h),
+                    next_server: Box::new(move || loop {
+                        let s = r.random_range(0..n_hosts);
+                        if s != h {
+                            return HostId(s);
+                        }
+                    }),
+                }
+            })
+            .collect();
+        let mut driver = RpcDriver::start(&mut sim, slots, factory, 1500, 1500, 30);
+        run(&mut sim, &mut driver, None);
+        let s = metrics::Summary::of(&driver.round_times_us);
+        let base = *baseline.get_or_insert(s.median);
+        println!(
+            "{:<24} {:>8.2}us {:>8.2}us {:>8.2}us   ({:.1}% of serial-low median)",
+            class.label(),
+            s.median,
+            s.mean,
+            s.p99,
+            100.0 * s.median / base
+        );
+    }
+    println!("\npaper Table 2: parallel heterogeneous at ~80% of serial low-bw median");
+}

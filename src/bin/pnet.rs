@@ -1,0 +1,283 @@
+//! `pnet` — command-line front end to the P-Net library.
+//!
+//! Subcommands:
+//!
+//! * `pnet topology`   — build a network and print its structural summary
+//! * `pnet route`      — show the paths a policy picks for a host pair
+//! * `pnet throughput` — flow-level capacity of a traffic pattern
+//! * `pnet simulate`   — packet-level FCTs of a batch of flows
+//! * `pnet components` — Table 1-style component accounting
+//!
+//! Every subcommand takes `--help`-style discoverable flags (see
+//! `usage()`); topologies and seeds are deterministic, so outputs are
+//! reproducible.
+
+use pnet::core::{analysis, PNetSpec, PathPolicy, TopologyKind};
+use pnet::flowsim::{commodity, throughput};
+use pnet::htsim::{metrics, run_to_completion, FlowSpec, SimConfig, Simulator};
+use pnet::topology::{components, HostId, NetworkClass};
+use pnet::workloads::tm;
+use pnet_bench::{Args, Table};
+
+fn usage() -> ! {
+    eprintln!(
+        "pnet — Parallel Dataplane Networks (CoNEXT'22 reproduction)
+
+USAGE:
+  pnet <subcommand> [--flag value ...]
+
+SUBCOMMANDS:
+  topology     build and summarize a network
+               --kind jellyfish|fattree|xpander  --class low|homo|hetero|high
+               --planes N --tors N --degree D --hosts-per-tor H --k K --seed S
+  route        show selected paths for a host pair
+               (topology flags) --src H --dst H --policy ecmp|rr|shortest|ksp|plane-ksp|disjoint
+               --kpaths K --size BYTES
+  throughput   flow-level capacity of a pattern
+               (topology flags) --pattern permutation|all-to-all --kpaths K --eps E
+  simulate     packet-level FCTs of a permutation of flows
+               (topology flags) --size BYTES --policy ... --kpaths K
+  components   Table 1 component accounting
+               --hosts N --planes N
+
+EXAMPLES:
+  pnet topology --kind jellyfish --class hetero --planes 4 --tors 32 --degree 5
+  pnet route --src 0 --dst 50 --policy shortest --class hetero
+  pnet throughput --pattern permutation --kpaths 16 --planes 2
+  pnet simulate --size 1m --policy plane-ksp --planes 4"
+    );
+    std::process::exit(2);
+}
+
+fn topology_from(args: &Args) -> (TopologyKind, NetworkClass, usize, u64) {
+    let kind = match args.get_str("kind").unwrap_or("jellyfish") {
+        "jellyfish" => TopologyKind::Jellyfish {
+            n_tors: args.get("tors", 32),
+            degree: args.get("degree", 5),
+            hosts_per_tor: args.get("hosts-per-tor", 2),
+        },
+        "fattree" => TopologyKind::FatTree {
+            k: args.get("k", 8),
+        },
+        "xpander" => TopologyKind::Xpander {
+            degree: args.get("degree", 5),
+            lifts: args.get("lifts", 3),
+            hosts_per_tor: args.get("hosts-per-tor", 2),
+        },
+        other => {
+            eprintln!("unknown --kind {other:?}");
+            usage()
+        }
+    };
+    let class = match args.get_str("class").unwrap_or("hetero") {
+        "low" => NetworkClass::SerialLow,
+        "homo" => NetworkClass::ParallelHomogeneous,
+        "hetero" => NetworkClass::ParallelHeterogeneous,
+        "high" => NetworkClass::SerialHigh,
+        other => {
+            eprintln!("unknown --class {other:?}");
+            usage()
+        }
+    };
+    let class = if matches!(kind, TopologyKind::FatTree { .. })
+        && class == NetworkClass::ParallelHeterogeneous
+    {
+        eprintln!("note: fat trees have no heterogeneous variant; using homogeneous");
+        NetworkClass::ParallelHomogeneous
+    } else {
+        class
+    };
+    (kind, class, args.get("planes", 4), args.get("seed", 1))
+}
+
+fn policy_from(args: &Args, planes: usize) -> PathPolicy {
+    let k: usize = args.get("kpaths", 8);
+    match args.get_str("policy").unwrap_or("shortest") {
+        "ecmp" => PathPolicy::EcmpHash,
+        "rr" => PathPolicy::RoundRobin,
+        "shortest" => PathPolicy::ShortestPlane,
+        "ksp" => PathPolicy::MultipathKsp { k },
+        "plane-ksp" => PathPolicy::PlaneKsp {
+            per_plane: (k / planes).max(1),
+        },
+        "disjoint" => PathPolicy::DisjointPerPlane {
+            per_plane: (k / planes).max(1),
+        },
+        "default" => PathPolicy::paper_default(k),
+        other => {
+            eprintln!("unknown --policy {other:?}");
+            usage()
+        }
+    }
+}
+
+fn cmd_topology(args: &Args) {
+    let (kind, class, planes, seed) = topology_from(args);
+    let pnet = PNetSpec::new(kind, class, planes, seed).build();
+    let net = &pnet.net;
+    println!("class:    {}", class.label());
+    println!("planes:   {}", net.n_planes());
+    println!("hosts:    {}", net.n_hosts());
+    println!("racks:    {}", net.n_racks());
+    println!(
+        "switches: {}",
+        net.nodes().filter(|(_, n)| n.kind.is_switch()).count()
+    );
+    println!("links:    {} directed ({} cables)", net.n_links(), net.n_links() / 2);
+    let hist = analysis::hop_histogram_best_plane(net);
+    println!("mean best-plane switch hops: {:.3}", hist.mean());
+    print!("hop histogram:");
+    for (h, &c) in hist.histogram.iter().enumerate() {
+        if c > 0 {
+            print!("  {h}h x {c}");
+        }
+    }
+    println!();
+    for p in net.planes() {
+        let ok = net.plane_connects_all_hosts(p);
+        println!("plane {p}: connected = {ok}");
+    }
+}
+
+fn host_arg(args: &Args, key: &str, default: u32, n_hosts: usize) -> HostId {
+    let id: u32 = args.get(key, default);
+    if id as usize >= n_hosts {
+        eprintln!("--{key} {id} out of range: the network has {n_hosts} hosts (0..{})",
+            n_hosts - 1);
+        std::process::exit(2);
+    }
+    HostId(id)
+}
+
+fn cmd_route(args: &Args) {
+    let (kind, class, planes, seed) = topology_from(args);
+    let pnet = PNetSpec::new(kind, class, planes, seed).build();
+    let n_hosts = pnet.net.n_hosts();
+    let src = host_arg(args, "src", 0, n_hosts);
+    let dst = host_arg(args, "dst", (n_hosts - 1) as u32, n_hosts);
+    if src == dst {
+        eprintln!("--src and --dst must differ (both are {})", src.0);
+        std::process::exit(2);
+    }
+    let size: u64 = args.get_list("size", &[1_000_000])[0];
+    let mut selector = pnet.selector(policy_from(args, planes));
+    let (routes, cc) = selector.select(&pnet.net, src, dst, args.get("flow", 0u64), size);
+    println!(
+        "{src} -> {dst} ({} bytes): {} subflow(s), congestion control {cc:?}",
+        size,
+        routes.len()
+    );
+    for (i, r) in routes.iter().enumerate() {
+        let plane = pnet.net.link(r[0]).plane;
+        let hops = r.len() - 1;
+        let nodes: Vec<String> = std::iter::once(pnet.net.link(r[0]).src)
+            .chain(r.iter().map(|&l| pnet.net.link(l).dst))
+            .map(|n| format!("{:?}", pnet.net.node(n).kind))
+            .collect();
+        println!("  subflow {i}: plane {plane}, {hops} switch hops");
+        println!("    {}", nodes.join(" -> "));
+    }
+}
+
+fn cmd_throughput(args: &Args) {
+    let (kind, class, planes, seed) = topology_from(args);
+    let pnet = PNetSpec::new(kind, class, planes, seed).build();
+    let n = pnet.net.n_hosts();
+    let commodities = match args.get_str("pattern").unwrap_or("permutation") {
+        "permutation" => commodity::permutation(&tm::random_permutation(n, seed)),
+        "all-to-all" => commodity::all_to_all(n),
+        other => {
+            eprintln!("unknown --pattern {other:?}");
+            usage()
+        }
+    };
+    let k: usize = args.get("kpaths", 8);
+    let eps: f64 = args.get("eps", 0.1);
+    let ecmp = throughput::ecmp_throughput(&pnet.net, &commodities);
+    let (ksp, lambda) = throughput::ksp_multipath_throughput(&pnet.net, &commodities, k, eps);
+    println!("network: {} ({} hosts, {} planes)", class.label(), n, pnet.net.n_planes());
+    println!("flows:   {}", commodities.len());
+    println!("ECMP single-path total:   {:.3} Tb/s", ecmp / 1e12);
+    println!("KSP-{k} multipath total:   {:.3} Tb/s (min-fair rate {:.2} Gb/s)", ksp / 1e12, lambda / 1e9);
+}
+
+fn cmd_simulate(args: &Args) {
+    let (kind, class, planes, seed) = topology_from(args);
+    let pnet = PNetSpec::new(kind, class, planes, seed).build();
+    let n = pnet.net.n_hosts();
+    let size: u64 = args.get_list("size", &[1_000_000])[0];
+    let mut selector = pnet.selector(policy_from(args, planes));
+    let mut sim = Simulator::new(&pnet.net, SimConfig::default());
+    for (i, (a, b)) in tm::permutation_pairs(n, seed).into_iter().enumerate() {
+        let (routes, cc) =
+            selector.select(&pnet.net, HostId(a as u32), HostId(b as u32), i as u64, size);
+        sim.start_flow(FlowSpec {
+            src: HostId(a as u32),
+            dst: HostId(b as u32),
+            size_bytes: size,
+            routes,
+            cc,
+            owner_tag: i as u64,
+        });
+    }
+    run_to_completion(&mut sim);
+    let fcts = metrics::fcts_us(&sim.records);
+    let s = metrics::Summary::of(&fcts);
+    println!(
+        "{} flows x {} bytes on {} ({} planes)",
+        fcts.len(),
+        size,
+        class.label(),
+        pnet.net.n_planes()
+    );
+    println!("FCT us: min {:.1}  median {:.1}  mean {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}",
+        s.min, s.median, s.mean, s.p90, s.p99, s.max);
+    println!(
+        "drops: {}  retransmits: {}  events: {}",
+        sim.dropped_packets,
+        sim.records.iter().map(|r| r.retransmits).sum::<u64>(),
+        sim.events_dispatched()
+    );
+}
+
+fn cmd_components(args: &Args) {
+    let hosts: usize = args.get("hosts", 8192);
+    let planes: usize = args.get("planes", 8);
+    let chip = components::ChipSpec::table1();
+    let mut t = Table::new(
+        vec!["Architecture", "Tiers", "Hops", "Chips", "Boxes", "Links"],
+        false,
+    );
+    for row in [
+        components::serial_scale_out(hosts, chip),
+        components::serial_chassis(hosts, chip),
+        components::parallel_pnet(hosts, planes, chip),
+    ] {
+        t.row(vec![
+            row.architecture.clone(),
+            row.tiers.to_string(),
+            row.hops.to_string(),
+            row.chips.to_string(),
+            row.boxes.to_string(),
+            row.links.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0].starts_with('-') {
+        usage();
+    }
+    let sub = raw.remove(0);
+    let args = Args::from_iter(raw);
+    match sub.as_str() {
+        "topology" => cmd_topology(&args),
+        "route" => cmd_route(&args),
+        "throughput" => cmd_throughput(&args),
+        "simulate" => cmd_simulate(&args),
+        "components" => cmd_components(&args),
+        _ => usage(),
+    }
+}

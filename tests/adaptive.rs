@@ -1,0 +1,167 @@
+//! End-to-end test of DARD-style adaptive plane selection: small flows that
+//! learn from completion feedback steer around a congested plane, beating
+//! oblivious hash placement.
+
+use pnet::core::adaptive::{ideal_fct_us, AdaptiveBalancer};
+use pnet::core::{PNetSpec, PathPolicy, TopologyKind};
+use pnet::htsim::{run, Driver, FlowRecord, FlowSpec, SimConfig, SimTime, Simulator};
+use pnet::routing::{host_route, Path, RouteAlgo, Router};
+use pnet::topology::{HostId, NetworkClass, PlaneId};
+
+const SMALL_BYTES: u64 = 150_000;
+const N_SMALL: u64 = 60;
+
+/// Placement strategies under test.
+enum Placement {
+    Hash,
+    Adaptive(AdaptiveBalancer),
+}
+
+struct SmallFlowDriver<'a> {
+    net: &'a pnet::topology::Network,
+    router: Router,
+    placement: Placement,
+    launched: u64,
+    /// (plane used, fct us) per completed small flow.
+    pub completed: Vec<(PlaneId, f64)>,
+    /// tag -> plane of in-flight small flows.
+    plane_of: std::collections::HashMap<u64, PlaneId>,
+    src: HostId,
+    dst: HostId,
+}
+
+impl SmallFlowDriver<'_> {
+    fn launch(&mut self, sim: &mut Simulator) {
+        let tag = self.launched;
+        self.launched += 1;
+        let usable: Vec<PlaneId> = self.net.planes().collect();
+        let plane = match &mut self.placement {
+            Placement::Hash => {
+                let h = pnet::routing::flow_hash(self.src, self.dst, tag);
+                pnet::routing::hash_plane(self.net.n_planes(), h)
+            }
+            Placement::Adaptive(b) => b.choose(&usable),
+        };
+        let (ra, rb) = (
+            self.net.rack_of_host(self.src),
+            self.net.rack_of_host(self.dst),
+        );
+        let path = if ra == rb {
+            Path::intra_rack(plane)
+        } else {
+            self.router.paths_in_plane(plane, ra, rb)[0].clone()
+        };
+        let route = host_route(self.net, self.src, self.dst, &path).unwrap();
+        self.plane_of.insert(tag, plane);
+        sim.start_flow(FlowSpec {
+            src: self.src,
+            dst: self.dst,
+            size_bytes: SMALL_BYTES,
+            routes: vec![route],
+            cc: pnet::htsim::CcAlgo::Reno,
+            owner_tag: tag,
+        });
+    }
+}
+
+impl Driver for SmallFlowDriver<'_> {
+    fn on_app_timer(&mut self, sim: &mut Simulator, _app: u32, _tag: u64) {
+        if self.launched < N_SMALL {
+            self.launch(sim);
+            let next = sim.now + SimTime::from_us(60);
+            sim.schedule_app(next, 0, 0);
+        }
+    }
+
+    fn on_flow_complete(&mut self, _sim: &mut Simulator, rec: &FlowRecord) {
+        if rec.owner_tag == u64::MAX {
+            return; // background bulk
+        }
+        let plane = self.plane_of[&rec.owner_tag];
+        let fct = rec.fct().as_us_f64();
+        self.completed.push((plane, fct));
+        if let Placement::Adaptive(b) = &mut self.placement {
+            b.report(plane, fct / ideal_fct_us(SMALL_BYTES, 100_000_000_000));
+        }
+    }
+}
+
+fn run_scenario(placement: Placement) -> Vec<(PlaneId, f64)> {
+    let pnet = PNetSpec::new(
+        TopologyKind::Jellyfish {
+            n_tors: 8,
+            degree: 3,
+            hosts_per_tor: 2,
+        },
+        NetworkClass::ParallelHomogeneous,
+        4,
+        9,
+    )
+    .build();
+    let mut sim = Simulator::new(&pnet.net, SimConfig::default());
+
+    // Congest plane 0: several long bulk flows crossing it, sharing links
+    // with the small-flow path.
+    let mut bulk_sel = pnet.selector(PathPolicy::Pinned {
+        planes: vec![0],
+        inner: Box::new(PathPolicy::EcmpHash),
+    });
+    for (i, (a, b)) in [(2u32, 13u32), (3, 12), (4, 15), (5, 14), (6, 11), (7, 10)]
+        .iter()
+        .enumerate()
+    {
+        let (routes, cc) =
+            bulk_sel.select(&pnet.net, HostId(*a), HostId(*b), i as u64, 50_000_000);
+        sim.start_flow(FlowSpec {
+            src: HostId(*a),
+            dst: HostId(*b),
+            size_bytes: 50_000_000,
+            routes,
+            cc,
+            owner_tag: u64::MAX,
+        });
+    }
+
+    let mut driver = SmallFlowDriver {
+        net: &pnet.net,
+        router: Router::new(&pnet.net, RouteAlgo::Ksp { k: 2 }),
+        placement,
+        launched: 0,
+        completed: Vec::new(),
+        plane_of: Default::default(),
+        src: HostId(0),
+        dst: HostId(15),
+    };
+    sim.schedule_app(SimTime::from_us(10), 0, 0);
+    run(&mut sim, &mut driver, Some(SimTime::from_ms(50)));
+    driver.completed
+}
+
+#[test]
+fn adaptive_placement_learns_to_avoid_congested_plane() {
+    let hash = run_scenario(Placement::Hash);
+    let adaptive = run_scenario(Placement::Adaptive(AdaptiveBalancer::new(4, 0.4, 10)));
+    assert!(hash.len() as u64 >= N_SMALL - 5);
+    assert!(adaptive.len() as u64 >= N_SMALL - 5);
+
+    // Steady state: the second half of the flows.
+    let tail_mean = |v: &[(PlaneId, f64)]| {
+        let tail = &v[v.len() / 2..];
+        tail.iter().map(|(_, f)| f).sum::<f64>() / tail.len() as f64
+    };
+    let hash_mean = tail_mean(&hash);
+    let adaptive_mean = tail_mean(&adaptive);
+    assert!(
+        adaptive_mean < hash_mean * 0.8,
+        "adaptive {adaptive_mean:.1}us not clearly better than hash {hash_mean:.1}us"
+    );
+
+    // The adaptive tail should almost never use the congested plane 0.
+    let tail = &adaptive[adaptive.len() / 2..];
+    let on_plane0 = tail.iter().filter(|(p, _)| *p == PlaneId(0)).count();
+    assert!(
+        on_plane0 * 5 <= tail.len(),
+        "{on_plane0}/{} steady-state flows still on the congested plane",
+        tail.len()
+    );
+}

@@ -1,0 +1,104 @@
+//! Whole-stack determinism: identical seeds must yield bit-identical
+//! results across topology construction, routing, flow-level solving, and
+//! packet-level simulation. This is what makes every experiment in the
+//! harness reproducible.
+
+use pnet::core::{PNetSpec, PathPolicy, TopologyKind};
+use pnet::flowsim::{commodity, throughput};
+use pnet::htsim::{run_to_completion, FlowSpec, SimConfig, Simulator};
+use pnet::routing::{RouteAlgo, Router};
+use pnet::topology::{HostId, NetworkClass, RackId};
+use pnet::workloads::tm;
+
+fn spec() -> PNetSpec {
+    PNetSpec::new(
+        TopologyKind::Jellyfish {
+            n_tors: 16,
+            degree: 4,
+            hosts_per_tor: 2,
+        },
+        NetworkClass::ParallelHeterogeneous,
+        4,
+        33,
+    )
+}
+
+#[test]
+fn topology_construction_is_deterministic() {
+    let a = spec().build().net;
+    let b = spec().build().net;
+    assert_eq!(a.n_links(), b.n_links());
+    for (la, lb) in a.links().zip(b.links()) {
+        assert_eq!(la.1.src, lb.1.src);
+        assert_eq!(la.1.dst, lb.1.dst);
+        assert_eq!(la.1.plane, lb.1.plane);
+    }
+}
+
+#[test]
+fn routing_is_deterministic() {
+    let net = spec().build().net;
+    let mut r1 = Router::new(&net, RouteAlgo::Ksp { k: 8 });
+    let mut r2 = Router::new(&net, RouteAlgo::Ksp { k: 8 });
+    for a in 0..8u32 {
+        for b in 8..16u32 {
+            assert_eq!(
+                r1.k_best_across_planes(RackId(a), RackId(b), 8),
+                r2.k_best_across_planes(RackId(a), RackId(b), 8)
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_solver_is_deterministic() {
+    let net = spec().build().net;
+    let c = commodity::permutation(&tm::random_permutation(32, 4));
+    let (t1, l1) = throughput::ksp_multipath_throughput(&net, &c, 8, 0.1);
+    let (t2, l2) = throughput::ksp_multipath_throughput(&net, &c, 8, 0.1);
+    assert_eq!(t1.to_bits(), t2.to_bits());
+    assert_eq!(l1.to_bits(), l2.to_bits());
+}
+
+#[test]
+fn packet_simulation_is_deterministic() {
+    let run_once = || -> Vec<u64> {
+        let pnet = spec().build();
+        let mut selector = pnet.selector(PathPolicy::paper_default(16));
+        let mut sim = Simulator::new(&pnet.net, SimConfig::default());
+        for (i, (a, b)) in tm::permutation_pairs(32, 6).into_iter().enumerate() {
+            let (routes, cc) =
+                selector.select(&pnet.net, HostId(a as u32), HostId(b as u32), i as u64, 500_000);
+            sim.start_flow(FlowSpec {
+                src: HostId(a as u32),
+                dst: HostId(b as u32),
+                size_bytes: 500_000,
+                routes,
+                cc,
+                owner_tag: i as u64,
+            });
+        }
+        run_to_completion(&mut sim);
+        let mut fcts: Vec<(u64, u64)> = sim
+            .records
+            .iter()
+            .map(|r| (r.owner_tag, r.fct().as_ps()))
+            .collect();
+        fcts.sort_unstable();
+        fcts.into_iter().map(|(_, f)| f).collect()
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn different_seeds_give_different_heterogeneous_planes() {
+    let a = PNetSpec { seed: 1, ..spec() }.build().net;
+    let b = PNetSpec { seed: 2, ..spec() }.build().net;
+    let fabric = |n: &pnet::topology::Network| -> Vec<(u32, u32)> {
+        n.links()
+            .filter(|(_, l)| n.node(l.src).kind.is_switch() && n.node(l.dst).kind.is_switch())
+            .map(|(_, l)| (l.src.0, l.dst.0))
+            .collect()
+    };
+    assert_ne!(fabric(&a), fabric(&b));
+}

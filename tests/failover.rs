@@ -1,0 +1,144 @@
+//! Plane-failure resilience at the transport and host-stack level: the
+//! paper's "end hosts can quickly detect individual dataplane failures via
+//! link status and avoid using the broken dataplane(s), allowing graceful
+//! performance degradation" (section 3.4).
+
+use pnet::core::{HostStack, PNetSpec, PathPolicy, TopologyKind};
+use pnet::htsim::{run, FlowSpec, NullDriver, SimConfig, SimTime, Simulator};
+use pnet::topology::{failures, HostId, NetworkClass, PlaneId};
+
+fn pnet4() -> pnet::core::PNet {
+    PNetSpec::new(
+        TopologyKind::Jellyfish {
+            n_tors: 8,
+            degree: 3,
+            hosts_per_tor: 2,
+        },
+        NetworkClass::ParallelHomogeneous,
+        4,
+        3,
+    )
+    .build()
+}
+
+#[test]
+fn mptcp_survives_a_plane_failure_mid_flight() {
+    let pnet = pnet4();
+    let mut selector = pnet.selector(PathPolicy::PlaneKsp { per_plane: 1 });
+    let (routes, cc) = selector.select(&pnet.net, HostId(0), HostId(15), 1, 40_000_000);
+    assert_eq!(routes.len(), 4, "one subflow per plane expected");
+    let plane0_uplink = routes
+        .iter()
+        .map(|r| r[0])
+        .find(|&l| pnet.net.link(l).plane == PlaneId(0))
+        .expect("no plane-0 subflow");
+
+    let mut cfg = SimConfig::default();
+    cfg.tcp.min_rto = SimTime::from_ms(1); // fast failure detection
+    let mut sim = Simulator::new(&pnet.net, cfg);
+    let id = sim.start_flow(FlowSpec {
+        src: HostId(0),
+        dst: HostId(15),
+        size_bytes: 40_000_000,
+        routes,
+        cc,
+        owner_tag: 0,
+    });
+
+    // Let the transfer ramp, then kill plane 0's uplink for good.
+    run(&mut sim, &mut NullDriver, Some(SimTime::from_us(200)));
+    assert!(sim.conn(id).finish.is_none());
+    sim.fail_link(plane0_uplink);
+    run(&mut sim, &mut NullDriver, None);
+
+    let conn = sim.conn(id);
+    assert!(
+        conn.finish.is_some(),
+        "MPTCP flow never completed after losing one plane"
+    );
+    // Exactly one subflow died; the rest carried the re-injected data.
+    let dead: Vec<usize> = conn
+        .subflows
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.dead)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(dead.len(), 1, "expected one dead subflow, got {dead:?}");
+    assert_eq!(conn.acked, conn.size_packets);
+    // 40 MB over the 3 surviving 100G uplinks ~ 1.1 ms + failure detection;
+    // it must not have taken a pathological number of timeouts.
+    let fct = conn.finish.unwrap().as_ms_f64();
+    assert!(fct < 50.0, "fct {fct} ms too slow for a 3-plane recovery");
+}
+
+#[test]
+fn host_stack_masks_failed_plane_for_new_flows() {
+    let pnet = pnet4();
+    let mut net = pnet.net;
+    // Fail host 0's plane-2 uplink in the *topology* (link status) and
+    // refresh the host stack + selector, as the paper's host would.
+    let uplink = net.host_uplink(HostId(0), PlaneId(2)).unwrap();
+    failures::fail_cable(&mut net, uplink);
+    let mut stack = HostStack::new(&net, HostId(0));
+    assert!(!stack.plane_live(PlaneId(2)));
+    assert_eq!(stack.refresh(&net), vec![]); // constructed post-failure
+
+    let mut selector = pnet::core::PathSelector::new(
+        pnet::routing::Router::new(&net, pnet::routing::RouteAlgo::Ksp { k: 8 }),
+        PathPolicy::EcmpHash,
+    );
+    for flow in 0..64 {
+        let (routes, _) = selector.select(&net, HostId(0), HostId(14), flow, 1_000);
+        assert_ne!(
+            net.link(routes[0][0]).plane,
+            PlaneId(2),
+            "flow {flow} placed on the dead plane"
+        );
+    }
+
+    // Multipath selection also avoids the dead plane.
+    let mut mp = pnet::core::PathSelector::new(
+        pnet::routing::Router::new(&net, pnet::routing::RouteAlgo::Ksp { k: 8 }),
+        PathPolicy::PlaneKsp { per_plane: 1 },
+    );
+    let (routes, _) = mp.select(&net, HostId(0), HostId(14), 0, 1 << 30);
+    assert_eq!(routes.len(), 3, "dead plane must drop out of the subflow set");
+    assert!(routes
+        .iter()
+        .all(|r| net.link(r[0]).plane != PlaneId(2)));
+}
+
+#[test]
+fn single_path_flows_on_other_planes_unaffected_by_plane_death() {
+    let pnet = pnet4();
+    let mut cfg = SimConfig::default();
+    cfg.tcp.min_rto = SimTime::from_ms(1);
+    let mut sim = Simulator::new(&pnet.net, cfg);
+    let mut selector = pnet.selector(PathPolicy::RoundRobin);
+    // Four flows, one per plane (round robin).
+    let mut ids = Vec::new();
+    for i in 0..4u64 {
+        let (routes, cc) = selector.select(&pnet.net, HostId(0), HostId(15), i, 2_000_000);
+        ids.push((sim.start_flow(FlowSpec {
+            src: HostId(0),
+            dst: HostId(15),
+            size_bytes: 2_000_000,
+            routes: routes.clone(),
+            cc,
+            owner_tag: i,
+        }), pnet.net.link(routes[0][0]).plane));
+    }
+    // Kill plane 1 immediately.
+    let up1 = pnet.net.host_uplink(HostId(0), PlaneId(1)).unwrap();
+    sim.fail_link(up1);
+    run(&mut sim, &mut NullDriver, Some(SimTime::from_ms(20)));
+    for (id, plane) in ids {
+        let done = sim.conn(id).finish.is_some();
+        if plane == PlaneId(1) {
+            assert!(!done, "flow on the dead plane cannot finish");
+        } else {
+            assert!(done, "flow on live plane {plane} should have finished");
+        }
+    }
+}

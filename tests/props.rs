@@ -1,0 +1,308 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the whole workspace.
+
+use proptest::prelude::*;
+
+use pnet::flowsim::{commodity, mcf, Commodity};
+use pnet::htsim::{run_to_completion, CcAlgo, FlowSpec, SimConfig, Simulator};
+use pnet::routing::{self, bfs, ksp, PlaneGraph, RouteAlgo, Router};
+use pnet::topology::{
+    assemble_homogeneous, failures, FatTree, HostId, Jellyfish, LinkProfile, Network, PlaneId,
+    RackId, Xpander,
+};
+use pnet::workloads::sizes::EmpiricalCdf;
+
+// ---------------------------------------------------------------------
+// Topology invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn jellyfish_always_regular_and_connected(
+        n_tors in 4usize..40,
+        degree in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(degree < n_tors);
+        prop_assume!(n_tors * degree % 2 == 0);
+        let jf = Jellyfish::new(n_tors, degree, 1, seed);
+        let edges = jf.generate_edges();
+        prop_assert_eq!(edges.len(), n_tors * degree / 2);
+        let mut deg = vec![0usize; n_tors];
+        for &(a, b) in &edges {
+            prop_assert!(a != b);
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        prop_assert!(deg.iter().all(|&d| d == degree));
+        let net = assemble_homogeneous(&jf, 1, &LinkProfile::paper_default());
+        prop_assert!(net.plane_connects_all_hosts(PlaneId(0)));
+    }
+
+    #[test]
+    fn xpander_lifts_stay_regular(degree in 3usize..6, lifts in 0u32..4, seed in 0u64..100) {
+        let x = Xpander::new(degree, lifts, 1, seed);
+        let edges = x.generate_edges();
+        let n = x.n_tors();
+        prop_assert_eq!(edges.len(), n * degree / 2);
+        let mut deg = vec![0usize; n];
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &edges {
+            prop_assert!(a != b, "self loop");
+            let k = (a.min(b), a.max(b));
+            prop_assert!(seen.insert(k), "multi-edge");
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        prop_assert!(deg.iter().all(|&d| d == degree));
+    }
+
+    #[test]
+    fn multi_plane_assembly_validates(planes in 1usize..5, seed in 0u64..50) {
+        let jf = Jellyfish::new(10, 3, 2, seed);
+        let net = assemble_homogeneous(&jf, planes, &LinkProfile::paper_default());
+        prop_assert_eq!(net.validate(), Ok(()));
+        prop_assert_eq!(net.n_planes() as usize, planes);
+        // One uplink per host per plane.
+        for h in 0..net.n_hosts() {
+            for p in net.planes() {
+                prop_assert!(net.host_uplink(HostId(h as u32), p).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn failure_injection_is_partial(frac in 0.0f64..1.0, seed in 0u64..50) {
+        let mut net = assemble_homogeneous(
+            &FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let total = failures::fabric_cables(&net, None).len();
+        let failed = failures::fail_random_fraction(&mut net, frac, seed);
+        prop_assert_eq!(failed.len(), (total as f64 * frac).round() as usize);
+        failures::restore_all(&mut net);
+        prop_assert_eq!(failures::failed_fraction(&net), 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Routing invariants
+// ---------------------------------------------------------------------
+
+fn small_jellyfish(seed: u64) -> Network {
+    assemble_homogeneous(
+        &Jellyfish::new(12, 3, 1, seed),
+        2,
+        &LinkProfile::paper_default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn yen_paths_sorted_simple_distinct(
+        seed in 0u64..200, a in 0u32..12, b in 0u32..12, k in 1usize..12,
+    ) {
+        prop_assume!(a != b);
+        let net = small_jellyfish(seed);
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let paths = ksp(&pg, RackId(a), RackId(b), k);
+        prop_assert!(!paths.is_empty());
+        prop_assert!(paths.len() <= k);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].links.len() <= w[1].links.len(), "not sorted");
+            prop_assert!(w[0].links != w[1].links, "duplicate");
+        }
+        for p in &paths {
+            prop_assert!(p.validate(&net).is_ok(), "invalid path");
+        }
+        // First path length equals BFS distance.
+        let sp = bfs::shortest_path(&pg, RackId(a), RackId(b)).unwrap();
+        prop_assert_eq!(paths[0].links.len(), sp.links.len());
+    }
+
+    #[test]
+    fn cross_plane_merge_is_sorted_prefix_monotone(
+        seed in 0u64..100, a in 0u32..12, b in 0u32..12,
+    ) {
+        prop_assume!(a != b);
+        let net = small_jellyfish(seed);
+        let mut router = Router::new(&net, RouteAlgo::Ksp { k: 6 });
+        let k4 = router.k_best_across_planes(RackId(a), RackId(b), 4);
+        let k8 = router.k_best_across_planes(RackId(a), RackId(b), 8);
+        prop_assert_eq!(&k8[..4], &k4[..]);
+        for w in k8.windows(2) {
+            prop_assert!(w[0].links.len() <= w[1].links.len());
+        }
+    }
+
+    #[test]
+    fn rotate_ties_preserves_set_and_lengths(
+        seed in 0u64..100, a in 0u32..12, b in 0u32..12, hash: u64,
+    ) {
+        prop_assume!(a != b);
+        let net = small_jellyfish(seed);
+        let mut router = Router::new(&net, RouteAlgo::Ksp { k: 8 });
+        let orig = router.k_best_across_planes(RackId(a), RackId(b), 8);
+        let mut rotated = orig.clone();
+        routing::rotate_ties(&mut rotated, hash);
+        // Same multiset...
+        let mut s1 = orig.clone();
+        let mut s2 = rotated.clone();
+        routing::sort_paths(&mut s1);
+        routing::sort_paths(&mut s2);
+        prop_assert_eq!(s1, s2);
+        // ...still sorted by length.
+        for w in rotated.windows(2) {
+            prop_assert!(w[0].links.len() <= w[1].links.len());
+        }
+    }
+
+    #[test]
+    fn host_routes_chain_endpoints(seed in 0u64..50, a in 0u32..12, b in 0u32..12) {
+        prop_assume!(a != b);
+        let net = small_jellyfish(seed);
+        let mut router = Router::new(&net, RouteAlgo::Ksp { k: 4 });
+        for p in router.k_best_across_planes(RackId(a), RackId(b), 4) {
+            let route = routing::host_route(&net, HostId(a), HostId(b), &p).unwrap();
+            prop_assert_eq!(net.link(route[0]).src, net.host_node(HostId(a)));
+            prop_assert_eq!(net.link(*route.last().unwrap()).dst, net.host_node(HostId(b)));
+            for w in route.windows(2) {
+                prop_assert_eq!(net.link(w[0]).dst, net.link(w[1]).src);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flow-level solver invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn maxmin_always_feasible_and_fair(
+        n_links in 1usize..8,
+        n_flows in 1usize..10,
+        seed: u64,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let caps: Vec<f64> = (0..n_links).map(|_| rng.random_range(1.0..100.0)).collect();
+        let flows: Vec<Vec<usize>> = (0..n_flows)
+            .map(|_| {
+                let len = rng.random_range(1..=n_links);
+                (0..len).map(|_| rng.random_range(0..n_links)).collect()
+            })
+            .collect();
+        let rates = pnet::flowsim::maxmin::maxmin_rates(&caps, &flows);
+        prop_assert!(pnet::flowsim::maxmin::is_maxmin_fair(&caps, &flows, &rates));
+    }
+
+    #[test]
+    fn gk_solution_is_feasible_and_positive(seed in 0u64..50, eps in 0.05f64..0.3) {
+        let net = small_jellyfish(seed);
+        let c = commodity::all_to_all(6);
+        let sol = mcf::solve(&net, &c, &mcf::PathMode::AnyPath, eps);
+        prop_assert!(sol.lambda > 0.0);
+        let caps = mcf::link_capacities(&net);
+        for (f, cap) in sol.link_flow.iter().zip(&caps) {
+            prop_assert!(*f <= cap * 1.000001 + 1.0, "infeasible: {f} > {cap}");
+        }
+        // Rates consistent with lambda.
+        for (r, cm) in sol.rates.iter().zip(&c) {
+            prop_assert!(*r >= sol.lambda * cm.demand * 0.999999);
+        }
+    }
+
+    #[test]
+    fn gk_lambda_below_trivial_upper_bound(seed in 0u64..30) {
+        // One commodity: lambda * d can never exceed the host uplink total.
+        let net = small_jellyfish(seed);
+        let c = vec![Commodity::unit(HostId(0), HostId(7))];
+        let sol = mcf::solve(&net, &c, &mcf::PathMode::AnyPath, 0.1);
+        let uplink_total = 2.0 * 100e9; // 2 planes x 100G
+        prop_assert!(sol.rates[0] <= uplink_total * 1.001);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cdf_quantile_monotone_and_in_support(
+        p1 in 0.001f64..1.0, p2 in 0.001f64..1.0,
+    ) {
+        let cdf = EmpiricalCdf::new(&[(1_000.0, 0.3), (50_000.0, 0.8), (2_000_000.0, 1.0)]);
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+        prop_assert!(cdf.quantile(lo) >= 1_000);
+        prop_assert!(cdf.quantile(hi) <= 2_000_000);
+    }
+
+    #[test]
+    fn permutations_are_derangements(n in 2usize..60, seed: u64) {
+        let p = pnet::workloads::tm::random_permutation(n, seed);
+        let mut seen = vec![false; n];
+        for (i, &j) in p.iter().enumerate() {
+            prop_assert!(i != j);
+            prop_assert!(!seen[j]);
+            seen[j] = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packet simulator invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_flow_completes_with_conservation(
+        seed in 0u64..30,
+        n_flows in 1usize..8,
+        size_kb in 1u64..500,
+    ) {
+        let net = small_jellyfish(seed);
+        let mut router = Router::new(&net, RouteAlgo::Ksp { k: 2 });
+        let mut sim = Simulator::new(&net, SimConfig::default());
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for i in 0..n_flows {
+            let a = rng.random_range(0..12u32);
+            let mut b = rng.random_range(0..11u32);
+            if b >= a { b += 1; }
+            let paths = router.k_best_across_planes(RackId(a), RackId(b), 2);
+            let routes: Vec<Vec<pnet::topology::LinkId>> = paths
+                .iter()
+                .filter_map(|p| routing::host_route(&net, HostId(a), HostId(b), p))
+                .collect();
+            sim.start_flow(FlowSpec {
+                src: HostId(a),
+                dst: HostId(b),
+                size_bytes: size_kb * 1000,
+                routes,
+                cc: CcAlgo::Lia,
+                owner_tag: i as u64,
+            });
+        }
+        run_to_completion(&mut sim);
+        prop_assert_eq!(sim.records.len(), n_flows, "some flow never finished");
+        for rec in &sim.records {
+            prop_assert!(rec.finish >= rec.start);
+            // Conservation: every assigned packet was acked exactly once.
+            let conn = sim.conn(rec.conn);
+            prop_assert_eq!(conn.acked, conn.size_packets);
+            let sent: u64 = conn.subflows.iter().map(|s| s.highest_sent).sum();
+            prop_assert_eq!(sent, conn.size_packets);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Focused transport-behaviour tests: congestion-control variants, loss
+//! recovery, timer backoff, and DCTCP/Reno contrasts, exercised through the
+//! full stack.
+
+use pnet::htsim::{
+    run, run_to_completion, CcAlgo, FlowSpec, NullDriver, SimConfig, SimTime, Simulator,
+};
+use pnet::routing::{host_route, RouteAlgo, Router};
+use pnet::topology::{
+    assemble_homogeneous, FatTree, HostId, LinkProfile, Network, PlaneId,
+};
+
+fn net(planes: usize) -> Network {
+    assemble_homogeneous(&FatTree::three_tier(4), planes, &LinkProfile::paper_default())
+}
+
+fn route(net: &Network, src: HostId, dst: HostId, plane: u16) -> Vec<pnet::topology::LinkId> {
+    let mut router = Router::new(net, RouteAlgo::Ksp { k: 2 });
+    let p = router.paths_in_plane(PlaneId(plane), net.rack_of_host(src), net.rack_of_host(dst))
+        [0]
+    .clone();
+    host_route(net, src, dst, &p).unwrap()
+}
+
+#[test]
+fn uncoupled_mptcp_is_more_aggressive_than_lia() {
+    // A 2-subflow MPTCP connection shares one bottleneck with a plain TCP
+    // flow for a long steady-state window. LIA couples the subflows so the
+    // pair takes roughly one TCP's share; uncoupled subflows behave like
+    // two TCPs and take more. Measured as bytes acked at a fixed horizon.
+    let n = net(1);
+    let huge = 1_000_000_000u64; // nobody finishes inside the window
+    let share_of = |cc: CcAlgo| -> f64 {
+        let mut cfg = SimConfig::default();
+        cfg.tcp.min_rto = SimTime::from_ms(1);
+        let mut sim = Simulator::new(&n, cfg);
+        let tcp_route = route(&n, HostId(2), HostId(15), 0);
+        let tcp = sim.start_flow(FlowSpec {
+            src: HostId(2),
+            dst: HostId(15),
+            size_bytes: huge,
+            routes: vec![tcp_route],
+            cc: CcAlgo::Reno,
+            owner_tag: 0,
+        });
+        // Multipath flow: two distinct paths that share the destination
+        // downlink (the common bottleneck).
+        let mut router = Router::new(&n, RouteAlgo::Ksp { k: 4 });
+        let paths = router.paths_in_plane(
+            PlaneId(0),
+            n.rack_of_host(HostId(4)),
+            n.rack_of_host(HostId(15)),
+        );
+        let r1 = host_route(&n, HostId(4), HostId(15), &paths[0]).unwrap();
+        let r2 = host_route(&n, HostId(4), HostId(15), &paths[1]).unwrap();
+        let mp = sim.start_flow(FlowSpec {
+            src: HostId(4),
+            dst: HostId(15),
+            size_bytes: huge,
+            routes: vec![r1, r2],
+            cc,
+            owner_tag: 1,
+        });
+        // Long horizon + short min-RTO: a single timeout must not dominate
+        // the share measurement (we are comparing steady-state additive
+        // increase behaviour, not loss-recovery luck).
+        run(&mut sim, &mut NullDriver, Some(SimTime::from_ms(60)));
+        sim.conn(mp).acked as f64 / sim.conn(tcp).acked.max(1) as f64
+    };
+    let lia_share = share_of(CcAlgo::Lia);
+    let unc_share = share_of(CcAlgo::Uncoupled);
+    assert!(
+        unc_share > lia_share * 1.1,
+        "uncoupled share {unc_share:.3} should exceed LIA share {lia_share:.3}"
+    );
+    assert!(
+        lia_share > 0.3,
+        "LIA flow starved unexpectedly (share {lia_share:.3})"
+    );
+}
+
+#[test]
+fn rto_backoff_survives_a_blackout() {
+    // Start a flow, cut the path mid-transfer, restore it later: the flow
+    // stalls on exponential-backoff timeouts during the blackout and then
+    // completes after the repair.
+    let n = net(2);
+    let r = route(&n, HostId(0), HostId(15), 0);
+    let fabric_cable = r[1]; // first fabric link on the path
+    let mut sim = Simulator::new(&n, SimConfig::default());
+    let id = sim.start_flow(FlowSpec {
+        src: HostId(0),
+        dst: HostId(15),
+        size_bytes: 4_000_000,
+        routes: vec![r],
+        cc: CcAlgo::Reno,
+        owner_tag: 0,
+    });
+    // Let it ramp, then black out the path for 40 ms (4 min-RTOs).
+    run(&mut sim, &mut NullDriver, Some(SimTime::from_us(50)));
+    assert!(sim.conn(id).finish.is_none());
+    sim.fail_link(fabric_cable);
+    run(&mut sim, &mut NullDriver, Some(SimTime::from_ms(40)));
+    assert!(
+        sim.conn(id).finish.is_none(),
+        "flow finished through a dark link"
+    );
+    let timeouts_during = sim.conn(id).timeouts();
+    assert!(timeouts_during >= 2, "expected RTO retries, got {timeouts_during}");
+    let progress_during = sim.conn(id).acked;
+    sim.restore_link(fabric_cable);
+    run(&mut sim, &mut NullDriver, None);
+    let conn = sim.conn(id);
+    assert!(conn.finish.is_some(), "flow never recovered after repair");
+    assert!(conn.acked > progress_during);
+    // Backoff must have grown the retry gaps: with min-RTO 10 ms and ~40 ms
+    // of blackout, un-backed-off retries would fire ~4 times; exponential
+    // backoff (10, 20, 40, ...) keeps it to at most 3.
+    assert!(
+        timeouts_during <= 3,
+        "timer backoff missing: {timeouts_during} RTOs in 40 ms"
+    );
+}
+
+#[test]
+fn backoff_grows_rto_exponentially() {
+    use pnet::htsim::TcpConfig;
+    let cfg = TcpConfig::default();
+    let mut sub = pnet::htsim::tcp::Subflow::new(
+        std::sync::Arc::new(vec![pnet::topology::LinkId(0)]),
+        std::sync::Arc::new(vec![pnet::topology::LinkId(1)]),
+        &cfg,
+    );
+    let base = sub.effective_rto(&cfg);
+    sub.backoff = 1;
+    let once = sub.effective_rto(&cfg);
+    sub.backoff = 3;
+    let thrice = sub.effective_rto(&cfg);
+    assert_eq!(once.as_ps(), base.as_ps() * 2);
+    assert_eq!(thrice.as_ps(), base.as_ps() * 8);
+    sub.backoff = 40; // clamped to max_rto
+    assert_eq!(sub.effective_rto(&cfg), cfg.max_rto);
+}
+
+#[test]
+fn dctcp_fairly_shares_with_dctcp() {
+    // Two DCTCP flows sharing one bottleneck converge to similar FCTs
+    // (proportional windows) with no drops.
+    let n = net(1);
+    let cfg = SimConfig {
+        ecn_threshold_packets: Some(20),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&n, cfg);
+    for src in [HostId(4), HostId(8)] {
+        let r = route(&n, src, HostId(15), 0);
+        sim.start_flow(FlowSpec {
+            src,
+            dst: HostId(15),
+            size_bytes: 6_000_000,
+            routes: vec![r],
+            cc: CcAlgo::Dctcp,
+            owner_tag: src.0 as u64,
+        });
+    }
+    run_to_completion(&mut sim);
+    assert_eq!(sim.dropped_packets, 0, "DCTCP should avoid drops entirely");
+    let fcts: Vec<f64> = sim.records.iter().map(|r| r.fct().as_us_f64()).collect();
+    let ratio = fcts[0].max(fcts[1]) / fcts[0].min(fcts[1]);
+    assert!(ratio < 1.3, "DCTCP share imbalance: {fcts:?}");
+    // Work conservation: 12 MB over a 100G link >= 960 us.
+    assert!(fcts.iter().cloned().fold(0.0, f64::max) >= 930.0);
+}
+
+#[test]
+fn single_packet_flows_have_minimal_fct() {
+    // Sub-MTU flows: FCT = one-way data + return ACK, no window effects.
+    let n = net(4);
+    let mut sim = Simulator::new(&n, SimConfig::default());
+    for plane in 0..4u16 {
+        let r = route(&n, HostId(0), HostId(15), plane);
+        sim.start_flow(FlowSpec {
+            src: HostId(0),
+            dst: HostId(15),
+            size_bytes: 64, // single packet
+            routes: vec![r],
+            cc: CcAlgo::Reno,
+            owner_tag: plane as u64,
+        });
+    }
+    run_to_completion(&mut sim);
+    for rec in &sim.records {
+        let fct = rec.fct().as_us_f64();
+        // 6 links each way, ~4.2 us propagation per direction + tiny
+        // serialization: between 8 and 12 us.
+        assert!((8.0..12.0).contains(&fct), "fct {fct}us out of range");
+        assert_eq!(rec.retransmits, 0);
+    }
+}
+
+#[test]
+fn queue_stats_account_every_packet() {
+    let n = net(1);
+    let mut sim = Simulator::new(&n, SimConfig::default());
+    let r = route(&n, HostId(0), HostId(15), 0);
+    let first_link = r[0];
+    let size = 1_500_000u64; // 1000 packets
+    sim.start_flow(FlowSpec {
+        src: HostId(0),
+        dst: HostId(15),
+        size_bytes: size,
+        routes: vec![r],
+        cc: CcAlgo::Reno,
+        owner_tag: 0,
+    });
+    run_to_completion(&mut sim);
+    let (enq, drops, _) = sim.queue_stats(first_link);
+    let rec = &sim.records[0];
+    // Every data packet (fresh + retransmitted) passed the first uplink.
+    assert_eq!(enq + drops, 1000 + rec.retransmits);
+}
