@@ -27,8 +27,7 @@ fn bench_gk_eps(c: &mut Criterion) {
 }
 
 fn bench_gk_explicit_paths(c: &mut Criterion) {
-    let net =
-        assemble_homogeneous(&FatTree::three_tier(8), 2, &LinkProfile::paper_default());
+    let net = assemble_homogeneous(&FatTree::three_tier(8), 2, &LinkProfile::paper_default());
     let commodities = commodity::permutation(&tm::random_permutation(128, 3));
     c.bench_function("ksp-16 multipath throughput, k=8 fat tree x2", |b| {
         b.iter(|| {
@@ -39,8 +38,7 @@ fn bench_gk_explicit_paths(c: &mut Criterion) {
 }
 
 fn bench_waterfilling(c: &mut Criterion) {
-    let net =
-        assemble_homogeneous(&FatTree::three_tier(8), 4, &LinkProfile::paper_default());
+    let net = assemble_homogeneous(&FatTree::three_tier(8), 4, &LinkProfile::paper_default());
     let commodities = commodity::all_to_all(128);
     c.bench_function("ECMP max-min waterfilling, all-to-all 128 hosts", |b| {
         b.iter(|| black_box(throughput::ecmp_throughput(&net, &commodities)))

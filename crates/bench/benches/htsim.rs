@@ -6,19 +6,17 @@ use pnet_routing::{host_route, RouteAlgo, Router};
 use pnet_topology::{assemble_homogeneous, FatTree, HostId, LinkProfile, Network, RackId};
 use std::hint::black_box;
 
-fn setup() -> (Network, Vec<(HostId, HostId, Vec<Vec<pnet_topology::LinkId>>)>) {
-    let net =
-        assemble_homogeneous(&FatTree::three_tier(8), 2, &LinkProfile::paper_default());
-    let mut router = Router::new(&net, RouteAlgo::Ksp { k: 2 });
-    let flows: Vec<(HostId, HostId, Vec<Vec<pnet_topology::LinkId>>)> = (0..16u32)
+type FlowPlan = (HostId, HostId, Vec<Vec<pnet_topology::LinkId>>);
+
+fn setup() -> (Network, Vec<FlowPlan>) {
+    let net = assemble_homogeneous(&FatTree::three_tier(8), 2, &LinkProfile::paper_default());
+    let router = Router::new(&net, RouteAlgo::Ksp { k: 2 });
+    let flows: Vec<FlowPlan> = (0..16u32)
         .map(|i| {
             let src = HostId(i);
             let dst = HostId(127 - i);
-            let paths = router.k_best_across_planes(
-                net.rack_of_host(src),
-                net.rack_of_host(dst),
-                2,
-            );
+            let paths =
+                router.k_best_across_planes(net.rack_of_host(src), net.rack_of_host(dst), 2);
             let routes = paths
                 .iter()
                 .filter_map(|p| host_route(&net, src, dst, p))
@@ -71,14 +69,12 @@ fn bench_single_packet_rtt(c: &mut Criterion) {
 }
 
 fn bench_incast(c: &mut Criterion) {
-    let net =
-        assemble_homogeneous(&FatTree::three_tier(8), 1, &LinkProfile::paper_default());
-    let mut router = Router::new(&net, RouteAlgo::Ksp { k: 1 });
+    let net = assemble_homogeneous(&FatTree::three_tier(8), 1, &LinkProfile::paper_default());
+    let router = Router::new(&net, RouteAlgo::Ksp { k: 1 });
     let routes: Vec<_> = (1..9u32)
         .map(|i| {
             let src = HostId(i * 8);
-            let paths =
-                router.k_best_across_planes(net.rack_of_host(src), RackId(0), 1);
+            let paths = router.k_best_across_planes(net.rack_of_host(src), RackId(0), 1);
             (src, host_route(&net, src, HostId(0), &paths[0]).unwrap())
         })
         .collect();

@@ -7,11 +7,7 @@ use pnet_topology::{assemble_homogeneous, FatTree, Jellyfish, LinkProfile, Plane
 use std::hint::black_box;
 
 fn bench_bfs(c: &mut Criterion) {
-    let net = assemble_homogeneous(
-        &Jellyfish::paper_686(1),
-        1,
-        &LinkProfile::paper_default(),
-    );
+    let net = assemble_homogeneous(&Jellyfish::paper_686(1), 1, &LinkProfile::paper_default());
     let pg = PlaneGraph::build(&net, PlaneId(0));
     c.bench_function("all-pairs rack hops, jellyfish 98 tors", |b| {
         b.iter(|| black_box(bfs::rack_hop_matrix(&pg)))
@@ -19,8 +15,7 @@ fn bench_bfs(c: &mut Criterion) {
 }
 
 fn bench_ecmp_enumeration(c: &mut Criterion) {
-    let net =
-        assemble_homogeneous(&FatTree::three_tier(16), 1, &LinkProfile::paper_default());
+    let net = assemble_homogeneous(&FatTree::three_tier(16), 1, &LinkProfile::paper_default());
     let pg = PlaneGraph::build(&net, PlaneId(0));
     c.bench_function("ECMP path enumeration, fat tree k=16 (64 paths)", |b| {
         b.iter(|| black_box(bfs::all_shortest_paths(&pg, RackId(0), RackId(127), 64).len()))
@@ -28,11 +23,7 @@ fn bench_ecmp_enumeration(c: &mut Criterion) {
 }
 
 fn bench_yen(c: &mut Criterion) {
-    let net = assemble_homogeneous(
-        &Jellyfish::paper_686(1),
-        1,
-        &LinkProfile::paper_default(),
-    );
+    let net = assemble_homogeneous(&Jellyfish::paper_686(1), 1, &LinkProfile::paper_default());
     let pg = PlaneGraph::build(&net, PlaneId(0));
     let mut group = c.benchmark_group("yen-ksp jellyfish 98 tors");
     for k in [8usize, 32] {
@@ -51,7 +42,7 @@ fn bench_cross_plane_merge(c: &mut Criterion) {
     );
     c.bench_function("k_best_across_planes k=32 (4 planes, cold cache)", |b| {
         b.iter(|| {
-            let mut router = Router::new(&net, RouteAlgo::Ksp { k: 16 });
+            let router = Router::new(&net, RouteAlgo::Ksp { k: 16 });
             black_box(router.k_best_across_planes(RackId(0), RackId(40), 32).len())
         })
     });

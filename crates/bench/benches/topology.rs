@@ -1,9 +1,7 @@
 //! Criterion benches: topology construction throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pnet_topology::{
-    assemble_homogeneous, FatTree, Jellyfish, LinkProfile, PlaneBuilder, Xpander,
-};
+use pnet_topology::{assemble_homogeneous, FatTree, Jellyfish, LinkProfile, PlaneBuilder, Xpander};
 use std::hint::black_box;
 
 fn bench_fattree(c: &mut Criterion) {

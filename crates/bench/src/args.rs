@@ -14,11 +14,11 @@ impl Args {
     /// Parse the process arguments. `--key value` sets a value; a `--key`
     /// followed by another `--...` (or nothing) is a boolean flag.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut args = Args::default();
         let items: Vec<String> = iter.into_iter().collect();
         let mut i = 0;
@@ -64,10 +64,7 @@ impl Args {
     /// Comma-separated list of `--key`, or `default`.
     pub fn get_list(&self, key: &str, default: &[u64]) -> Vec<u64> {
         match self.values.get(key) {
-            Some(v) => v
-                .split(',')
-                .map(|s| parse_size(s.trim()))
-                .collect(),
+            Some(v) => v.split(',').map(|s| parse_size(s.trim())).collect(),
             None => default.to_vec(),
         }
     }
@@ -97,7 +94,7 @@ mod tests {
     use super::*;
 
     fn args(s: &[&str]) -> Args {
-        Args::from_iter(s.iter().map(|s| s.to_string()))
+        Args::from_args(s.iter().map(|s| s.to_string()))
     }
 
     #[test]
@@ -122,7 +119,10 @@ mod tests {
     #[test]
     fn lists() {
         let a = args(&["--sizes", "100k,1m,10m"]);
-        assert_eq!(a.get_list("sizes", &[1]), vec![100_000, 1_000_000, 10_000_000]);
+        assert_eq!(
+            a.get_list("sizes", &[1]),
+            vec![100_000, 1_000_000, 10_000_000]
+        );
         assert_eq!(a.get_list("other", &[5, 6]), vec![5, 6]);
     }
 }

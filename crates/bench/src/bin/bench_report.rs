@@ -1,0 +1,165 @@
+//! Serial-vs-parallel wall-clock report for the two bulk hot paths:
+//! all-pairs KSP route precomputation and one Garg–Könemann MCF solve.
+//!
+//! Emits `BENCH_routing.json` and `BENCH_mcf.json` (in the working
+//! directory) recording both timings, the thread count used, and whether the
+//! serial and parallel outputs were identical — so the speedup criterion can
+//! be checked on any machine (the parallel path degenerates to the serial
+//! loop when only one core is available; set `RAYON_NUM_THREADS` to pin the
+//! worker count).
+//!
+//! Usage: `bench_report [--tors 64] [--degree 8] [--planes 4] [--k 32]
+//!                      [--seed 1] [--eps 0.1]`
+
+use pnet_bench::{banner, f3, Args};
+use pnet_flowsim::{commodity, mcf, Commodity};
+use pnet_routing::{Parallelism, RouteAlgo, Router};
+use pnet_topology::{assemble_homogeneous, Jellyfish, LinkProfile, Network, PlaneId, RackId};
+use pnet_workloads::tm;
+use std::time::Instant;
+
+fn write_json(path: &str, body: &str) {
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// Precompute the all-pairs route table and return (wall ms, full table dump
+/// for the identity check).
+fn timed_precompute(
+    net: &Network,
+    k: usize,
+    par: Parallelism,
+) -> (f64, Vec<Vec<pnet_routing::Path>>) {
+    let router = Router::with_parallelism(net, RouteAlgo::Ksp { k }, par);
+    let t0 = Instant::now();
+    router.precompute_all_pairs_with(par);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let n = router.n_racks();
+    let mut dump = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            for p in 0..router.n_planes() {
+                dump.push(
+                    router
+                        .paths_in_plane(PlaneId(p as u16), RackId(a as u32), RackId(b as u32))
+                        .to_vec(),
+                );
+            }
+        }
+    }
+    (ms, dump)
+}
+
+fn timed_mcf(
+    net: &Network,
+    commodities: &[Commodity],
+    eps: f64,
+    par: Parallelism,
+) -> (f64, mcf::McfSolution) {
+    let t0 = Instant::now();
+    let sol = mcf::solve_with_options(
+        net,
+        commodities,
+        &mcf::PathMode::AnyPath,
+        eps,
+        mcf::McfOptions {
+            parallelism: par,
+            ..Default::default()
+        },
+    );
+    (t0.elapsed().as_secs_f64() * 1e3, sol)
+}
+
+fn main() {
+    let args = Args::parse();
+    let tors: usize = args.get("tors", 64);
+    let degree: usize = args.get("degree", 8);
+    let planes: usize = args.get("planes", 4);
+    let k: usize = args.get("k", 32);
+    let seed: u64 = args.get("seed", 1);
+    let eps: f64 = args.get("eps", 0.1);
+
+    let threads = Parallelism::Rayon.threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    banner(
+        "Serial vs parallel wall-clock: KSP precompute and GK MCF solve",
+        &format!(
+            "{planes}-plane jellyfish, {tors} racks, degree {degree}; \
+             {threads} worker thread(s) on {cores} core(s)"
+        ),
+    );
+
+    let net = assemble_homogeneous(
+        &Jellyfish::new(tors, degree, 1, seed),
+        planes,
+        &LinkProfile::paper_default(),
+    );
+
+    // --- Routing: all-pairs KSP precompute. -------------------------------
+    let (serial_ms, serial_dump) = timed_precompute(&net, k, Parallelism::Serial);
+    let (parallel_ms, parallel_dump) = timed_precompute(&net, k, Parallelism::Rayon);
+    let identical = serial_dump == parallel_dump;
+    let entries = serial_dump.len();
+    let speedup = serial_ms / parallel_ms;
+    println!(
+        "routing: all-pairs KSP k={k}: serial {} ms, parallel {} ms, \
+         speedup {}x, identical tables: {identical}",
+        f3(serial_ms),
+        f3(parallel_ms),
+        f3(speedup)
+    );
+    assert!(identical, "serial and parallel route tables diverged");
+    write_json(
+        "BENCH_routing.json",
+        &format!(
+            "{{\n  \"benchmark\": \"all_pairs_ksp_precompute\",\n  \
+             \"topology\": {{\"kind\": \"jellyfish\", \"n_tors\": {tors}, \"degree\": {degree}, \"planes\": {planes}}},\n  \
+             \"k\": {k},\n  \"route_table_entries\": {entries},\n  \
+             \"threads\": {threads},\n  \"available_cores\": {cores},\n  \
+             \"serial_ms\": {serial_ms:.3},\n  \"parallel_ms\": {parallel_ms:.3},\n  \
+             \"speedup\": {speedup:.3},\n  \"identical_tables\": {identical}\n}}\n"
+        ),
+    );
+
+    // --- MCF: one GK solve on a permutation, AnyPath oracle. --------------
+    let c: Vec<Commodity> = commodity::permutation(&tm::random_permutation(tors, seed));
+    let (mcf_serial_ms, sol_s) = timed_mcf(&net, &c, eps, Parallelism::Serial);
+    let (mcf_parallel_ms, sol_p) = timed_mcf(&net, &c, eps, Parallelism::Rayon);
+    let bit_identical = sol_s.lambda.to_bits() == sol_p.lambda.to_bits()
+        && sol_s.phases == sol_p.phases
+        && sol_s
+            .rates
+            .iter()
+            .zip(&sol_p.rates)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let mcf_speedup = mcf_serial_ms / mcf_parallel_ms;
+    println!(
+        "mcf: GK solve ({} commodities, eps {eps}): serial {} ms, parallel {} ms, \
+         speedup {}x, lambda {}, bit-identical: {bit_identical}",
+        c.len(),
+        f3(mcf_serial_ms),
+        f3(mcf_parallel_ms),
+        f3(mcf_speedup),
+        f3(sol_s.lambda)
+    );
+    assert!(bit_identical, "serial and parallel MCF solutions diverged");
+    write_json(
+        "BENCH_mcf.json",
+        &format!(
+            "{{\n  \"benchmark\": \"gk_mcf_solve\",\n  \
+             \"topology\": {{\"kind\": \"jellyfish\", \"n_tors\": {tors}, \"degree\": {degree}, \"planes\": {planes}}},\n  \
+             \"commodities\": {},\n  \"eps\": {eps},\n  \"phases\": {},\n  \
+             \"lambda\": {},\n  \
+             \"threads\": {threads},\n  \"available_cores\": {cores},\n  \
+             \"serial_ms\": {mcf_serial_ms:.3},\n  \"parallel_ms\": {mcf_parallel_ms:.3},\n  \
+             \"speedup\": {mcf_speedup:.3},\n  \"bit_identical\": {bit_identical}\n}}\n",
+            c.len(),
+            sol_s.phases,
+            sol_s.lambda,
+        ),
+    );
+}

@@ -61,14 +61,19 @@ fn main() {
                     speed_name
                 );
                 let classes = setups::classes_for(*topology);
-                let mut table =
-                    Table::new(vec!["network", "flows", "median", "p90", "p99"], csv);
+                let mut table = Table::new(vec!["network", "flows", "median", "p90", "p99"], csv);
                 for &class in &classes {
                     let fcts = run_one(
                         *topology, class, planes, seed, trace, scale, rto_us, fph, ms, *gbps,
                     );
                     if fcts.is_empty() {
-                        table.row(vec![class.label().to_string(), "0".into(), "-".into(), "-".into(), "-".into()]);
+                        table.row(vec![
+                            class.label().to_string(),
+                            "0".into(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                        ]);
                         continue;
                     }
                     table.row(vec![

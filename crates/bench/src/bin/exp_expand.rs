@@ -15,9 +15,7 @@
 
 use pnet_bench::{banner, f3, Args, Table};
 use pnet_core::analysis;
-use pnet_topology::{
-    assemble, jellyfish::expand_rack, Jellyfish, LinkProfile, PlaneBuilder,
-};
+use pnet_topology::{assemble, jellyfish::expand_rack, Jellyfish, LinkProfile, PlaneBuilder};
 
 fn main() {
     let args = Args::parse();

@@ -109,11 +109,12 @@ fn main() {
     let stage_names = ["read input", "shuffle", "write output"];
     for (si, name) in stage_names.iter().enumerate() {
         println!();
-        println!("--- stage {}: {} (per-worker completion, ms) ---", si + 1, name);
-        let mut table = Table::new(
-            vec!["network", "min", "median", "p90", "max"],
-            csv,
+        println!(
+            "--- stage {}: {} (per-worker completion, ms) ---",
+            si + 1,
+            name
         );
+        let mut table = Table::new(vec!["network", "min", "median", "p90", "max"], csv);
         for (class, results) in &per_class {
             let ms: Vec<f64> = results[si]
                 .iter()

@@ -66,7 +66,11 @@ fn trace_fcts(
     }
     let stop = SimTime::from_ms(stop_ms);
     let mut driver = ClosedLoopDriver::start(&mut sim, slots, factory, stop);
-    run(&mut sim, &mut driver, Some(stop + SimTime::from_ms(stop_ms)));
+    run(
+        &mut sim,
+        &mut driver,
+        Some(stop + SimTime::from_ms(stop_ms)),
+    );
     metrics::fcts_us(&driver.completed)
 }
 
@@ -138,9 +142,7 @@ fn main() {
             csv,
         );
         for &class in &classes {
-            let fcts = trace_fcts(
-                topology, class, planes, seed, trace, scale, rto_us, fph, ms,
-            );
+            let fcts = trace_fcts(topology, class, planes, seed, trace, scale, rto_us, fph, ms);
             table.row(vec![
                 class.label().to_string(),
                 fcts.len().to_string(),

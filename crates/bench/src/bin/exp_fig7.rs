@@ -40,7 +40,12 @@ fn main() {
     let commodities = commodity::all_to_all(racks);
 
     let mut table = Table::new(
-        vec!["planes N", "serial high-bw (Nx)", "par-heterogeneous", "hetero / serial-high"],
+        vec![
+            "planes N",
+            "serial high-bw (Nx)",
+            "par-heterogeneous",
+            "hetero / serial-high",
+        ],
         csv,
     );
 
@@ -58,13 +63,8 @@ fn main() {
         let mut high_sum = 0.0;
         let mut het_sum = 0.0;
         for t in 0..trials {
-            let high = parallel::jellyfish_network(
-                NetworkClass::SerialHigh,
-                proto,
-                n,
-                seed + t,
-                &base,
-            );
+            let high =
+                parallel::jellyfish_network(NetworkClass::SerialHigh, proto, n, seed + t, &base);
             let het = parallel::jellyfish_network(
                 NetworkClass::ParallelHeterogeneous,
                 proto,

@@ -83,17 +83,21 @@ fn main() {
     );
 
     let serial = build(NetworkClass::SerialLow, 1);
-    let (serial_sat, _) = throughput::ksp_multipath_throughput(
-        &serial,
-        &perm,
-        *ksweep.last().unwrap() as usize,
-        eps,
-    );
+    let (serial_sat, _) =
+        throughput::ksp_multipath_throughput(&serial, &perm, *ksweep.last().unwrap() as usize, eps);
 
     let sweep: Vec<(String, NetworkClass, usize)> = vec![
         ("serial low-bw".into(), NetworkClass::SerialLow, 1),
-        ("par-hetero 2x".into(), NetworkClass::ParallelHeterogeneous, 2),
-        ("par-hetero 4x".into(), NetworkClass::ParallelHeterogeneous, 4),
+        (
+            "par-hetero 2x".into(),
+            NetworkClass::ParallelHeterogeneous,
+            2,
+        ),
+        (
+            "par-hetero 4x".into(),
+            NetworkClass::ParallelHeterogeneous,
+            4,
+        ),
     ];
     let mut header = vec!["K".to_string()];
     header.extend(sweep.iter().map(|(n, _, _)| n.clone()));

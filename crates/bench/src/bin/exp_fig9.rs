@@ -106,7 +106,9 @@ fn main() {
                     setups::single_path_policy(class)
                 }
                 _ if single => setups::single_path_policy(class),
-                _ => PathPolicy::PlaneKsp { per_plane: (kway / planes).max(1) },
+                _ => PathPolicy::PlaneKsp {
+                    per_plane: (kway / planes).max(1),
+                },
             };
             let fct = mean_fct_us(topology, class, planes, seed, policy, size, uncoupled);
             vals.push(fct);

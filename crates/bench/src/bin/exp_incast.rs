@@ -125,9 +125,7 @@ fn main() {
         for &n in &senders {
             let mut row = vec![n.to_string()];
             for &class in &classes {
-                let o = run_incast(
-                    topology, class, planes, seed, n as usize, size, cc, ecn,
-                );
+                let o = run_incast(topology, class, planes, seed, n as usize, size, cc, ecn);
                 row.push(format!("{:.0}us", o.last_fct_us));
                 row.push(format!("{}/{}", o.drops, o.retransmits));
             }

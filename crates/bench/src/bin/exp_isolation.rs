@@ -34,11 +34,7 @@ use rand::{RngExt, SeedableRng};
 struct IgnoreBulk<'a>(RpcDriver<'a>);
 
 impl pnet_htsim::Driver for IgnoreBulk<'_> {
-    fn on_flow_complete(
-        &mut self,
-        sim: &mut Simulator,
-        rec: &pnet_htsim::FlowRecord,
-    ) {
+    fn on_flow_complete(&mut self, sim: &mut Simulator, rec: &pnet_htsim::FlowRecord) {
         if rec.owner_tag != u64::MAX {
             pnet_htsim::Driver::on_flow_complete(&mut self.0, sim, rec);
         }
@@ -197,19 +193,13 @@ fn main() {
         },
         PathPolicy::Pinned {
             planes: background_planes,
-            inner: Box::new(PathPolicy::MultipathKsp { k: 4 * (planes - 1) }),
+            inner: Box::new(PathPolicy::MultipathKsp {
+                k: 4 * (planes - 1),
+            }),
         },
     );
 
-    let mut table = Table::new(
-        vec![
-            "config",
-            "RPC median",
-            "RPC p99",
-            "bulk goodput",
-        ],
-        csv,
-    );
+    let mut table = Table::new(vec!["config", "RPC median", "RPC p99", "bulk goodput"], csv);
     for (name, o) in [
         ("RPCs alone (idle)", &idle),
         ("shared planes", &shared),

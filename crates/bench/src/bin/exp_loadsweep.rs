@@ -28,6 +28,9 @@ use pnet_workloads::{PoissonArrivals, Trace};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// One (class index, p50 slowdown, p99 slowdown) sweep sample.
+type ClassPoint = (usize, f64, f64);
+
 #[allow(clippy::too_many_arguments)]
 fn sweep_point(
     topology: TopologyKind,
@@ -39,7 +42,7 @@ fn sweep_point(
     rho_pct: u64,
     ms: u64,
     rto_us: u64,
-) -> (usize, f64, f64) {
+) -> ClassPoint {
     let pnet = setups::build(topology, class, planes, seed);
     let n_hosts = pnet.net.n_hosts();
     let policy = setups::single_path_policy(class);
@@ -48,12 +51,8 @@ fn sweep_point(
     let mean_bytes = cdf.mean_bytes();
     // Load normalized to serial low-bw: n_hosts x 100G.
     let capacity = n_hosts as f64 * 100e9;
-    let mut arrivals = PoissonArrivals::for_load(
-        rho_pct as f64 / 100.0,
-        capacity,
-        mean_bytes,
-        seed ^ 0xABCD,
-    );
+    let mut arrivals =
+        PoissonArrivals::for_load(rho_pct as f64 / 100.0, capacity, mean_bytes, seed ^ 0xABCD);
     let mut pair_rng = StdRng::seed_from_u64(seed ^ 0x1234);
     let mut size_rng = StdRng::seed_from_u64(seed ^ 0x9876);
     let next_flow = Box::new(move || {
@@ -122,15 +121,13 @@ fn main() {
 
     let classes = setups::classes_for(topology);
     // Run each (load, class) point once.
-    let results: Vec<(u64, Vec<(usize, f64, f64)>)> = loads
+    let results: Vec<(u64, Vec<ClassPoint>)> = loads
         .iter()
         .map(|&rho| {
             let points = classes
                 .iter()
                 .map(|&class| {
-                    sweep_point(
-                        topology, class, planes, seed, trace, scale, rho, ms, rto_us,
-                    )
+                    sweep_point(topology, class, planes, seed, trace, scale, rho, ms, rto_us)
                 })
                 .collect();
             (rho, points)

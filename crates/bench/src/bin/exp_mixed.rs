@@ -34,6 +34,7 @@ fn rpc_median(net: &Network, seed: u64, rounds: u64) -> (f64, f64) {
         Router::new(net, RouteAlgo::Ksp { k: 8 }),
         PathPolicy::ShortestPlane,
     );
+    selector.warm();
     let mut flow = 0u64;
     let factory = Box::new(move |a, b, s| {
         flow += 1;
@@ -69,6 +70,7 @@ fn bulk_mean_fct(net: &Network, seed: u64, size: u64, planes: usize) -> f64 {
         Router::new(net, RouteAlgo::Ksp { k: 8 }),
         PathPolicy::PlaneKsp { per_plane: 1 },
     );
+    selector.warm();
     let mut flow = 0u64;
     let mut factory = move |a, b, s| {
         flow += 1;
@@ -125,12 +127,7 @@ fn main() {
     let mixed = parallel::mixed_fattree_expander(k, planes - 1, degree, seed, &base);
 
     let mut table = Table::new(
-        vec![
-            "fabric",
-            "RPC median",
-            "RPC p99",
-            "bulk mean FCT (perm)",
-        ],
+        vec!["fabric", "RPC median", "RPC p99", "bulk mean FCT (perm)"],
         csv,
     );
     for (name, net) in [

@@ -66,6 +66,9 @@ pub fn multipath_policy(class: NetworkClass, n_planes: usize, k_per_plane: usize
 /// Wrap a selector into a [`FlowFactory`] for the simulator apps. Each
 /// factory call is a new flow (fresh flow id for hashing policies).
 pub fn make_factory<'a>(net: &'a Network, mut selector: PathSelector) -> FlowFactory<'a> {
+    // Bulk-precompute the all-pairs route table up front (parallel) so the
+    // per-flow select calls never hit the lazy Yen path mid-simulation.
+    selector.warm();
     let mut flow_id = 0u64;
     Box::new(move |src, dst, size| {
         flow_id += 1;
@@ -120,7 +123,12 @@ mod tests {
     #[test]
     fn factory_produces_routes() {
         use pnet_topology::HostId;
-        let pnet = build(TopologyKind::FatTree { k: 4 }, NetworkClass::SerialLow, 4, 0);
+        let pnet = build(
+            TopologyKind::FatTree { k: 4 },
+            NetworkClass::SerialLow,
+            4,
+            0,
+        );
         let sel = pnet.selector(PathPolicy::ShortestPlane);
         let mut f = make_factory(&pnet.net, sel);
         let (routes, _) = f(HostId(0), HostId(15), 1000);

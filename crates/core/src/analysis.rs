@@ -109,8 +109,7 @@ mod tests {
 
     #[test]
     fn fat_tree_hop_mix() {
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
         let h = hop_histogram_single_plane(&net);
         // 8 racks: same-pod pairs at 3 switch hops (2 per pod x 2 ordered x
         // 4 pods = 8... precisely: per pod 2 racks -> 2 ordered pairs), so 8
@@ -128,22 +127,11 @@ mod tests {
         // single plane on expanders.
         let proto = Jellyfish::new(32, 4, 1, 0);
         let base = LinkProfile::paper_default();
-        let serial =
-            parallel::jellyfish_network(NetworkClass::SerialLow, proto, 4, 11, &base);
-        let hetero = parallel::jellyfish_network(
-            NetworkClass::ParallelHeterogeneous,
-            proto,
-            4,
-            11,
-            &base,
-        );
-        let homo = parallel::jellyfish_network(
-            NetworkClass::ParallelHomogeneous,
-            proto,
-            4,
-            11,
-            &base,
-        );
+        let serial = parallel::jellyfish_network(NetworkClass::SerialLow, proto, 4, 11, &base);
+        let hetero =
+            parallel::jellyfish_network(NetworkClass::ParallelHeterogeneous, proto, 4, 11, &base);
+        let homo =
+            parallel::jellyfish_network(NetworkClass::ParallelHomogeneous, proto, 4, 11, &base);
         let s = mean_hops_single_plane(&serial);
         let het = mean_hops_best_plane(&hetero);
         let hom = mean_hops_best_plane(&homo);

@@ -23,11 +23,7 @@ pub struct PlaneAddr {
 
 impl fmt::Display for PlaneAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "10.{}.{}.{}",
-            self.plane.0, self.rack, self.host_in_rack
-        )
+        write!(f, "10.{}.{}.{}", self.plane.0, self.rack, self.host_in_rack)
     }
 }
 
@@ -107,9 +103,7 @@ impl HostStack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pnet_topology::{
-        assemble_homogeneous, failures, FatTree, LinkProfile,
-    };
+    use pnet_topology::{assemble_homogeneous, failures, FatTree, LinkProfile};
 
     fn net() -> Network {
         assemble_homogeneous(&FatTree::three_tier(4), 4, &LinkProfile::paper_default())

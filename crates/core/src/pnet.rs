@@ -3,9 +3,7 @@
 
 use crate::policy::{PathPolicy, PathSelector};
 use pnet_routing::{RouteAlgo, Router};
-use pnet_topology::{
-    parallel, FatTree, Jellyfish, LinkProfile, Network, NetworkClass, Xpander,
-};
+use pnet_topology::{parallel, FatTree, Jellyfish, LinkProfile, Network, NetworkClass, Xpander};
 
 /// Which topology family the planes use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,9 +113,19 @@ pub struct PNet {
 }
 
 impl PNet {
-    /// A router over the current link state.
+    /// A router over the current link state (lazy route table).
     pub fn router(&self, algo: RouteAlgo) -> Router {
         Router::new(&self.net, algo)
+    }
+
+    /// A router with the full all-pairs route table precomputed in parallel
+    /// — the bulk path for experiment sweeps, where every rack pair will be
+    /// queried anyway. The returned router only ever reads its frozen
+    /// tables, so it can be shared across threads behind an `Arc`.
+    pub fn precomputed_router(&self, algo: RouteAlgo) -> Router {
+        let router = Router::new(&self.net, algo);
+        router.precompute_all_pairs();
+        router
     }
 
     /// A path selector for `policy`, backed by a KSP router wide enough for

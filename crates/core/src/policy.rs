@@ -97,8 +97,21 @@ impl PathSelector {
     }
 
     /// Access the underlying router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Mutable access to the underlying router (e.g. for
+    /// [`Router::refresh`] after failure injection).
     pub fn router_mut(&mut self) -> &mut Router {
         &mut self.router
+    }
+
+    /// Bulk-precompute the router's all-pairs route table in parallel, so
+    /// subsequent [`PathSelector::select`] calls never pay the lazy
+    /// per-pair Yen/ECMP cost.
+    pub fn warm(&self) {
+        self.router.precompute_all_pairs();
     }
 
     /// Select subflow routes and a congestion controller for a flow.
@@ -297,13 +310,7 @@ impl PathSelector {
     /// `preferred` if usable, otherwise the next usable plane (failure
     /// masking: "end hosts can quickly detect individual dataplane failures
     /// via link status and avoid using the broken dataplane(s)").
-    fn usable_plane(
-        &self,
-        net: &Network,
-        src: HostId,
-        dst: HostId,
-        preferred: PlaneId,
-    ) -> PlaneId {
+    fn usable_plane(&self, net: &Network, src: HostId, dst: HostId, preferred: PlaneId) -> PlaneId {
         let n = net.n_planes();
         for off in 0..n {
             let p = PlaneId((preferred.0 + off) % n);
@@ -314,13 +321,7 @@ impl PathSelector {
         panic!("no plane connects {src} and {dst}");
     }
 
-    fn expand(
-        &self,
-        net: &Network,
-        src: HostId,
-        dst: HostId,
-        paths: &[Path],
-    ) -> Vec<Vec<LinkId>> {
+    fn expand(&self, net: &Network, src: HostId, dst: HostId, paths: &[Path]) -> Vec<Vec<LinkId>> {
         let routes: Vec<Vec<LinkId>> = paths
             .iter()
             .filter_map(|p| host_route(net, src, dst, p))
@@ -408,7 +409,7 @@ mod tests {
             &LinkProfile::paper_default(),
         );
         let mut s = selector(&net, PathPolicy::ShortestPlane);
-        let mut check = Router::new(&net, RouteAlgo::Ksp { k: 1 });
+        let check = Router::new(&net, RouteAlgo::Ksp { k: 1 });
         for (a, b) in [(0u32, 20u32), (3, 17), (5, 30), (9, 12)] {
             let (routes, _) = s.select(&net, HostId(a), HostId(b), 0, 1000);
             let hops = routes[0].len() - 1;
@@ -489,7 +490,11 @@ mod tests {
             assert_eq!(net.link(routes[0][0]).plane, PlaneId(0));
             let (routes, _) = background.select(&net, HostId(0), HostId(15), f, 1 << 31);
             for r in &routes {
-                assert_ne!(net.link(r[0]).plane, PlaneId(0), "background leaked onto plane 0");
+                assert_ne!(
+                    net.link(r[0]).plane,
+                    PlaneId(0),
+                    "background leaked onto plane 0"
+                );
             }
         }
     }

@@ -16,7 +16,8 @@
 //! point noise; λ is then exact-feasible and ≥ (1−O(ε))·OPT.
 
 use crate::commodity::Commodity;
-use pnet_topology::{HostId, LinkId, Network, PlaneId};
+use pnet_routing::Parallelism;
+use pnet_topology::{HostId, LinkId, Network, PlaneId, RackId};
 use std::collections::BinaryHeap;
 
 /// How commodities may be routed.
@@ -66,6 +67,12 @@ pub struct McfOptions {
     /// the paper's "ideal throughput under no path constraint, representing
     /// the total capacity of the network core" (Figure 7).
     pub host_links_free: bool,
+    /// Execution strategy for the batched per-source shortest-path-tree
+    /// computations (AnyPath mode). The per-source Dijkstras of one phase
+    /// are independent given the phase-start length vector, so they fan out
+    /// across threads; length updates stay sequential, so `Serial` and
+    /// `Rayon` produce bit-identical solutions.
+    pub parallelism: Parallelism,
 }
 
 /// Solve max concurrent flow. `eps` trades accuracy for speed (the result is
@@ -98,9 +105,7 @@ pub fn solve_with_options(
     let mut caps = link_capacities(net);
     if opts.host_links_free {
         for (id, l) in net.links() {
-            if l.up
-                && (net.node(l.src).kind.is_host() || net.node(l.dst).kind.is_host())
-            {
+            if l.up && (net.node(l.src).kind.is_host() || net.node(l.dst).kind.is_host()) {
                 caps[id.index()] = f64::INFINITY;
             }
         }
@@ -110,7 +115,7 @@ pub fn solve_with_options(
     // --- Demand pre-scaling so that OPT λ' is Θ(1). -----------------------
     // Lower bound: route every commodity on a shortest allowed path and
     // scale by the resulting congestion.
-    let seed_routes = shortest_routes_unit(net, commodities, mode);
+    let seed_routes = shortest_routes_unit(net, commodities, mode, opts.parallelism);
     let mut seed_load = vec![0.0f64; caps.len()];
     for (c, route) in commodities.iter().zip(&seed_routes) {
         for &l in route {
@@ -149,19 +154,36 @@ pub fn solve_with_options(
     for (i, c) in commodities.iter().enumerate() {
         by_src[c.src.index()].push(i);
     }
+    // Active sources in ascending order — the batch of independent Dijkstras
+    // each phase fans out over.
+    let sources: Vec<usize> = by_src
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| !g.is_empty())
+        .map(|(s, _)| s)
+        .collect();
 
     let oracle = AnyPathOracle::new(net);
 
     'outer: while d_sum < 1.0 && phases < max_phases {
         phases += 1;
-        for (src, group) in by_src.iter().enumerate() {
-            if group.is_empty() {
-                continue;
-            }
-            // AnyPath: one shortest-path tree per plane from this source's
-            // rack, under current lengths.
+        // AnyPath: one shortest-path-tree bundle per active source, all
+        // computed against the phase-start length vector. The per-source
+        // Dijkstras are independent, so they run in parallel (Fleischer's
+        // phase framework: routing on phase-start shortest paths preserves
+        // the (1-O(eps)) guarantee, and the final congestion rescale keeps
+        // the primal feasible regardless). Sequential consumption below
+        // keeps serial and parallel runs bit-identical.
+        let phase_trees: Vec<PlaneTrees> = match mode {
+            PathMode::AnyPath => opts.parallelism.map_indexed(sources.len(), |i| {
+                oracle.trees(net, HostId(sources[i] as u32), &length)
+            }),
+            PathMode::Explicit(_) => Vec::new(),
+        };
+        for (si, &src) in sources.iter().enumerate() {
+            let group = &by_src[src];
             let trees = match mode {
-                PathMode::AnyPath => Some(oracle.trees(net, HostId(src as u32), &length)),
+                PathMode::AnyPath => Some(&phase_trees[si]),
                 PathMode::Explicit(_) => None,
             };
             for &i in group {
@@ -171,14 +193,12 @@ pub fn solve_with_options(
                         break 'outer;
                     }
                     let route: Vec<LinkId> = match mode {
-                        PathMode::Explicit(paths) => {
-                            best_explicit(&paths[i], &length).to_vec()
-                        }
+                        PathMode::Explicit(paths) => best_explicit(&paths[i], &length).to_vec(),
                         PathMode::AnyPath => oracle.best_route(
                             net,
                             commodities[i].src,
                             commodities[i].dst,
-                            trees.as_ref().unwrap(),
+                            trees.unwrap(),
                             &length,
                         ),
                     };
@@ -235,11 +255,13 @@ pub fn solve_with_options(
 
 /// Shortest allowed route per commodity under unit lengths (used for demand
 /// pre-scaling). Explicit mode: fewest links among candidates. AnyPath:
-/// BFS-shortest across planes.
+/// BFS-shortest across planes, with one tree bundle per *unique* source
+/// computed in parallel rather than one per commodity.
 fn shortest_routes_unit(
     net: &Network,
     commodities: &[Commodity],
     mode: &PathMode,
+    par: Parallelism,
 ) -> Vec<Vec<LinkId>> {
     match mode {
         PathMode::Explicit(paths) => paths
@@ -255,11 +277,17 @@ fn shortest_routes_unit(
         PathMode::AnyPath => {
             let unit: Vec<f64> = net.links().map(|_| 1.0).collect();
             let oracle = AnyPathOracle::new(net);
+            let mut sources: Vec<u32> = commodities.iter().map(|c| c.src.0).collect();
+            sources.sort_unstable();
+            sources.dedup();
+            let trees: Vec<PlaneTrees> = par.map_indexed(sources.len(), |i| {
+                oracle.trees(net, HostId(sources[i]), &unit)
+            });
             commodities
                 .iter()
                 .map(|c| {
-                    let trees = oracle.trees(net, c.src, &unit);
-                    oracle.best_route(net, c.src, c.dst, &trees, &unit)
+                    let si = sources.binary_search(&c.src.0).unwrap();
+                    oracle.best_route(net, c.src, c.dst, &trees[si], &unit)
                 })
                 .collect()
         }
@@ -284,10 +312,12 @@ fn best_explicit<'a>(candidates: &'a [Vec<LinkId>], length: &[f64]) -> &'a [Link
 
 use pnet_routing::PlaneGraph;
 
+/// One plane's tree: (dist to each dense switch, parent link of each switch).
+type PlaneTree = (Vec<f64>, Vec<Option<(usize, LinkId)>>);
+
 /// Shortest-path trees from one source rack, one per plane.
 pub struct PlaneTrees {
-    /// Per plane: (dist to each dense switch, parent link of each switch).
-    trees: Vec<(Vec<f64>, Vec<Option<(usize, LinkId)>>)>,
+    trees: Vec<PlaneTree>,
 }
 
 struct AnyPathOracle {
@@ -416,68 +446,105 @@ pub fn expand_host_routes(
 }
 
 /// Helper bundling router + commodity list into explicit K-path mode across
-/// all planes (the MPTCP + KSP configuration).
+/// all planes (the MPTCP + KSP configuration). Candidate-set construction
+/// fans out across commodities.
 pub fn ksp_mode(
     net: &Network,
-    router: &mut pnet_routing::Router,
+    router: &pnet_routing::Router,
     commodities: &[Commodity],
     k: usize,
 ) -> PathMode {
-    let paths = commodities
-        .iter()
-        .enumerate()
-        .map(|(i, c)| {
-            let (sa, sb) = (net.rack_of_host(c.src), net.rack_of_host(c.dst));
-            let rack_paths = if sa == sb {
-                // Intra-rack: one host->ToR->host path per plane (MPTCP can
-                // still stripe across all planes).
-                net.planes().map(pnet_routing::Path::intra_rack).collect()
-            } else {
-                // Fetch a wide candidate set, hash-rotate each equal-length
-                // tier per flow (the MPTCP path manager's spread), then keep
-                // the K best for this flow.
-                let wide = (2 * k).max(8);
-                let mut ps = router.k_best_across_planes(sa, sb, wide);
-                pnet_routing::path::rotate_ties(
-                    &mut ps,
-                    pnet_routing::flow_hash(c.src, c.dst, i as u64),
-                );
-                ps.truncate(k);
-                ps
-            };
-            expand_host_routes(net, c.src, c.dst, &rack_paths)
-        })
-        .collect();
+    ksp_mode_with(net, router, commodities, k, Parallelism::default())
+}
+
+/// [`ksp_mode`] with an explicit execution strategy. Each commodity's
+/// candidate set is a pure function of the frozen router tables and the
+/// commodity index, so parallel construction is element-identical to serial.
+pub fn ksp_mode_with(
+    net: &Network,
+    router: &pnet_routing::Router,
+    commodities: &[Commodity],
+    k: usize,
+    par: Parallelism,
+) -> PathMode {
+    // Warm the route table in bulk first: precompute fans the per-pair
+    // Yen/ECMP computations across threads without lock contention.
+    router.precompute_with(&inter_rack_pairs(net, commodities), par);
+    let paths = par.map_indexed(commodities.len(), |i| {
+        let c = &commodities[i];
+        let (sa, sb) = (net.rack_of_host(c.src), net.rack_of_host(c.dst));
+        let rack_paths = if sa == sb {
+            // Intra-rack: one host->ToR->host path per plane (MPTCP can
+            // still stripe across all planes).
+            net.planes().map(pnet_routing::Path::intra_rack).collect()
+        } else {
+            // Fetch a wide candidate set, hash-rotate each equal-length
+            // tier per flow (the MPTCP path manager's spread), then keep
+            // the K best for this flow.
+            let wide = (2 * k).max(8);
+            let mut ps = router.k_best_across_planes(sa, sb, wide);
+            pnet_routing::path::rotate_ties(
+                &mut ps,
+                pnet_routing::flow_hash(c.src, c.dst, i as u64),
+            );
+            ps.truncate(k);
+            ps
+        };
+        expand_host_routes(net, c.src, c.dst, &rack_paths)
+    });
     PathMode::Explicit(paths)
 }
 
 /// Helper: single hash-selected ECMP path per commodity (plane by hash, then
-/// equal-cost path by hash), the paper's naive P-Net ECMP.
+/// equal-cost path by hash), the paper's naive P-Net ECMP. Candidate-set
+/// construction fans out across commodities.
 pub fn ecmp_mode(
     net: &Network,
-    router: &mut pnet_routing::Router,
+    router: &pnet_routing::Router,
     commodities: &[Commodity],
 ) -> PathMode {
+    ecmp_mode_with(net, router, commodities, Parallelism::default())
+}
+
+/// [`ecmp_mode`] with an explicit execution strategy.
+pub fn ecmp_mode_with(
+    net: &Network,
+    router: &pnet_routing::Router,
+    commodities: &[Commodity],
+    par: Parallelism,
+) -> PathMode {
     use pnet_routing::{flow_hash, hash_plane, hash_select};
+    router.precompute_with(&inter_rack_pairs(net, commodities), par);
     let n_planes = net.n_planes();
-    let paths = commodities
-        .iter()
-        .enumerate()
-        .map(|(i, c)| {
-            let h = flow_hash(c.src, c.dst, i as u64);
-            let plane = hash_plane(n_planes, h);
-            let (sa, sb) = (net.rack_of_host(c.src), net.rack_of_host(c.dst));
-            let rack_path = if sa == sb {
-                pnet_routing::Path::intra_rack(plane)
-            } else {
-                let set = router.paths_in_plane(plane, sa, sb);
-                assert!(!set.is_empty(), "no ECMP path in plane {plane}");
-                hash_select(&set, h).clone()
-            };
-            expand_host_routes(net, c.src, c.dst, &[rack_path])
-        })
-        .collect();
+    let paths = par.map_indexed(commodities.len(), |i| {
+        let c = &commodities[i];
+        let h = flow_hash(c.src, c.dst, i as u64);
+        let plane = hash_plane(n_planes, h);
+        let (sa, sb) = (net.rack_of_host(c.src), net.rack_of_host(c.dst));
+        let rack_path = if sa == sb {
+            pnet_routing::Path::intra_rack(plane)
+        } else {
+            let set = router.paths_in_plane(plane, sa, sb);
+            assert!(!set.is_empty(), "no ECMP path in plane {plane}");
+            hash_select(&set, h).clone()
+        };
+        expand_host_routes(net, c.src, c.dst, &[rack_path])
+    });
     PathMode::Explicit(paths)
+}
+
+/// Distinct inter-rack (src, dst) rack pairs of a commodity list, in first-
+/// appearance order — the precompute work-list for the helpers above.
+fn inter_rack_pairs(net: &Network, commodities: &[Commodity]) -> Vec<(RackId, RackId)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut pairs = Vec::new();
+    for c in commodities {
+        let (sa, sb) = (net.rack_of_host(c.src), net.rack_of_host(c.dst));
+        if sa != sb && seen.insert((sa, sb)) {
+            pairs.push((sa, sb));
+        }
+    }
+    pairs
 }
 
 /// Max-min throughput of fixed single routes (see [`crate::maxmin`]) — used
@@ -496,9 +563,7 @@ mod tests {
     use super::*;
     use crate::commodity;
     use pnet_routing::{RouteAlgo, Router};
-    use pnet_topology::{
-        assemble_homogeneous, gbps, FatTree, Jellyfish, LinkProfile,
-    };
+    use pnet_topology::{assemble_homogeneous, gbps, FatTree, Jellyfish, LinkProfile};
 
     const EPS: f64 = 0.05;
 
@@ -506,8 +571,7 @@ mod tests {
     fn single_pair_gets_link_rate() {
         // Two hosts in different racks of a 1-plane fat tree; only
         // commodity. λ·d should equal one link rate (100G).
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
         let c = vec![Commodity::unit(HostId(0), HostId(15))];
         let sol = solve(&net, &c, &PathMode::AnyPath, EPS);
         let rate = sol.rates[0];
@@ -521,26 +585,20 @@ mod tests {
     fn uplink_is_the_bottleneck_for_fan_out() {
         // One source sending to 4 destinations: the source's single 100G
         // uplink caps total at 100G, so λ·d = 25G each.
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
         let c: Vec<Commodity> = [4u32, 8, 12, 15]
             .iter()
             .map(|&d| Commodity::unit(HostId(0), HostId(d)))
             .collect();
         let sol = solve(&net, &c, &PathMode::AnyPath, EPS);
         for &r in &sol.rates {
-            assert!(
-                (r - 25e9).abs() / 25e9 < 4.0 * EPS,
-                "rates {:?}",
-                sol.rates
-            );
+            assert!((r - 25e9).abs() / 25e9 < 4.0 * EPS, "rates {:?}", sol.rates);
         }
     }
 
     #[test]
     fn two_planes_double_the_pair_rate() {
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
         let c = vec![Commodity::unit(HostId(0), HostId(15))];
         let sol = solve(&net, &c, &PathMode::AnyPath, EPS);
         assert!(
@@ -554,11 +612,10 @@ mod tests {
     fn explicit_single_path_restricts() {
         // Same pair, but restricted to one plane-0 route: 100G even though
         // the network has two planes.
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
-        let mut router = Router::new(&net, RouteAlgo::Ksp { k: 1 });
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let router = Router::new(&net, RouteAlgo::Ksp { k: 1 });
         let c = vec![Commodity::unit(HostId(0), HostId(15))];
-        let mode = ksp_mode(&net, &mut router, &c, 1);
+        let mode = ksp_mode(&net, &router, &c, 1);
         let sol = solve(&net, &c, &mode, EPS);
         assert!(
             (sol.rates[0] - 100e9).abs() / 100e9 < 3.0 * EPS,
@@ -587,9 +644,8 @@ mod tests {
     fn permutation_fat_tree_full_bisection_with_ecmp_paths() {
         // k=4 fat tree is non-blocking: a permutation routed over ALL
         // equal-cost paths (splittable) achieves the full 100G per host.
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
-        let mut router = Router::new(&net, RouteAlgo::Ecmp { cap: 16 });
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let router = Router::new(&net, RouteAlgo::Ecmp { cap: 16 });
         // Cross-pod cyclic shift permutation: host i -> (i + 8) mod 16.
         let perm: Vec<usize> = (0..16).map(|i| (i + 8) % 16).collect();
         let c = commodity::permutation(&perm);
@@ -611,8 +667,7 @@ mod tests {
 
     #[test]
     fn lambda_matches_min_rate_ratio() {
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
         let c = vec![
             Commodity {
                 src: HostId(0),

@@ -19,13 +19,13 @@
 use crate::commodity::Commodity;
 use crate::maxmin;
 use crate::mcf::{self, PathMode};
-use pnet_topology::Network;
 use pnet_routing::{RouteAlgo, Router};
+use pnet_topology::Network;
 
 /// Total throughput of hash-based single-path ECMP under max-min fairness.
 pub fn ecmp_throughput(net: &Network, commodities: &[Commodity]) -> f64 {
-    let mut router = Router::new(net, RouteAlgo::Ecmp { cap: 64 });
-    let mode = mcf::ecmp_mode(net, &mut router, commodities);
+    let router = Router::new(net, RouteAlgo::Ecmp { cap: 64 });
+    let mode = mcf::ecmp_mode(net, &router, commodities);
     let PathMode::Explicit(paths) = mode else {
         unreachable!()
     };
@@ -48,8 +48,8 @@ pub fn ksp_multipath_throughput(
     // per-flow hash rotation has equal-cost alternatives to spread over
     // (see `mcf::ksp_mode`).
     let wide = (2 * k).max(8);
-    let mut router = Router::new(net, RouteAlgo::Ksp { k: wide });
-    let mode = mcf::ksp_mode(net, &mut router, commodities, k);
+    let router = Router::new(net, RouteAlgo::Ksp { k: wide });
+    let mode = mcf::ksp_mode(net, &router, commodities, k);
     let sol = mcf::solve(net, commodities, &mode, eps);
     (sol.total_rate(), sol.lambda)
 }
@@ -72,6 +72,7 @@ pub fn ideal_core_throughput(net: &Network, commodities: &[Commodity], eps: f64)
         eps,
         mcf::McfOptions {
             host_links_free: true,
+            ..Default::default()
         },
     );
     (sol.total_rate(), sol.lambda)

@@ -468,7 +468,7 @@ mod tests {
     }
 
     fn factory_for(net: &Network) -> FlowFactory<'_> {
-        let mut router = Router::new(net, RouteAlgo::Ksp { k: 1 });
+        let router = Router::new(net, RouteAlgo::Ksp { k: 1 });
         Box::new(move |src, dst, _size| {
             let (ra, rb) = (net.rack_of_host(src), net.rack_of_host(dst));
             let p = if ra == rb {
@@ -515,7 +515,7 @@ mod tests {
         let mut toggle = 0u32;
         let driver_flow = Box::new(move || {
             toggle += 1;
-            if toggle % 2 == 0 {
+            if toggle.is_multiple_of(2) {
                 (HostId(0), HostId(15), 15_000u64)
             } else {
                 (HostId(2), HostId(13), 15_000u64)
@@ -553,7 +553,10 @@ mod tests {
         run(&mut sim, &mut driver, None);
         // Arrivals at 100us and 200us only (300us is past the deadline).
         assert_eq!(driver.started, 2);
-        assert!(driver.completed.iter().all(|r| r.start <= SimTime::from_us(250)));
+        assert!(driver
+            .completed
+            .iter()
+            .all(|r| r.start <= SimTime::from_us(250)));
     }
 
     #[test]

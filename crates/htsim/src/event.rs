@@ -19,7 +19,11 @@ pub enum EventKind {
     /// hop (or at the destination host if the route is exhausted).
     Arrival { packet: Packet },
     /// A retransmission timer fired. Stale tokens are ignored.
-    RtoTimer { conn: ConnId, subflow: u8, token: u64 },
+    RtoTimer {
+        conn: ConnId,
+        subflow: u8,
+        token: u64,
+    },
     /// An application-scheduled wakeup (flow start, think time, ...).
     AppTimer { app: u32, tag: u64 },
 }
@@ -82,6 +86,13 @@ impl EventQueue {
         if e.is_some() {
             self.dispatched += 1;
         }
+        // Drain invariant: every event is scheduled exactly once and
+        // dispatched at most once, so pending + dispatched == scheduled.
+        debug_assert_eq!(
+            self.heap.len() as u64 + self.dispatched,
+            self.scheduled,
+            "event queue counters out of sync"
+        );
         e
     }
 
@@ -103,6 +114,12 @@ impl EventQueue {
     /// Total events dispatched so far (for instrumentation).
     pub fn dispatched(&self) -> u64 {
         self.dispatched
+    }
+
+    /// Total events scheduled so far (for instrumentation; always equals
+    /// `dispatched() + len()`).
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
     }
 }
 
@@ -159,5 +176,34 @@ mod tests {
         q.pop();
         assert_eq!(q.dispatched(), 1);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drain_invariant_holds_through_interleaved_use() {
+        let mut q = EventQueue::new();
+        // Interleave schedules and pops, including pops on empty, and check
+        // scheduled == dispatched + pending at every step.
+        for round in 0..5u64 {
+            for i in 0..3 {
+                q.schedule(
+                    SimTime::from_ns(round * 10 + i),
+                    EventKind::AppTimer {
+                        app: i as u32,
+                        tag: round,
+                    },
+                );
+                assert_eq!(q.scheduled(), q.dispatched() + q.len() as u64);
+            }
+            q.pop();
+            assert_eq!(q.scheduled(), q.dispatched() + q.len() as u64);
+        }
+        while q.pop().is_some() {
+            assert_eq!(q.scheduled(), q.dispatched() + q.len() as u64);
+        }
+        // Pop on empty must not disturb the counters.
+        assert!(q.pop().is_none());
+        assert_eq!(q.scheduled(), 15);
+        assert_eq!(q.dispatched(), 15);
+        assert_eq!(q.len(), 0);
     }
 }

@@ -22,7 +22,7 @@
 //! use pnet_topology::{assemble_homogeneous, FatTree, HostId, LinkProfile, PlaneId};
 //!
 //! let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
-//! let mut router = Router::new(&net, RouteAlgo::Ksp { k: 1 });
+//! let router = Router::new(&net, RouteAlgo::Ksp { k: 1 });
 //! let path = router
 //!     .paths_in_plane(PlaneId(0), net.rack_of_host(HostId(0)), net.rack_of_host(HostId(15)))
 //!     .first()

@@ -207,8 +207,7 @@ impl Simulator {
                 sub
             })
             .collect();
-        self.last_progress
-            .push(vec![self.now; subflows.len()]);
+        self.last_progress.push(vec![self.now; subflows.len()]);
         self.conns.push(Connection {
             id,
             src: spec.src,
@@ -258,9 +257,7 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn send_packet(&mut self, pkt: Packet) {
-        let link = pkt
-            .next_link()
-            .expect("send_packet on exhausted route");
+        let link = pkt.next_link().expect("send_packet on exhausted route");
         let q = &mut self.queues[link.index()];
         match q.enqueue(pkt) {
             Enqueue::StartService => {
@@ -279,7 +276,8 @@ impl Simulator {
         let q = &mut self.queues[link.index()];
         let (mut pkt, arrival, next) = q.depart(self.now);
         pkt.hop += 1;
-        self.events.schedule(arrival, EventKind::Arrival { packet: pkt });
+        self.events
+            .schedule(arrival, EventKind::Arrival { packet: pkt });
         if let Some(ser) = next {
             self.events.schedule(
                 self.now + SimTime::from_ps(ser),
@@ -711,7 +709,7 @@ pub fn run_to_completion(sim: &mut Simulator) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pnet_routing::{host_route, Router, RouteAlgo};
+    use pnet_routing::{host_route, RouteAlgo, Router};
     use pnet_topology::{assemble_homogeneous, FatTree, LinkProfile};
 
     fn net() -> pnet_topology::Network {
@@ -724,7 +722,7 @@ mod tests {
         dst: HostId,
         plane: u16,
     ) -> Vec<LinkId> {
-        let mut router = Router::new(net, RouteAlgo::Ksp { k: 1 });
+        let router = Router::new(net, RouteAlgo::Ksp { k: 1 });
         let (ra, rb) = (net.rack_of_host(src), net.rack_of_host(dst));
         let p = if ra == rb {
             pnet_routing::Path::intra_rack(pnet_topology::PlaneId(plane))

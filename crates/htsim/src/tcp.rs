@@ -213,9 +213,7 @@ impl Subflow {
             self.srtt_ps = 0.875 * self.srtt_ps + 0.125 * s;
         }
         let rto_ps = (self.srtt_ps + 4.0 * self.rttvar_ps) as u64;
-        self.rto = SimTime::from_ps(rto_ps)
-            .max(cfg.min_rto)
-            .min(cfg.max_rto);
+        self.rto = SimTime::from_ps(rto_ps).max(cfg.min_rto).min(cfg.max_rto);
     }
 
     /// Effective timeout with exponential backoff.
@@ -533,7 +531,7 @@ mod tests {
             s.highest_sent = cum + 10;
             cum += 1;
             s.snd_una = cum;
-            s.dctcp_on_ack(1, cum % 2 == 0, cum);
+            s.dctcp_on_ack(1, cum.is_multiple_of(2), cum);
         }
         assert!(
             (s.dctcp_alpha - 0.5).abs() < 0.1,

@@ -172,9 +172,7 @@ pub fn mean_switch_hops(matrix: &[Vec<u32>]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pnet_topology::{
-        assemble_homogeneous, FatTree, Jellyfish, LinkProfile, Network, PlaneId,
-    };
+    use pnet_topology::{assemble_homogeneous, FatTree, Jellyfish, LinkProfile, Network, PlaneId};
 
     fn ft_net() -> Network {
         assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default())
@@ -243,6 +241,7 @@ mod tests {
         );
         let pg = PlaneGraph::build(&net, PlaneId(0));
         let m = rack_hop_matrix(&pg);
+        #[allow(clippy::needless_range_loop)]
         for a in 0..12 {
             assert_eq!(m[a][a], 0);
             for b in 0..12 {

@@ -45,12 +45,7 @@ pub fn edge_disjoint_paths(pg: &PlaneGraph, src: RackId, dst: RackId, k: usize) 
 
 /// BFS shortest path avoiding banned cables; deterministic (lowest link id
 /// first).
-fn bfs_avoiding(
-    pg: &PlaneGraph,
-    s: usize,
-    t: usize,
-    banned: &HashSet<u32>,
-) -> Option<Vec<LinkId>> {
+fn bfs_avoiding(pg: &PlaneGraph, s: usize, t: usize, banned: &HashSet<u32>) -> Option<Vec<LinkId>> {
     let n = pg.n_switches();
     let mut parent: Vec<Option<(usize, LinkId)>> = vec![None; n];
     let mut seen = vec![false; n];
@@ -106,8 +101,7 @@ mod tests {
     fn fat_tree_cross_pod_disjoint_count() {
         // k=4 fat tree: a ToR has 2 agg uplinks, so at most 2 edge-disjoint
         // paths to another pod.
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
         let pg = PlaneGraph::build(&net, PlaneId(0));
         let paths = edge_disjoint_paths(&pg, RackId(0), RackId(7), 8);
         assert_eq!(paths.len(), 2);
@@ -129,10 +123,7 @@ mod tests {
         for b in 1..16u32 {
             let paths = edge_disjoint_paths(&pg, RackId(0), RackId(b), 16);
             assert!(are_edge_disjoint(&paths), "overlap toward rack {b}");
-            assert!(
-                paths.len() <= 4,
-                "more disjoint paths than the ToR degree"
-            );
+            assert!(paths.len() <= 4, "more disjoint paths than the ToR degree");
             assert!(!paths.is_empty());
             // Shortest first.
             for w in paths.windows(2) {
@@ -156,8 +147,7 @@ mod tests {
 
     #[test]
     fn same_rack_and_k_zero() {
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
         let pg = PlaneGraph::build(&net, PlaneId(0));
         assert!(edge_disjoint_paths(&pg, RackId(0), RackId(7), 0).is_empty());
         let same = edge_disjoint_paths(&pg, RackId(2), RackId(2), 3);

@@ -1,0 +1,67 @@
+//! Serial/parallel execution strategy for bulk computations.
+//!
+//! Every parallel fan-out in the workspace routes through
+//! [`Parallelism::map_indexed`]: results are computed per index and collected
+//! in index order, so `Serial` and `Rayon` produce *identical* outputs for
+//! any pure per-index function. That property is what the determinism
+//! regression tests pin down (serial vs parallel route tables and MCF
+//! solutions must match bit-for-bit).
+//!
+//! Thread count under [`Parallelism::Rayon`] follows `RAYON_NUM_THREADS`
+//! (else the machine's available parallelism); `RAYON_NUM_THREADS=1`
+//! degenerates to the serial loop.
+
+use rayon::prelude::*;
+
+/// How a bulk computation fans out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Plain sequential loop (reference semantics).
+    Serial,
+    /// Fan out across threads via rayon, collecting in index order.
+    #[default]
+    Rayon,
+}
+
+impl Parallelism {
+    /// Worker threads this strategy will use.
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Rayon => rayon::current_num_threads(),
+        }
+    }
+
+    /// Map `f` over `0..n`, collecting results in index order. `Serial` and
+    /// `Rayon` return identical vectors for pure `f`.
+    pub fn map_indexed<R, F>(self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        match self {
+            Parallelism::Serial => (0..n).map(f).collect(),
+            Parallelism::Rayon => (0..n).into_par_iter().map(f).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_rayon_agree() {
+        let f = |i: usize| (i * 31) ^ 7;
+        assert_eq!(
+            Parallelism::Serial.map_indexed(100, f),
+            Parallelism::Rayon.map_indexed(100, f)
+        );
+    }
+
+    #[test]
+    fn thread_counts() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert!(Parallelism::Rayon.threads() >= 1);
+    }
+}

@@ -16,7 +16,7 @@
 //! use pnet_topology::{assemble_homogeneous, FatTree, LinkProfile, RackId};
 //!
 //! let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
-//! let mut router = Router::new(&net, RouteAlgo::Ksp { k: 4 });
+//! let router = Router::new(&net, RouteAlgo::Ksp { k: 4 });
 //! let paths = router.k_best_across_planes(RackId(0), RackId(7), 8);
 //! assert_eq!(paths.len(), 8);
 //! assert!(paths.iter().all(|p| p.switch_hops() == 5)); // 4+4 equal-cost across 2 planes
@@ -25,6 +25,7 @@
 pub mod bfs;
 pub mod disjoint;
 pub mod ecmp;
+pub mod exec;
 pub mod path;
 pub mod plane_graph;
 pub mod router;
@@ -32,6 +33,7 @@ pub mod yen;
 
 pub use disjoint::{are_edge_disjoint, edge_disjoint_paths};
 pub use ecmp::{flow_hash, hash_plane, hash_select};
+pub use exec::Parallelism;
 pub use path::{host_route, reverse_route, rotate_ties, sort_paths, Path};
 pub use plane_graph::PlaneGraph;
 pub use router::{RouteAlgo, Router};

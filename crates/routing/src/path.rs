@@ -137,9 +137,7 @@ pub fn sort_paths(paths: &mut [Path]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pnet_topology::{
-        assemble_homogeneous, FatTree, HostId, LinkProfile, PlaneId,
-    };
+    use pnet_topology::{assemble_homogeneous, FatTree, HostId, LinkProfile, PlaneId};
 
     fn net() -> Network {
         assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default())

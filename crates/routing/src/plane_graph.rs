@@ -61,9 +61,17 @@ impl PlaneGraph {
         }
     }
 
-    /// Build all plane graphs of a network.
+    /// Build all plane graphs of a network, fanning out across planes.
     pub fn build_all(net: &Network) -> Vec<PlaneGraph> {
-        net.planes().map(|p| PlaneGraph::build(net, p)).collect()
+        Self::build_all_with(net, crate::exec::Parallelism::default())
+    }
+
+    /// [`PlaneGraph::build_all`] with an explicit execution strategy. Planes
+    /// are independent, so extraction parallelizes trivially; results are
+    /// collected in plane-index order.
+    pub fn build_all_with(net: &Network, par: crate::exec::Parallelism) -> Vec<PlaneGraph> {
+        let planes: Vec<PlaneId> = net.planes().collect();
+        par.map_indexed(planes.len(), |i| PlaneGraph::build(net, planes[i]))
     }
 
     /// Number of switches in the plane.
@@ -116,14 +124,11 @@ impl PlaneGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pnet_topology::{
-        assemble_homogeneous, failures, FatTree, Jellyfish, LinkProfile,
-    };
+    use pnet_topology::{assemble_homogeneous, failures, FatTree, Jellyfish, LinkProfile};
 
     #[test]
     fn fat_tree_plane_graph_counts() {
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
         let pg = PlaneGraph::build(&net, PlaneId(0));
         assert_eq!(pg.n_switches(), 20);
         assert_eq!(pg.n_racks(), 8);
@@ -149,8 +154,7 @@ mod tests {
 
     #[test]
     fn planes_have_disjoint_switches() {
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
         let pg0 = PlaneGraph::build(&net, PlaneId(0));
         let pg1 = PlaneGraph::build(&net, PlaneId(1));
         for i in 0..pg0.n_switches() {

@@ -1,25 +1,33 @@
-//! The caching multi-plane router.
+//! The multi-plane router with a thread-shareable route table.
 //!
 //! A [`Router`] wraps the per-plane graphs of a network and serves path sets
-//! on demand, memoizing per (plane, src rack, dst rack). Two algorithms are
-//! supported, matching the paper's two routing regimes:
+//! per (plane, src rack, dst rack). Two algorithms are supported, matching
+//! the paper's two routing regimes:
 //!
 //! * [`RouteAlgo::Ecmp`] — all equal-cost shortest paths (capped), the
 //!   fat-tree default;
 //! * [`RouteAlgo::Ksp`] — Yen K-shortest-paths, the expander default and the
 //!   multipath substrate for MPTCP.
 //!
-//! Cross-plane queries ([`Router::k_best_across_planes`]) merge the per-plane
-//! path sets shortest-first — this is how a P-Net host builds its bounded set
-//! of subflow paths spanning all dataplanes.
+//! Path computation is a pure function of the (frozen) plane graphs, so the
+//! route table is filled either lazily behind an `RwLock` (concurrent
+//! readers, `&self` throughout) or in bulk by [`Router::precompute`], which
+//! fans the per-(plane, src, dst) Yen/ECMP computations across threads and
+//! commits results in deterministic index order. Serial and parallel
+//! precomputation produce identical tables — see `tests/determinism.rs`.
+//!
+//! Cross-plane queries ([`Router::k_best_across_planes`]) merge the
+//! per-plane path sets shortest-first — this is how a P-Net host builds its
+//! bounded set of subflow paths spanning all dataplanes.
 
 use crate::bfs;
+use crate::exec::Parallelism;
 use crate::path::{sort_paths, Path};
 use crate::plane_graph::PlaneGraph;
 use crate::yen;
 use pnet_topology::{Network, PlaneId, RackId};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Which path computation the router serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,21 +48,31 @@ impl RouteAlgo {
     }
 }
 
-/// Caching path provider over all planes of one network.
+type RouteKey = (PlaneId, RackId, RackId);
+
+/// Path provider over all planes of one network. All lookups take `&self`;
+/// the router is `Sync` and can be shared across threads (e.g. behind an
+/// `Arc`) once built.
 pub struct Router {
-    planes: Vec<PlaneGraph>,
+    planes: Arc<Vec<PlaneGraph>>,
     algo: RouteAlgo,
-    cache: HashMap<(PlaneId, RackId, RackId), Arc<Vec<Path>>>,
+    table: RwLock<HashMap<RouteKey, Arc<Vec<Path>>>>,
 }
 
 impl Router {
     /// Build a router for `net` (captures the current link up/down state;
-    /// rebuild after failure injection).
+    /// [`Router::refresh`] after failure injection). Plane graph extraction
+    /// fans out across planes.
     pub fn new(net: &Network, algo: RouteAlgo) -> Self {
+        Self::with_parallelism(net, algo, Parallelism::default())
+    }
+
+    /// [`Router::new`] with an explicit execution strategy.
+    pub fn with_parallelism(net: &Network, algo: RouteAlgo, par: Parallelism) -> Self {
         Router {
-            planes: PlaneGraph::build_all(net),
+            planes: Arc::new(PlaneGraph::build_all_with(net, par)),
             algo,
-            cache: HashMap::new(),
+            table: RwLock::new(HashMap::new()),
         }
     }
 
@@ -68,26 +86,90 @@ impl Router {
         self.planes.len()
     }
 
+    /// Racks served by the network.
+    pub fn n_racks(&self) -> usize {
+        self.planes.first().map_or(0, |pg| pg.n_racks())
+    }
+
     /// The plane graphs (e.g. for custom analyses).
     pub fn plane_graphs(&self) -> &[PlaneGraph] {
         &self.planes
     }
 
-    /// Path set between two racks within one plane (cached, shared).
-    pub fn paths_in_plane(&mut self, plane: PlaneId, src: RackId, dst: RackId) -> Arc<Vec<Path>> {
-        let key = (plane, src, dst);
-        if let Some(p) = self.cache.get(&key) {
-            return Arc::clone(p);
-        }
+    /// Route-table entries currently materialized.
+    pub fn cached_entries(&self) -> usize {
+        self.table.read().unwrap().len()
+    }
+
+    /// Pure per-key path computation (the function the table memoizes).
+    fn compute(&self, plane: PlaneId, src: RackId, dst: RackId) -> Vec<Path> {
         let pg = &self.planes[plane.index()];
         let mut paths = match self.algo {
             RouteAlgo::Ecmp { cap } => bfs::all_shortest_paths(pg, src, dst, cap),
             RouteAlgo::Ksp { k } => yen::ksp(pg, src, dst, k),
         };
         sort_paths(&mut paths);
-        let arc = Arc::new(paths);
-        self.cache.insert(key, Arc::clone(&arc));
-        arc
+        paths
+    }
+
+    /// Path set between two racks within one plane (memoized, shared).
+    pub fn paths_in_plane(&self, plane: PlaneId, src: RackId, dst: RackId) -> Arc<Vec<Path>> {
+        let key = (plane, src, dst);
+        if let Some(p) = self.table.read().unwrap().get(&key) {
+            return Arc::clone(p);
+        }
+        let paths = Arc::new(self.compute(plane, src, dst));
+        // First writer wins so repeat lookups keep returning the same Arc.
+        Arc::clone(self.table.write().unwrap().entry(key).or_insert(paths))
+    }
+
+    /// Bulk-fill the route table for every (plane, src, dst) combination of
+    /// the given rack pairs, fanning the independent Yen/ECMP computations
+    /// across threads. Results are committed in deterministic index order;
+    /// the resulting table is identical to serially computing each entry.
+    pub fn precompute(&self, pairs: &[(RackId, RackId)]) {
+        self.precompute_with(pairs, Parallelism::default());
+    }
+
+    /// [`Router::precompute`] with an explicit execution strategy.
+    pub fn precompute_with(&self, pairs: &[(RackId, RackId)], par: Parallelism) {
+        let n_planes = self.planes.len();
+        // Skip keys that are already materialized (precompute after lazy use
+        // must not replace Arcs callers may have compared by pointer).
+        let todo: Vec<RouteKey> = {
+            let table = self.table.read().unwrap();
+            pairs
+                .iter()
+                .flat_map(|&(src, dst)| (0..n_planes).map(move |p| (PlaneId(p as u16), src, dst)))
+                .filter(|key| !table.contains_key(key))
+                .collect()
+        };
+        let computed: Vec<Vec<Path>> = par.map_indexed(todo.len(), |i| {
+            self.compute(todo[i].0, todo[i].1, todo[i].2)
+        });
+        let mut table = self.table.write().unwrap();
+        for (key, paths) in todo.into_iter().zip(computed) {
+            table.entry(key).or_insert_with(|| Arc::new(paths));
+        }
+    }
+
+    /// [`Router::precompute`] over all ordered rack pairs (src != dst) —
+    /// the all-pairs route tables every experiment sweep starts from.
+    pub fn precompute_all_pairs(&self) {
+        self.precompute_all_pairs_with(Parallelism::default());
+    }
+
+    /// [`Router::precompute_all_pairs`] with an explicit execution strategy.
+    pub fn precompute_all_pairs_with(&self, par: Parallelism) {
+        let n = self.n_racks();
+        let pairs: Vec<(RackId, RackId)> = (0..n)
+            .flat_map(|a| {
+                (0..n)
+                    .filter(move |&b| b != a)
+                    .map(move |b| (RackId(a as u32), RackId(b as u32)))
+            })
+            .collect();
+        self.precompute_with(&pairs, par);
     }
 
     /// The `k` globally best paths between two racks across *all* planes,
@@ -95,7 +177,7 @@ impl Router {
     /// *interleaved* (plane 0's first tie, plane 1's first tie, ...), so a
     /// truncated prefix spreads over as many planes as possible — which is
     /// what an MPTCP path manager wants from its subflow set.
-    pub fn k_best_across_planes(&mut self, src: RackId, dst: RackId, k: usize) -> Vec<Path> {
+    pub fn k_best_across_planes(&self, src: RackId, dst: RackId, k: usize) -> Vec<Path> {
         let mut all: Vec<Path> = Vec::new();
         for plane in 0..self.planes.len() {
             let paths = self.paths_in_plane(PlaneId(plane as u16), src, dst);
@@ -121,7 +203,7 @@ impl Router {
             let mut idx = 0;
             loop {
                 let mut any = false;
-                for plane_paths in &mut per_plane {
+                for plane_paths in &per_plane {
                     if idx < plane_paths.len() {
                         out.push(plane_paths[idx].clone());
                         any = true;
@@ -141,7 +223,7 @@ impl Router {
     /// The plane offering the shortest path between two racks (the paper's
     /// "low-latency" interface selects this plane for small RPCs). Ties go
     /// to the lowest plane id. `None` if no plane connects the racks.
-    pub fn shortest_plane(&mut self, src: RackId, dst: RackId) -> Option<(PlaneId, usize)> {
+    pub fn shortest_plane(&self, src: RackId, dst: RackId) -> Option<(PlaneId, usize)> {
         let mut best: Option<(PlaneId, usize)> = None;
         for plane in 0..self.planes.len() {
             let paths = self.paths_in_plane(PlaneId(plane as u16), src, dst);
@@ -155,10 +237,10 @@ impl Router {
         best
     }
 
-    /// Invalidate the cache and re-extract the plane graphs (after failures).
+    /// Invalidate the table and re-extract the plane graphs (after failures).
     pub fn refresh(&mut self, net: &Network) {
-        self.planes = PlaneGraph::build_all(net);
-        self.cache.clear();
+        self.planes = Arc::new(PlaneGraph::build_all(net));
+        self.table.write().unwrap().clear();
     }
 }
 
@@ -166,15 +248,13 @@ impl Router {
 mod tests {
     use super::*;
     use pnet_topology::{
-        assemble_homogeneous, failures, parallel, FatTree, Jellyfish, LinkProfile,
-        NetworkClass,
+        assemble_homogeneous, failures, parallel, FatTree, Jellyfish, LinkProfile, NetworkClass,
     };
 
     #[test]
     fn ecmp_router_caches() {
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
-        let mut r = Router::new(&net, RouteAlgo::Ecmp { cap: 16 });
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let r = Router::new(&net, RouteAlgo::Ecmp { cap: 16 });
         let a = r.paths_in_plane(PlaneId(0), RackId(0), RackId(7));
         let b = r.paths_in_plane(PlaneId(0), RackId(0), RackId(7));
         assert!(Arc::ptr_eq(&a, &b));
@@ -183,9 +263,8 @@ mod tests {
 
     #[test]
     fn cross_plane_merge_respects_k() {
-        let net =
-            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
-        let mut r = Router::new(&net, RouteAlgo::Ksp { k: 4 });
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let r = Router::new(&net, RouteAlgo::Ksp { k: 4 });
         let merged = r.k_best_across_planes(RackId(0), RackId(7), 6);
         assert_eq!(merged.len(), 6);
         // With two identical planes, the 4+4 candidates interleave; the
@@ -208,7 +287,7 @@ mod tests {
             77,
             &LinkProfile::paper_default(),
         );
-        let mut r = Router::new(&net, RouteAlgo::Ksp { k: 1 });
+        let r = Router::new(&net, RouteAlgo::Ksp { k: 1 });
         // For every pair, the chosen plane must not be beaten by any other.
         for a in 0..4u32 {
             for b in 4..8u32 {
@@ -238,5 +317,90 @@ mod tests {
         r.refresh(&net);
         let after = r.paths_in_plane(PlaneId(0), RackId(0), RackId(7)).len();
         assert!(after <= 4);
+    }
+
+    #[test]
+    fn precompute_matches_lazy_lookups() {
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let warm = Router::new(&net, RouteAlgo::Ksp { k: 6 });
+        warm.precompute_all_pairs();
+        let lazy = Router::new(&net, RouteAlgo::Ksp { k: 6 });
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                if a == b {
+                    continue;
+                }
+                for p in 0..2u16 {
+                    assert_eq!(
+                        *warm.paths_in_plane(PlaneId(p), RackId(a), RackId(b)),
+                        *lazy.paths_in_plane(PlaneId(p), RackId(a), RackId(b)),
+                        "mismatch at plane {p} pair ({a},{b})"
+                    );
+                }
+            }
+        }
+        // 8 racks, 56 ordered pairs, 2 planes.
+        assert_eq!(warm.cached_entries(), 112);
+    }
+
+    #[test]
+    fn serial_and_parallel_precompute_agree() {
+        let net = assemble_homogeneous(
+            &Jellyfish::new(12, 3, 1, 4),
+            2,
+            &LinkProfile::paper_default(),
+        );
+        let a = Router::new(&net, RouteAlgo::Ksp { k: 8 });
+        a.precompute_all_pairs_with(Parallelism::Serial);
+        let b = Router::new(&net, RouteAlgo::Ksp { k: 8 });
+        b.precompute_all_pairs_with(Parallelism::Rayon);
+        for x in 0..12u32 {
+            for y in 0..12u32 {
+                if x == y {
+                    continue;
+                }
+                for p in 0..2u16 {
+                    assert_eq!(
+                        *a.paths_in_plane(PlaneId(p), RackId(x), RackId(y)),
+                        *b.paths_in_plane(PlaneId(p), RackId(x), RackId(y)),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precompute_keeps_existing_arcs() {
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let r = Router::new(&net, RouteAlgo::Ecmp { cap: 8 });
+        let before = r.paths_in_plane(PlaneId(0), RackId(0), RackId(7));
+        r.precompute_all_pairs();
+        let after = r.paths_in_plane(PlaneId(0), RackId(0), RackId(7));
+        assert!(
+            Arc::ptr_eq(&before, &after),
+            "precompute replaced a live Arc"
+        );
+    }
+
+    #[test]
+    fn router_is_shareable_across_threads() {
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let r = Arc::new(Router::new(&net, RouteAlgo::Ksp { k: 4 }));
+        r.precompute_all_pairs();
+        let reference = r.k_best_across_planes(RackId(0), RackId(7), 8);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                let want = reference.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(r.k_best_across_planes(RackId(0), RackId(7), 8), want);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

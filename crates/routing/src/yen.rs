@@ -169,9 +169,7 @@ pub fn ksp(pg: &PlaneGraph, src: RackId, dst: RackId, k: usize) -> Vec<Path> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pnet_topology::{
-        assemble_homogeneous, FatTree, Jellyfish, LinkProfile, Network, PlaneId,
-    };
+    use pnet_topology::{assemble_homogeneous, FatTree, Jellyfish, LinkProfile, Network, PlaneId};
 
     fn ft_net() -> Network {
         assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default())

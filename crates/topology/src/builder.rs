@@ -23,8 +23,7 @@ pub trait PlaneBuilder {
     ///
     /// Implementations must tag every switch and link with `plane` and must
     /// not touch hosts — host attachment is done by [`assemble`].
-    fn build_plane(&self, net: &mut Network, plane: PlaneId, profile: &LinkProfile)
-        -> Vec<NodeId>;
+    fn build_plane(&self, net: &mut Network, plane: PlaneId, profile: &LinkProfile) -> Vec<NodeId>;
 
     /// A short human-readable description (used in experiment output).
     fn describe(&self) -> String;
@@ -107,7 +106,11 @@ pub fn assemble_with_profiles(planes: &[&dyn PlaneBuilder], profiles: &[LinkProf
 }
 
 /// Assemble a homogeneous P-Net: `n` identical copies of one plane design.
-pub fn assemble_homogeneous(builder: &dyn PlaneBuilder, n: usize, profile: &LinkProfile) -> Network {
+pub fn assemble_homogeneous(
+    builder: &dyn PlaneBuilder,
+    n: usize,
+    profile: &LinkProfile,
+) -> Network {
     let planes: Vec<&dyn PlaneBuilder> = (0..n).map(|_| builder).collect();
     assemble(&planes, profile)
 }
@@ -157,10 +160,7 @@ mod tests {
         // section 6.3).
         let ft = FatTree::three_tier(4);
         let planes: Vec<&dyn PlaneBuilder> = vec![&ft, &ft];
-        let profiles = vec![
-            LinkProfile::speed_gbps(400),
-            LinkProfile::speed_gbps(100),
-        ];
+        let profiles = vec![LinkProfile::speed_gbps(400), LinkProfile::speed_gbps(100)];
         let net = assemble_with_profiles(&planes, &profiles);
         net.validate().unwrap();
         let h0 = HostId(0);

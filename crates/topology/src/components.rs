@@ -108,8 +108,8 @@ pub fn serial_chassis(hosts: usize, chip: ChipSpec) -> ComponentCount {
     let half = chassis_radix / 2;
     let agg_boxes = hosts / half; // hosts/64
     let spine_boxes = hosts / chassis_radix; // hosts/128
-    // Aggregation chassis: 2-stage (blocking) from 16-port chips — 2 stages
-    // of (R / r) = 8 chips each -> 16 chips.
+                                             // Aggregation chassis: 2-stage (blocking) from 16-port chips — 2 stages
+                                             // of (R / r) = 8 chips each -> 16 chips.
     let agg_chips_per_box = 2 * (chassis_radix / chip.serial_radix());
     // Spine chassis: 3-stage non-blocking 128-port folded Clos — 3 stages of
     // (R / r) = 8 chips each -> 24 chips.

@@ -50,7 +50,10 @@ pub fn fabric_cables(net: &Network, plane: Option<PlaneId>) -> Vec<LinkId> {
 /// whole network ("link failures are random across the network", section
 /// 5.4). Returns the failed cables. Deterministic in `seed`.
 pub fn fail_random_fraction(net: &mut Network, fraction: f64, seed: u64) -> Vec<LinkId> {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     let mut cables = fabric_cables(net, None);
     let mut rng = StdRng::seed_from_u64(seed);
     cables.shuffle(&mut rng);

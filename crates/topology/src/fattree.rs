@@ -51,7 +51,10 @@ impl FatTree {
     /// with r downlinks, one per leaf). Hosts: r^2/2. Switch hops between
     /// racks: 3 (leaf-spine-leaf).
     pub fn two_tier(radix: usize) -> Self {
-        assert!(radix >= 4 && radix.is_multiple_of(2), "radix must be even and >= 4");
+        assert!(
+            radix >= 4 && radix.is_multiple_of(2),
+            "radix must be even and >= 4"
+        );
         FatTree {
             shape: FatTreeShape::TwoTier { radix },
         }
@@ -83,12 +86,7 @@ impl PlaneBuilder for FatTree {
         }
     }
 
-    fn build_plane(
-        &self,
-        net: &mut Network,
-        plane: PlaneId,
-        profile: &LinkProfile,
-    ) -> Vec<NodeId> {
+    fn build_plane(&self, net: &mut Network, plane: PlaneId, profile: &LinkProfile) -> Vec<NodeId> {
         match self.shape {
             FatTreeShape::ThreeTier { k } => build_three_tier(net, plane, profile, k),
             FatTreeShape::TwoTier { radix } => build_two_tier(net, plane, profile, radix),

@@ -40,7 +40,10 @@ impl Jellyfish {
     pub fn new(n_tors: usize, degree: usize, hosts_per_tor: usize, seed: u64) -> Self {
         assert!(n_tors >= 2, "need at least two ToRs");
         assert!(degree >= 1, "degree must be positive");
-        assert!(degree < n_tors, "degree must be < n_tors for a simple graph");
+        assert!(
+            degree < n_tors,
+            "degree must be < n_tors for a simple graph"
+        );
         assert!(
             (n_tors * degree).is_multiple_of(2),
             "n_tors * degree must be even (handshake lemma)"
@@ -235,12 +238,7 @@ impl PlaneBuilder for Jellyfish {
         self.hosts_per_tor
     }
 
-    fn build_plane(
-        &self,
-        net: &mut Network,
-        plane: PlaneId,
-        profile: &LinkProfile,
-    ) -> Vec<NodeId> {
+    fn build_plane(&self, net: &mut Network, plane: PlaneId, profile: &LinkProfile) -> Vec<NodeId> {
         let tors: Vec<NodeId> = (0..self.n_tors)
             .map(|r| {
                 net.add_switch(
@@ -296,7 +294,10 @@ pub fn expand_rack(
     use crate::graph::NodeKind;
     use rand::seq::SliceRandom;
 
-    assert!(degree >= 2 && degree.is_multiple_of(2), "degree must be even, >= 2");
+    assert!(
+        degree >= 2 && degree.is_multiple_of(2),
+        "degree must be even, >= 2"
+    );
     let rack = crate::ids::RackId(net.n_racks() as u32);
     let host_nodes: Vec<crate::ids::NodeId> = (0..hosts).map(|_| net.add_host(rack)).collect();
 

@@ -67,9 +67,7 @@ pub fn fattree_network(
         NetworkClass::ParallelHeterogeneous => {
             panic!("fat trees have no heterogeneous parallel variant")
         }
-        NetworkClass::SerialHigh => {
-            assemble_homogeneous(&ft, 1, &base.scaled(n_planes as u64))
-        }
+        NetworkClass::SerialHigh => assemble_homogeneous(&ft, 1, &base.scaled(n_planes as u64)),
     }
 }
 
@@ -85,9 +83,7 @@ pub fn jellyfish_network(
     let with_seed = |s: u64| Jellyfish { seed: s, ..proto };
     match class {
         NetworkClass::SerialLow => assemble_homogeneous(&with_seed(seed), 1, base),
-        NetworkClass::ParallelHomogeneous => {
-            assemble_homogeneous(&with_seed(seed), n_planes, base)
-        }
+        NetworkClass::ParallelHomogeneous => assemble_homogeneous(&with_seed(seed), n_planes, base),
         NetworkClass::ParallelHeterogeneous => {
             let builders: Vec<Jellyfish> =
                 (0..n_planes).map(|i| with_seed(seed + i as u64)).collect();
@@ -113,9 +109,7 @@ pub fn xpander_network(
     let with_seed = |s: u64| Xpander { seed: s, ..proto };
     match class {
         NetworkClass::SerialLow => assemble_homogeneous(&with_seed(seed), 1, base),
-        NetworkClass::ParallelHomogeneous => {
-            assemble_homogeneous(&with_seed(seed), n_planes, base)
-        }
+        NetworkClass::ParallelHomogeneous => assemble_homogeneous(&with_seed(seed), n_planes, base),
         NetworkClass::ParallelHeterogeneous => {
             let builders: Vec<Xpander> =
                 (0..n_planes).map(|i| with_seed(seed + i as u64)).collect();

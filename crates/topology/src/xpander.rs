@@ -93,12 +93,7 @@ impl PlaneBuilder for Xpander {
         self.hosts_per_tor
     }
 
-    fn build_plane(
-        &self,
-        net: &mut Network,
-        plane: PlaneId,
-        profile: &LinkProfile,
-    ) -> Vec<NodeId> {
+    fn build_plane(&self, net: &mut Network, plane: PlaneId, profile: &LinkProfile) -> Vec<NodeId> {
         let tors: Vec<NodeId> = (0..self.n_tors())
             .map(|r| {
                 net.add_switch(

@@ -146,10 +146,7 @@ mod tests {
         let c = simple();
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let small = (0..n)
-            .filter(|_| c.sample(&mut rng) <= 1_000)
-            .count() as f64
-            / n as f64;
+        let small = (0..n).filter(|_| c.sample(&mut rng) <= 1_000).count() as f64 / n as f64;
         assert!((small - 0.5).abs() < 0.02, "P(size<=1k) = {small}");
     }
 

@@ -83,7 +83,7 @@ mod tests {
     fn permutation_is_derangement() {
         for seed in 0..50 {
             let p = random_permutation(20, seed);
-            let mut seen = vec![false; 20];
+            let mut seen = [false; 20];
             for (i, &j) in p.iter().enumerate() {
                 assert_ne!(i, j, "fixed point at {i} (seed {seed})");
                 assert!(!seen[j], "duplicate image {j}");
@@ -114,7 +114,7 @@ mod tests {
         let pairs = random_pairs(10, 1000, 3);
         assert!(pairs.iter().all(|&(a, b)| a != b && a < 10 && b < 10));
         // All destinations reachable.
-        let mut hit = vec![false; 10];
+        let mut hit = [false; 10];
         for &(_, b) in &pairs {
             hit[b] = true;
         }

@@ -30,9 +30,12 @@ impl Learner<'_> {
         let plane = self.balancer.choose(&usable);
         self.per_plane[plane.index()] += 1;
         let (src, dst) = (HostId(0), HostId(30));
-        let path =
-            self.router.paths_in_plane(plane, self.net.rack_of_host(src), self.net.rack_of_host(dst))[0]
-                .clone();
+        let path = self.router.paths_in_plane(
+            plane,
+            self.net.rack_of_host(src),
+            self.net.rack_of_host(dst),
+        )[0]
+        .clone();
         let route = host_route(self.net, src, dst, &path).unwrap();
         self.plane_of.insert(tag, plane);
         sim.start_flow(FlowSpec {
@@ -85,7 +88,10 @@ fn main() {
         planes: vec![0],
         inner: Box::new(PathPolicy::EcmpHash),
     });
-    for (i, (a, b)) in [(2u32, 29u32), (3, 28), (5, 27), (6, 26)].iter().enumerate() {
+    for (i, (a, b)) in [(2u32, 29u32), (3, 28), (5, 27), (6, 26)]
+        .iter()
+        .enumerate()
+    {
         let (routes, cc) = bulk.select(&pnet.net, HostId(*a), HostId(*b), i as u64, 80_000_000);
         sim.start_flow(FlowSpec {
             src: HostId(*a),
@@ -111,12 +117,21 @@ fn main() {
     run(&mut sim, &mut NullDriver, Some(SimTime::from_ms(60)));
 
     println!("plane 0 carries heavy background bulk; 80 small flows placed adaptively\n");
-    println!("flows per plane: {:?}  (plane 0 is congested)", learner.per_plane);
+    println!(
+        "flows per plane: {:?}  (plane 0 is congested)",
+        learner.per_plane
+    );
     let median = |v: &[f64]| pnet::htsim::metrics::percentile(v, 50.0);
     let early = &learner.fcts[..learner.fcts.len() / 4];
     let late = &learner.fcts[3 * learner.fcts.len() / 4..];
-    println!("median FCT, first quarter (learning): {:>8.1} us", median(early));
-    println!("median FCT, last quarter (steady):    {:>8.1} us", median(late));
+    println!(
+        "median FCT, first quarter (learning): {:>8.1} us",
+        median(early)
+    );
+    println!(
+        "median FCT, last quarter (steady):    {:>8.1} us",
+        median(late)
+    );
     println!("(occasional slow flows are the balancer probing the congested plane)");
     println!("\nthe balancer's EWMA steers traffic off plane 0 after a handful of");
     println!("slow completions — no switch support needed, exactly the paper's");

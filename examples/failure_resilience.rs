@@ -28,10 +28,9 @@ fn main() {
         let mut homo = PNetSpec::new(topology, NetworkClass::ParallelHomogeneous, planes, 3)
             .build()
             .net;
-        let mut hetero =
-            PNetSpec::new(topology, NetworkClass::ParallelHeterogeneous, planes, 3)
-                .build()
-                .net;
+        let mut hetero = PNetSpec::new(topology, NetworkClass::ParallelHeterogeneous, planes, 3)
+            .build()
+            .net;
         failures::fail_random_fraction(&mut serial, frac, 1000 + pct as u64);
         failures::fail_random_fraction(&mut homo, frac, 1000 + pct as u64);
         failures::fail_random_fraction(&mut hetero, frac, 1000 + pct as u64);
@@ -51,8 +50,13 @@ fn main() {
         .net;
     let mut stack = HostStack::new(&net, HostId(0));
     println!("  live planes before: {:?}", stack.live_planes());
-    let uplink = net.host_uplink(HostId(0), pnet::topology::PlaneId(2)).unwrap();
+    let uplink = net
+        .host_uplink(HostId(0), pnet::topology::PlaneId(2))
+        .unwrap();
     failures::fail_cable(&mut net, uplink);
     let changed = stack.refresh(&net);
-    println!("  after failing plane-2 uplink: changed {changed:?}, live {:?}", stack.live_planes());
+    println!(
+        "  after failing plane-2 uplink: changed {changed:?}, live {:?}",
+        stack.live_planes()
+    );
 }

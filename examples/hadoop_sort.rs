@@ -30,7 +30,10 @@ fn main() {
     println!(
         "sort job: {} MB total, stages: {:?}\n",
         job.total_bytes / 1_000_000,
-        stages.iter().map(|s| (s.name, s.transfers.len())).collect::<Vec<_>>()
+        stages
+            .iter()
+            .map(|s| (s.name, s.transfers.len()))
+            .collect::<Vec<_>>()
     );
 
     for class in [
@@ -63,8 +66,13 @@ fn main() {
             })
             .collect();
         let mut sim = Simulator::new(&pnet.net, SimConfig::default());
-        let mut driver =
-            ShuffleDriver::start(&mut sim, sim_stages, factory, job.concurrency, job.n_workers());
+        let mut driver = ShuffleDriver::start(
+            &mut sim,
+            sim_stages,
+            factory,
+            job.concurrency,
+            job.n_workers(),
+        );
         run(&mut sim, &mut driver, None);
         assert!(driver.done());
 

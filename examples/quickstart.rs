@@ -31,7 +31,14 @@ fn main() {
 
     // 2. The host stack: one IP-like address per plane, live-plane tracking.
     let stack = HostStack::new(&pnet.net, HostId(0));
-    println!("host 0 addresses: {:?}", stack.addrs().iter().map(|a| a.to_string()).collect::<Vec<_>>());
+    println!(
+        "host 0 addresses: {:?}",
+        stack
+            .addrs()
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+    );
     println!("host 0 live planes: {:?}", stack.live_planes());
 
     // 3. Path selection through the pseudo interfaces.

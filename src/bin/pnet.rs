@@ -123,7 +123,11 @@ fn cmd_topology(args: &Args) {
         "switches: {}",
         net.nodes().filter(|(_, n)| n.kind.is_switch()).count()
     );
-    println!("links:    {} directed ({} cables)", net.n_links(), net.n_links() / 2);
+    println!(
+        "links:    {} directed ({} cables)",
+        net.n_links(),
+        net.n_links() / 2
+    );
     let hist = analysis::hop_histogram_best_plane(net);
     println!("mean best-plane switch hops: {:.3}", hist.mean());
     print!("hop histogram:");
@@ -142,8 +146,10 @@ fn cmd_topology(args: &Args) {
 fn host_arg(args: &Args, key: &str, default: u32, n_hosts: usize) -> HostId {
     let id: u32 = args.get(key, default);
     if id as usize >= n_hosts {
-        eprintln!("--{key} {id} out of range: the network has {n_hosts} hosts (0..{})",
-            n_hosts - 1);
+        eprintln!(
+            "--{key} {id} out of range: the network has {n_hosts} hosts (0..{})",
+            n_hosts - 1
+        );
         std::process::exit(2);
     }
     HostId(id)
@@ -195,10 +201,19 @@ fn cmd_throughput(args: &Args) {
     let eps: f64 = args.get("eps", 0.1);
     let ecmp = throughput::ecmp_throughput(&pnet.net, &commodities);
     let (ksp, lambda) = throughput::ksp_multipath_throughput(&pnet.net, &commodities, k, eps);
-    println!("network: {} ({} hosts, {} planes)", class.label(), n, pnet.net.n_planes());
+    println!(
+        "network: {} ({} hosts, {} planes)",
+        class.label(),
+        n,
+        pnet.net.n_planes()
+    );
     println!("flows:   {}", commodities.len());
     println!("ECMP single-path total:   {:.3} Tb/s", ecmp / 1e12);
-    println!("KSP-{k} multipath total:   {:.3} Tb/s (min-fair rate {:.2} Gb/s)", ksp / 1e12, lambda / 1e9);
+    println!(
+        "KSP-{k} multipath total:   {:.3} Tb/s (min-fair rate {:.2} Gb/s)",
+        ksp / 1e12,
+        lambda / 1e9
+    );
 }
 
 fn cmd_simulate(args: &Args) {
@@ -209,8 +224,13 @@ fn cmd_simulate(args: &Args) {
     let mut selector = pnet.selector(policy_from(args, planes));
     let mut sim = Simulator::new(&pnet.net, SimConfig::default());
     for (i, (a, b)) in tm::permutation_pairs(n, seed).into_iter().enumerate() {
-        let (routes, cc) =
-            selector.select(&pnet.net, HostId(a as u32), HostId(b as u32), i as u64, size);
+        let (routes, cc) = selector.select(
+            &pnet.net,
+            HostId(a as u32),
+            HostId(b as u32),
+            i as u64,
+            size,
+        );
         sim.start_flow(FlowSpec {
             src: HostId(a as u32),
             dst: HostId(b as u32),
@@ -230,8 +250,10 @@ fn cmd_simulate(args: &Args) {
         class.label(),
         pnet.net.n_planes()
     );
-    println!("FCT us: min {:.1}  median {:.1}  mean {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}",
-        s.min, s.median, s.mean, s.p90, s.p99, s.max);
+    println!(
+        "FCT us: min {:.1}  median {:.1}  mean {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}",
+        s.min, s.median, s.mean, s.p90, s.p99, s.max
+    );
     println!(
         "drops: {}  retransmits: {}  events: {}",
         sim.dropped_packets,
@@ -271,7 +293,7 @@ fn main() {
         usage();
     }
     let sub = raw.remove(0);
-    let args = Args::from_iter(raw);
+    let args = Args::from_args(raw);
     match sub.as_str() {
         "topology" => cmd_topology(&args),
         "route" => cmd_route(&args),

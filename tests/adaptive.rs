@@ -110,8 +110,7 @@ fn run_scenario(placement: Placement) -> Vec<(PlaneId, f64)> {
         .iter()
         .enumerate()
     {
-        let (routes, cc) =
-            bulk_sel.select(&pnet.net, HostId(*a), HostId(*b), i as u64, 50_000_000);
+        let (routes, cc) = bulk_sel.select(&pnet.net, HostId(*a), HostId(*b), i as u64, 50_000_000);
         sim.start_flow(FlowSpec {
             src: HostId(*a),
             dst: HostId(*b),
@@ -144,16 +143,22 @@ fn adaptive_placement_learns_to_avoid_congested_plane() {
     assert!(hash.len() as u64 >= N_SMALL - 5);
     assert!(adaptive.len() as u64 >= N_SMALL - 5);
 
-    // Steady state: the second half of the flows.
-    let tail_mean = |v: &[(PlaneId, f64)]| {
-        let tail = &v[v.len() / 2..];
-        tail.iter().map(|(_, f)| f).sum::<f64>() / tail.len() as f64
+    // Steady state: the second half of the flows. Compare the 90th
+    // percentile FCT rather than the mean — both placements deterministically
+    // suffer one ~10 ms outlier (a plane-0 flow queued behind the 50 MB bulk
+    // transfers), and that single flow dominates any mean, masking the
+    // placement signal entirely. The p90 captures what adaptive placement
+    // actually improves: the latency of the typical steady-state flow.
+    let tail_p90 = |v: &[(PlaneId, f64)]| {
+        let mut fcts: Vec<f64> = v[v.len() / 2..].iter().map(|&(_, f)| f).collect();
+        fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        fcts[(fcts.len() * 9) / 10 - 1]
     };
-    let hash_mean = tail_mean(&hash);
-    let adaptive_mean = tail_mean(&adaptive);
+    let hash_p90 = tail_p90(&hash);
+    let adaptive_p90 = tail_p90(&adaptive);
     assert!(
-        adaptive_mean < hash_mean * 0.8,
-        "adaptive {adaptive_mean:.1}us not clearly better than hash {hash_mean:.1}us"
+        adaptive_p90 < hash_p90 * 0.5,
+        "adaptive p90 {adaptive_p90:.1}us not clearly better than hash p90 {hash_p90:.1}us"
     );
 
     // The adaptive tail should almost never use the congested plane 0.

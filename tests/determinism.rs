@@ -38,8 +38,8 @@ fn topology_construction_is_deterministic() {
 #[test]
 fn routing_is_deterministic() {
     let net = spec().build().net;
-    let mut r1 = Router::new(&net, RouteAlgo::Ksp { k: 8 });
-    let mut r2 = Router::new(&net, RouteAlgo::Ksp { k: 8 });
+    let r1 = Router::new(&net, RouteAlgo::Ksp { k: 8 });
+    let r2 = Router::new(&net, RouteAlgo::Ksp { k: 8 });
     for a in 0..8u32 {
         for b in 8..16u32 {
             assert_eq!(
@@ -67,8 +67,13 @@ fn packet_simulation_is_deterministic() {
         let mut selector = pnet.selector(PathPolicy::paper_default(16));
         let mut sim = Simulator::new(&pnet.net, SimConfig::default());
         for (i, (a, b)) in tm::permutation_pairs(32, 6).into_iter().enumerate() {
-            let (routes, cc) =
-                selector.select(&pnet.net, HostId(a as u32), HostId(b as u32), i as u64, 500_000);
+            let (routes, cc) = selector.select(
+                &pnet.net,
+                HostId(a as u32),
+                HostId(b as u32),
+                i as u64,
+                500_000,
+            );
             sim.start_flow(FlowSpec {
                 src: HostId(a as u32),
                 dst: HostId(b as u32),
@@ -88,6 +93,110 @@ fn packet_simulation_is_deterministic() {
         fcts.into_iter().map(|(_, f)| f).collect()
     };
     assert_eq!(run_once(), run_once());
+}
+
+/// Fixed-seed 2-plane jellyfish used by the serial-vs-parallel checks.
+fn two_plane_spec() -> PNetSpec {
+    PNetSpec::new(
+        TopologyKind::Jellyfish {
+            n_tors: 16,
+            degree: 4,
+            hosts_per_tor: 2,
+        },
+        NetworkClass::ParallelHomogeneous,
+        2,
+        7,
+    )
+}
+
+#[test]
+fn serial_and_parallel_route_tables_are_identical() {
+    use pnet::routing::Parallelism;
+    use pnet::topology::PlaneId;
+    let net = two_plane_spec().build().net;
+    let serial = Router::with_parallelism(&net, RouteAlgo::Ksp { k: 8 }, Parallelism::Serial);
+    serial.precompute_all_pairs_with(Parallelism::Serial);
+    let parallel = Router::with_parallelism(&net, RouteAlgo::Ksp { k: 8 }, Parallelism::Rayon);
+    parallel.precompute_all_pairs_with(Parallelism::Rayon);
+    assert_eq!(serial.cached_entries(), parallel.cached_entries());
+    for a in 0..16u32 {
+        for b in 0..16u32 {
+            if a == b {
+                continue;
+            }
+            for p in 0..2u16 {
+                assert_eq!(
+                    *serial.paths_in_plane(PlaneId(p), RackId(a), RackId(b)),
+                    *parallel.paths_in_plane(PlaneId(p), RackId(a), RackId(b)),
+                    "route table diverged at plane {p}, pair ({a},{b})"
+                );
+            }
+            assert_eq!(
+                serial.k_best_across_planes(RackId(a), RackId(b), 8),
+                parallel.k_best_across_planes(RackId(a), RackId(b), 8)
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_and_parallel_mcf_solutions_are_bit_identical() {
+    use pnet::flowsim::mcf::{self, McfOptions};
+    use pnet::routing::Parallelism;
+    let net = two_plane_spec().build().net;
+    let c = commodity::permutation(&tm::random_permutation(32, 11));
+    let solve = |par: Parallelism| {
+        let router = Router::with_parallelism(&net, RouteAlgo::Ksp { k: 16 }, par);
+        let mode = mcf::ksp_mode_with(&net, &router, &c, 8, par);
+        mcf::solve_with_options(
+            &net,
+            &c,
+            &mode,
+            0.1,
+            McfOptions {
+                parallelism: par,
+                ..Default::default()
+            },
+        )
+    };
+    let a = solve(Parallelism::Serial);
+    let b = solve(Parallelism::Rayon);
+    assert_eq!(a.lambda.to_bits(), b.lambda.to_bits());
+    assert_eq!(a.phases, b.phases);
+    assert_eq!(a.rates.len(), b.rates.len());
+    for (ra, rb) in a.rates.iter().zip(&b.rates) {
+        assert_eq!(ra.to_bits(), rb.to_bits());
+    }
+    for (fa, fb) in a.link_flow.iter().zip(&b.link_flow) {
+        assert_eq!(fa.to_bits(), fb.to_bits());
+    }
+}
+
+#[test]
+fn serial_and_parallel_anypath_mcf_agree() {
+    use pnet::flowsim::mcf::{self, McfOptions, PathMode};
+    use pnet::routing::Parallelism;
+    let net = two_plane_spec().build().net;
+    let c = commodity::permutation(&tm::random_permutation(32, 13));
+    let solve = |par: Parallelism| {
+        mcf::solve_with_options(
+            &net,
+            &c,
+            &PathMode::AnyPath,
+            0.1,
+            McfOptions {
+                parallelism: par,
+                ..Default::default()
+            },
+        )
+    };
+    let a = solve(Parallelism::Serial);
+    let b = solve(Parallelism::Rayon);
+    assert_eq!(a.lambda.to_bits(), b.lambda.to_bits());
+    assert_eq!(a.phases, b.phases);
+    for (ra, rb) in a.rates.iter().zip(&b.rates) {
+        assert_eq!(ra.to_bits(), rb.to_bits());
+    }
 }
 
 #[test]

@@ -103,10 +103,12 @@ fn host_stack_masks_failed_plane_for_new_flows() {
         PathPolicy::PlaneKsp { per_plane: 1 },
     );
     let (routes, _) = mp.select(&net, HostId(0), HostId(14), 0, 1 << 30);
-    assert_eq!(routes.len(), 3, "dead plane must drop out of the subflow set");
-    assert!(routes
-        .iter()
-        .all(|r| net.link(r[0]).plane != PlaneId(2)));
+    assert_eq!(
+        routes.len(),
+        3,
+        "dead plane must drop out of the subflow set"
+    );
+    assert!(routes.iter().all(|r| net.link(r[0]).plane != PlaneId(2)));
 }
 
 #[test]
@@ -120,14 +122,17 @@ fn single_path_flows_on_other_planes_unaffected_by_plane_death() {
     let mut ids = Vec::new();
     for i in 0..4u64 {
         let (routes, cc) = selector.select(&pnet.net, HostId(0), HostId(15), i, 2_000_000);
-        ids.push((sim.start_flow(FlowSpec {
-            src: HostId(0),
-            dst: HostId(15),
-            size_bytes: 2_000_000,
-            routes: routes.clone(),
-            cc,
-            owner_tag: i,
-        }), pnet.net.link(routes[0][0]).plane));
+        ids.push((
+            sim.start_flow(FlowSpec {
+                src: HostId(0),
+                dst: HostId(15),
+                size_bytes: 2_000_000,
+                routes: routes.clone(),
+                cc,
+                owner_tag: i,
+            }),
+            pnet.net.link(routes[0][0]).plane,
+        ));
     }
     // Kill plane 1 immediately.
     let up1 = pnet.net.host_uplink(HostId(0), PlaneId(1)).unwrap();

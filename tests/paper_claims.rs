@@ -93,8 +93,7 @@ fn heterogeneous_core_capacity_beats_serial_high() {
     let proto = Jellyfish::new(32, 6, 1, 0);
     let commodities = commodity::all_to_all(32);
     let high = parallel::jellyfish_network(NetworkClass::SerialHigh, proto, 4, 9, &base);
-    let het =
-        parallel::jellyfish_network(NetworkClass::ParallelHeterogeneous, proto, 4, 9, &base);
+    let het = parallel::jellyfish_network(NetworkClass::ParallelHeterogeneous, proto, 4, 9, &base);
     let (t_high, _) = throughput::ideal_core_throughput(&high, &commodities, 0.1);
     let (t_het, _) = throughput::ideal_core_throughput(&het, &commodities, 0.1);
     assert!(

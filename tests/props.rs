@@ -128,7 +128,7 @@ proptest! {
     ) {
         prop_assume!(a != b);
         let net = small_jellyfish(seed);
-        let mut router = Router::new(&net, RouteAlgo::Ksp { k: 6 });
+        let router = Router::new(&net, RouteAlgo::Ksp { k: 6 });
         let k4 = router.k_best_across_planes(RackId(a), RackId(b), 4);
         let k8 = router.k_best_across_planes(RackId(a), RackId(b), 8);
         prop_assert_eq!(&k8[..4], &k4[..]);
@@ -143,7 +143,7 @@ proptest! {
     ) {
         prop_assume!(a != b);
         let net = small_jellyfish(seed);
-        let mut router = Router::new(&net, RouteAlgo::Ksp { k: 8 });
+        let router = Router::new(&net, RouteAlgo::Ksp { k: 8 });
         let orig = router.k_best_across_planes(RackId(a), RackId(b), 8);
         let mut rotated = orig.clone();
         routing::rotate_ties(&mut rotated, hash);
@@ -163,7 +163,7 @@ proptest! {
     fn host_routes_chain_endpoints(seed in 0u64..50, a in 0u32..12, b in 0u32..12) {
         prop_assume!(a != b);
         let net = small_jellyfish(seed);
-        let mut router = Router::new(&net, RouteAlgo::Ksp { k: 4 });
+        let router = Router::new(&net, RouteAlgo::Ksp { k: 4 });
         for p in router.k_best_across_planes(RackId(a), RackId(b), 4) {
             let route = routing::host_route(&net, HostId(a), HostId(b), &p).unwrap();
             prop_assert_eq!(net.link(route[0]).src, net.host_node(HostId(a)));
@@ -272,7 +272,7 @@ proptest! {
         size_kb in 1u64..500,
     ) {
         let net = small_jellyfish(seed);
-        let mut router = Router::new(&net, RouteAlgo::Ksp { k: 2 });
+        let router = Router::new(&net, RouteAlgo::Ksp { k: 2 });
         let mut sim = Simulator::new(&net, SimConfig::default());
         use rand::{RngExt, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

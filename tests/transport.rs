@@ -6,19 +6,20 @@ use pnet::htsim::{
     run, run_to_completion, CcAlgo, FlowSpec, NullDriver, SimConfig, SimTime, Simulator,
 };
 use pnet::routing::{host_route, RouteAlgo, Router};
-use pnet::topology::{
-    assemble_homogeneous, FatTree, HostId, LinkProfile, Network, PlaneId,
-};
+use pnet::topology::{assemble_homogeneous, FatTree, HostId, LinkProfile, Network, PlaneId};
 
 fn net(planes: usize) -> Network {
-    assemble_homogeneous(&FatTree::three_tier(4), planes, &LinkProfile::paper_default())
+    assemble_homogeneous(
+        &FatTree::three_tier(4),
+        planes,
+        &LinkProfile::paper_default(),
+    )
 }
 
 fn route(net: &Network, src: HostId, dst: HostId, plane: u16) -> Vec<pnet::topology::LinkId> {
-    let mut router = Router::new(net, RouteAlgo::Ksp { k: 2 });
-    let p = router.paths_in_plane(PlaneId(plane), net.rack_of_host(src), net.rack_of_host(dst))
-        [0]
-    .clone();
+    let router = Router::new(net, RouteAlgo::Ksp { k: 2 });
+    let p = router.paths_in_plane(PlaneId(plane), net.rack_of_host(src), net.rack_of_host(dst))[0]
+        .clone();
     host_route(net, src, dst, &p).unwrap()
 }
 
@@ -45,7 +46,7 @@ fn uncoupled_mptcp_is_more_aggressive_than_lia() {
         });
         // Multipath flow: two distinct paths that share the destination
         // downlink (the common bottleneck).
-        let mut router = Router::new(&n, RouteAlgo::Ksp { k: 4 });
+        let router = Router::new(&n, RouteAlgo::Ksp { k: 4 });
         let paths = router.paths_in_plane(
             PlaneId(0),
             n.rack_of_host(HostId(4)),
@@ -106,7 +107,10 @@ fn rto_backoff_survives_a_blackout() {
         "flow finished through a dark link"
     );
     let timeouts_during = sim.conn(id).timeouts();
-    assert!(timeouts_during >= 2, "expected RTO retries, got {timeouts_during}");
+    assert!(
+        timeouts_during >= 2,
+        "expected RTO retries, got {timeouts_during}"
+    );
     let progress_during = sim.conn(id).acked;
     sim.restore_link(fabric_cable);
     run(&mut sim, &mut NullDriver, None);

@@ -1,0 +1,149 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros and `black_box` — with a
+//! simple median-of-samples timer instead of criterion's full statistical
+//! machinery. Good enough to spot order-of-magnitude regressions offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing loop handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the median per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up (untimed).
+        black_box(f());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark (criterion-compatible builder).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last: None,
+        };
+        f(&mut b);
+        match b.last {
+            Some(t) => println!("bench: {name:<60} {t:>12.2?}/iter"),
+            None => println!("bench: {name:<60} (no measurement)"),
+        }
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.into());
+        BenchmarkGroup { c: self }
+    }
+}
+
+/// A named group; benches inside share the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        self.c.bench_function(format!("  {}", name.into()), f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(2);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u32;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("counts", |b| b.iter(|| ran += 1));
+        assert!(ran >= 4, "warmup + samples should run: {ran}");
+    }
+
+    #[test]
+    fn group_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        let mut hits = 0u32;
+        g.bench_function("inner", |b| b.iter(|| hits += 1));
+        g.finish();
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait and the
+//! exponential distribution, the only pieces this workspace uses.
+
+use rand::{Rng, RngExt};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpError;
+
+impl core::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "exponential rate must be positive and finite")
+    }
+}
+impl std::error::Error for ExpError {}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exp<F> {
+    lambda: F,
+}
+
+impl Exp<f64> {
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF on u in (0, 1]: -ln(u) / lambda.
+        let u = 1.0 - rng.random::<f64>();
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_rate_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn mean_approximates_inverse_rate() {
+        let d = Exp::new(0.5).unwrap(); // mean 2.0
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,336 @@
+//! Offline stand-in for `rayon`, built on `std::thread::scope`.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! small slice of the rayon API its hot paths use: `par_iter()` on slices,
+//! `into_par_iter()` on `Vec<T>` and `Range<usize>`, plus `map` and an
+//! order-preserving `collect`. Work is split into one contiguous chunk per
+//! thread and results are concatenated in input order, so a parallel
+//! `map().collect()` is element-for-element identical to the serial
+//! equivalent — the determinism contract every caller in this workspace
+//! relies on.
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set (a positive integer), otherwise
+//! `std::thread::available_parallelism()`. With one thread every operation
+//! degenerates to the plain serial loop (no spawn overhead).
+
+use std::ops::Range;
+
+/// Threads used by parallel operations (`RAYON_NUM_THREADS` override, else
+/// the machine's available parallelism).
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Split `n` items into at most `threads` contiguous chunks of near-equal
+/// size. Returns index ranges covering `0..n` in order.
+fn chunk_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.max(1).min(n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Map `f` over `0..n` on the available threads, collecting results in index
+/// order. The core primitive behind every parallel iterator here.
+pub fn par_map_index<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunk_ranges(n, threads)
+            .into_iter()
+            .map(|range| s.spawn(move || range.map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon stub worker panicked"));
+        }
+        out
+    })
+}
+
+pub mod iter {
+    use super::{chunk_ranges, current_num_threads, par_map_index};
+    use std::ops::Range;
+
+    /// `.par_iter()` on slices (and anything derefing to a slice).
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: 'a;
+        fn par_iter(&'a self) -> ParSlice<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { items: self }
+        }
+    }
+
+    /// `.into_par_iter()` on owned containers and index ranges.
+    pub trait IntoParallelIterator {
+        type Iter;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = ParVec<T>;
+        fn into_par_iter(self) -> ParVec<T> {
+            ParVec { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = ParRange;
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct ParSlice<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParSlice<'a, T> {
+        pub fn map<R, F>(self, f: F) -> ParSliceMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+        {
+            ParSliceMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        pub fn enumerate(self) -> ParSliceEnum<'a, T> {
+            ParSliceEnum { items: self.items }
+        }
+    }
+
+    pub struct ParSliceMap<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync, F> ParSliceMap<'a, T, F> {
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+            C: From<Vec<R>>,
+        {
+            let items = self.items;
+            let f = &self.f;
+            C::from(par_map_index(items.len(), |i| f(&items[i])))
+        }
+    }
+
+    /// `.par_iter().enumerate().map(...).collect()` support.
+    pub struct ParSliceEnum<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParSliceEnum<'a, T> {
+        pub fn map<R, F>(self, f: F) -> ParSliceEnumMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn((usize, &'a T)) -> R + Sync,
+        {
+            ParSliceEnumMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    pub struct ParSliceEnumMap<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync, F> ParSliceEnumMap<'a, T, F> {
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn((usize, &'a T)) -> R + Sync,
+            C: From<Vec<R>>,
+        {
+            let items = self.items;
+            let f = &self.f;
+            C::from(par_map_index(items.len(), |i| f((i, &items[i]))))
+        }
+    }
+
+    /// Owning parallel iterator over a `Vec`.
+    pub struct ParVec<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParVec<T> {
+        pub fn map<R, F>(self, f: F) -> ParVecMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParVecMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    pub struct ParVecMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T: Send, F> ParVecMap<T, F> {
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+            C: From<Vec<R>>,
+        {
+            let threads = current_num_threads();
+            let n = self.items.len();
+            if threads <= 1 || n <= 1 {
+                return C::from(self.items.into_iter().map(self.f).collect());
+            }
+            // Pre-split the owned items into per-thread chunks, preserving
+            // order, then map each chunk on its own scoped thread.
+            let ranges = chunk_ranges(n, threads);
+            let mut chunks: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
+            let mut it = self.items.into_iter();
+            for r in &ranges {
+                chunks.push(it.by_ref().take(r.len()).collect());
+            }
+            let f = &self.f;
+            C::from(std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                let mut out = Vec::with_capacity(n);
+                for h in handles {
+                    out.extend(h.join().expect("rayon stub worker panicked"));
+                }
+                out
+            }))
+        }
+    }
+
+    /// Parallel iterator over `Range<usize>`.
+    pub struct ParRange {
+        range: Range<usize>,
+    }
+
+    impl ParRange {
+        pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+        where
+            R: Send,
+            F: Fn(usize) -> R + Sync,
+        {
+            ParRangeMap {
+                range: self.range,
+                f,
+            }
+        }
+    }
+
+    pub struct ParRangeMap<F> {
+        range: Range<usize>,
+        f: F,
+    }
+
+    impl<F> ParRangeMap<F> {
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn(usize) -> R + Sync,
+            C: From<Vec<R>>,
+        {
+            let start = self.range.start;
+            let n = self.range.end.saturating_sub(start);
+            let f = &self.f;
+            C::from(par_map_index(n, |i| f(start + i)))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunks_cover_in_order() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for t in [1usize, 2, 4, 8] {
+                let rs = chunk_ranges(n, t);
+                let flat: Vec<usize> = rs.into_iter().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn owned_map_collect_preserves_order() {
+        let v: Vec<String> = (0..257).map(|i| format!("s{i}")).collect();
+        let got: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        let want: Vec<usize> = (0..257).map(|i| format!("s{i}").len()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let got: Vec<usize> = (3..300).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(got, (3..300).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_indices_match() {
+        let v = vec!['a', 'b', 'c', 'd'];
+        let got: Vec<(usize, char)> = v.par_iter().enumerate().map(|(i, &c)| (i, c)).collect();
+        assert_eq!(got, vec![(0, 'a'), (1, 'b'), (2, 'c'), (3, 'd')]);
+    }
+}

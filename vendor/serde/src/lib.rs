@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates topology types with `Serialize`/`Deserialize`
+//! derives but never invokes a serializer (there is no serde_json or similar
+//! in-tree). This crate provides the marker traits and re-exports no-op
+//! derive macros so those annotations compile without registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

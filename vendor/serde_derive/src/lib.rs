@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! The workspace only *annotates* types for future serialization; nothing in
+//! the tree calls a serializer, so the derives expand to nothing. The
+//! `serde` helper attribute is registered so `#[serde(...)]` field/container
+//! attributes would be swallowed rather than rejected.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
