@@ -1,19 +1,29 @@
-//! Serial-vs-parallel wall-clock report for the two bulk hot paths:
-//! all-pairs KSP route precomputation and one Garg–Könemann MCF solve.
+//! Wall-clock report for the two bulk hot paths: all-pairs KSP route
+//! precomputation and one Garg–Könemann MCF solve.
 //!
-//! Emits `BENCH_routing.json` and `BENCH_mcf.json` (in the working
-//! directory) recording both timings, the thread count used, and whether the
-//! serial and parallel outputs were identical — so the speedup criterion can
-//! be checked on any machine (the parallel path degenerates to the serial
-//! loop when only one core is available; set `RAYON_NUM_THREADS` to pin the
-//! worker count).
+//! Three questions, answered in `BENCH_routing.json` / `BENCH_mcf.json`
+//! (written to the working directory):
 //!
-//! Usage: `bench_report [--tors 64] [--degree 8] [--planes 4] [--k 32]
-//!                      [--seed 1] [--eps 0.1]`
+//! 1. **Algorithmic speedup** — the overhauled KSP path (CSR plane graphs,
+//!    epoch-stamped scratch, Lawler-optimized Yen with a shared first-path
+//!    BFS per source) vs the straightforward pre-overhaul implementation,
+//!    which is kept alive as [`pnet_routing::ksp_reference`] and re-timed
+//!    *live* on the same machine. The route tables must be identical.
+//! 2. **Where the time goes** — a per-stage breakdown of the overhauled
+//!    serial precompute: first-path BFS, spur search, table commit.
+//! 3. **Parallel sanity** — serial vs `Parallelism::Rayon` wall clock with
+//!    byte-identical outputs (degenerates to the serial loop on one core;
+//!    pin workers with `RAYON_NUM_THREADS`).
+//!
+//! Usage: `bench_report [--quick] [--tors 64] [--degree 8] [--planes 4]
+//!                      [--k 32] [--seed 1] [--eps 0.1] [--no-reference]`
+//!
+//! `--quick` shrinks the instance (16 ToRs, degree 4, 2 planes, k=8) for a
+//! CI smoke run; explicit size flags still override it.
 
 use pnet_bench::{banner, f3, Args};
 use pnet_flowsim::{commodity, mcf, Commodity};
-use pnet_routing::{Parallelism, RouteAlgo, Router};
+use pnet_routing::{sort_paths, yen, Parallelism, Path, RouteAlgo, Router};
 use pnet_topology::{assemble_homogeneous, Jellyfish, LinkProfile, Network, PlaneId, RackId};
 use pnet_workloads::tm;
 use std::time::Instant;
@@ -24,12 +34,8 @@ fn write_json(path: &str, body: &str) {
 }
 
 /// Precompute the all-pairs route table and return (wall ms, full table dump
-/// for the identity check).
-fn timed_precompute(
-    net: &Network,
-    k: usize,
-    par: Parallelism,
-) -> (f64, Vec<Vec<pnet_routing::Path>>) {
+/// for the identity check) — the dump is ordered (src, dst, plane).
+fn timed_precompute(net: &Network, k: usize, par: Parallelism) -> (f64, Vec<Vec<Path>>) {
     let router = Router::with_parallelism(net, RouteAlgo::Ksp { k }, par);
     let t0 = Instant::now();
     router.precompute_all_pairs_with(par);
@@ -51,6 +57,89 @@ fn timed_precompute(
         }
     }
     (ms, dump)
+}
+
+/// The same all-pairs table via the pre-overhaul reference implementation,
+/// one independent Yen run per (plane, src, dst) — the "before" timing.
+fn timed_reference(net: &Network, k: usize) -> (f64, Vec<Vec<Path>>) {
+    let router = Router::with_parallelism(net, RouteAlgo::Ksp { k }, Parallelism::Serial);
+    let planes = router.plane_graphs();
+    let n = router.n_racks();
+    let t0 = Instant::now();
+    let mut dump = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            for pg in planes {
+                let mut paths = yen::ksp_reference(pg, RackId(a as u32), RackId(b as u32), k);
+                sort_paths(&mut paths);
+                dump.push(paths);
+            }
+        }
+    }
+    (t0.elapsed().as_secs_f64() * 1e3, dump)
+}
+
+/// Per-stage serial breakdown of the overhauled precompute.
+///
+/// * `first_bfs_ms` — a k=1 pass per (plane, src): exactly the shared
+///   first-path BFS tree plus per-destination backtracks (Yen's main loop
+///   exits before any spur search at k=1).
+/// * `spur_ms` — full-k batched KSP time minus the k=1 pass: the Lawler spur
+///   searches and candidate heap work.
+/// * `commit_ms` — sorting each path set and inserting it into the shared
+///   route table (measured over a replica of the router's commit loop).
+struct StageBreakdown {
+    first_bfs_ms: f64,
+    spur_ms: f64,
+    commit_ms: f64,
+}
+
+fn staged_precompute(net: &Network, k: usize) -> StageBreakdown {
+    let router = Router::with_parallelism(net, RouteAlgo::Ksp { k }, Parallelism::Serial);
+    let planes = router.plane_graphs();
+    let n = router.n_racks();
+
+    let t0 = Instant::now();
+    for pg in planes {
+        for src in 0..n {
+            std::hint::black_box(yen::ksp_all_destinations(pg, RackId(src as u32), 1));
+        }
+    }
+    let first_bfs_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let mut results: Vec<(u16, u32, Vec<Vec<Path>>)> = Vec::new();
+    for pg in planes {
+        for src in 0..n {
+            results.push((
+                pg.plane.0,
+                src as u32,
+                yen::ksp_all_destinations(pg, RackId(src as u32), k),
+            ));
+        }
+    }
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let mut table: std::collections::HashMap<(u16, u32, u32), std::sync::Arc<Vec<Path>>> =
+        std::collections::HashMap::new();
+    for (plane, src, per_dst) in results {
+        for (dst, mut paths) in per_dst.into_iter().enumerate() {
+            sort_paths(&mut paths);
+            table.insert((plane, src, dst as u32), std::sync::Arc::new(paths));
+        }
+    }
+    std::hint::black_box(&table);
+    let commit_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    StageBreakdown {
+        first_bfs_ms,
+        spur_ms: (full_ms - first_bfs_ms).max(0.0),
+        commit_ms,
+    }
 }
 
 fn timed_mcf(
@@ -75,21 +164,28 @@ fn timed_mcf(
 
 fn main() {
     let args = Args::parse();
-    let tors: usize = args.get("tors", 64);
-    let degree: usize = args.get("degree", 8);
-    let planes: usize = args.get("planes", 4);
-    let k: usize = args.get("k", 32);
+    let quick = args.has("quick");
+    let tors: usize = args.get("tors", if quick { 16 } else { 64 });
+    let degree: usize = args.get("degree", if quick { 4 } else { 8 });
+    let planes: usize = args.get("planes", if quick { 2 } else { 4 });
+    let k: usize = args.get("k", if quick { 8 } else { 32 });
     let seed: u64 = args.get("seed", 1);
     let eps: f64 = args.get("eps", 0.1);
+    let run_reference = !args.has("no-reference");
 
     let threads = Parallelism::Rayon.threads();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     banner(
-        "Serial vs parallel wall-clock: KSP precompute and GK MCF solve",
+        "KSP precompute and GK MCF solve: overhauled vs reference, serial vs parallel",
         &format!(
             "{planes}-plane jellyfish, {tors} racks, degree {degree}; \
-             {threads} worker thread(s) on {cores} core(s)"
+             {threads} worker thread(s) on {cores} core(s){}",
+            if quick {
+                "; --quick smoke instance"
+            } else {
+                ""
+            }
         ),
     );
 
@@ -113,6 +209,32 @@ fn main() {
         f3(speedup)
     );
     assert!(identical, "serial and parallel route tables diverged");
+
+    let stages = staged_precompute(&net, k);
+    println!(
+        "routing stages (serial): first-path BFS {} ms, spur search {} ms, \
+         table commit {} ms",
+        f3(stages.first_bfs_ms),
+        f3(stages.spur_ms),
+        f3(stages.commit_ms)
+    );
+
+    let (reference_ms, algo_speedup) = if run_reference {
+        let (reference_ms, reference_dump) = timed_reference(&net, k);
+        let same = reference_dump == serial_dump;
+        println!(
+            "routing reference (pre-overhaul Yen): serial {} ms, \
+             algorithmic speedup {}x, identical tables: {same}",
+            f3(reference_ms),
+            f3(reference_ms / serial_ms)
+        );
+        assert!(same, "overhauled route tables diverged from the reference");
+        (Some(reference_ms), Some(reference_ms / serial_ms))
+    } else {
+        (None, None)
+    };
+
+    let json_opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.3}"));
     write_json(
         "BENCH_routing.json",
         &format!(
@@ -120,8 +242,16 @@ fn main() {
              \"topology\": {{\"kind\": \"jellyfish\", \"n_tors\": {tors}, \"degree\": {degree}, \"planes\": {planes}}},\n  \
              \"k\": {k},\n  \"route_table_entries\": {entries},\n  \
              \"threads\": {threads},\n  \"available_cores\": {cores},\n  \
-             \"serial_ms\": {serial_ms:.3},\n  \"parallel_ms\": {parallel_ms:.3},\n  \
-             \"speedup\": {speedup:.3},\n  \"identical_tables\": {identical}\n}}\n"
+             \"reference_serial_ms\": {},\n  \"serial_ms\": {serial_ms:.3},\n  \
+             \"parallel_ms\": {parallel_ms:.3},\n  \
+             \"algorithmic_speedup\": {},\n  \"parallel_speedup\": {speedup:.3},\n  \
+             \"stages_serial_ms\": {{\"first_path_bfs\": {:.3}, \"spur_search\": {:.3}, \"table_commit\": {:.3}}},\n  \
+             \"identical_tables\": {identical}\n}}\n",
+            json_opt(reference_ms),
+            json_opt(algo_speedup),
+            stages.first_bfs_ms,
+            stages.spur_ms,
+            stages.commit_ms,
         ),
     );
 

@@ -18,8 +18,11 @@ pub struct PlaneStats {
     pub plane: PlaneId,
     /// Packets enqueued across the plane's queues.
     pub enqueued: u64,
-    /// Packets dropped at full buffers.
+    /// Packets dropped at full buffers (congestion loss only).
     pub dropped: u64,
+    /// Packets discarded at dark links (failure loss) — kept separate so a
+    /// failed plane isn't misdiagnosed as congested.
+    pub dropped_link_down: u64,
     /// Worst single-queue peak occupancy (bytes).
     pub peak_queue_bytes: u64,
     /// Fabric links of the plane currently down.
@@ -27,13 +30,20 @@ pub struct PlaneStats {
 }
 
 impl PlaneStats {
-    /// Drop rate (drops / enqueued attempts).
+    /// Congestion drop rate (drop-tail drops / enqueue attempts at live
+    /// links). Link-down discards are deliberately excluded: they indicate
+    /// failure, not load.
     pub fn drop_rate(&self) -> f64 {
         if self.enqueued + self.dropped == 0 {
             0.0
         } else {
             self.dropped as f64 / (self.enqueued + self.dropped) as f64
         }
+    }
+
+    /// All losses in this plane, congestion and failure alike.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped + self.dropped_link_down
     }
 }
 
@@ -52,6 +62,7 @@ impl PlaneReport {
                 plane,
                 enqueued: 0,
                 dropped: 0,
+                dropped_link_down: 0,
                 peak_queue_bytes: 0,
                 failed_links: 0,
             })
@@ -60,12 +71,14 @@ impl PlaneReport {
             let stats = &mut planes[link.plane.index()];
             if !link.up {
                 stats.failed_links += 1;
-                continue;
             }
-            let (enq, drop, peak) = sim.queue_stats(id);
-            stats.enqueued += enq;
-            stats.dropped += drop;
-            stats.peak_queue_bytes = stats.peak_queue_bytes.max(peak);
+            // Down links still report: packets discarded at a dark link (and
+            // anything dropped before the failure) must show up in the merge.
+            let qs = sim.queue_stats(id);
+            stats.enqueued += qs.enqueued;
+            stats.dropped += qs.dropped;
+            stats.dropped_link_down += qs.dropped_link_down;
+            stats.peak_queue_bytes = stats.peak_queue_bytes.max(qs.peak_bytes);
         }
         PlaneReport { planes }
     }
@@ -186,6 +199,51 @@ mod tests {
         let report = PlaneReport::collect(&net, &sim);
         assert_eq!(report.planes[0].failed_links, 0);
         assert_eq!(report.planes[1].failed_links, 2); // both directions
+    }
+
+    #[test]
+    fn link_down_discards_reported_separately() {
+        use pnet_htsim::{run, NullDriver, SimTime};
+        let pnet = PNetSpec::new(
+            TopologyKind::Jellyfish {
+                n_tors: 8,
+                degree: 3,
+                hosts_per_tor: 2,
+            },
+            NetworkClass::ParallelHomogeneous,
+            4,
+            5,
+        )
+        .build();
+        // Pin a flow to plane 1, then blackhole its uplink before any packet
+        // moves: every transmission attempt is a failure discard.
+        let mut selector = pnet.selector(PathPolicy::Pinned {
+            planes: vec![1],
+            inner: Box::new(PathPolicy::EcmpHash),
+        });
+        let mut sim = Simulator::new(&pnet.net, SimConfig::default());
+        let (routes, cc) = selector.select(&pnet.net, HostId(0), HostId(15), 0, 600_000);
+        sim.start_flow(FlowSpec {
+            src: HostId(0),
+            dst: HostId(15),
+            size_bytes: 600_000,
+            routes,
+            cc,
+            owner_tag: 0,
+        });
+        let uplink = pnet.net.host_uplink(HostId(0), PlaneId(1)).unwrap();
+        sim.fail_link(uplink);
+        run(&mut sim, &mut NullDriver, Some(SimTime::from_ms(50)));
+
+        let report = PlaneReport::collect(&pnet.net, &sim);
+        let p1 = &report.planes[1];
+        assert!(p1.dropped_link_down > 0, "dark uplink must report discards");
+        assert_eq!(p1.dropped, 0, "no congestion loss on an idle plane");
+        assert_eq!(p1.drop_rate(), 0.0, "failure loss is not congestion");
+        assert_eq!(p1.total_dropped(), p1.dropped_link_down);
+        for p in [0usize, 2, 3] {
+            assert_eq!(report.planes[p].dropped_link_down, 0);
+        }
     }
 
     #[test]

@@ -18,7 +18,6 @@
 use crate::commodity::Commodity;
 use pnet_routing::Parallelism;
 use pnet_topology::{HostId, LinkId, Network, PlaneId, RackId};
-use std::collections::BinaryHeap;
 
 /// How commodities may be routed.
 #[derive(Debug, Clone)]
@@ -112,10 +111,14 @@ pub fn solve_with_options(
     }
     let m = caps.iter().filter(|&&c| c > 0.0 && c.is_finite()).count() as f64;
 
+    // One oracle for the whole solve: plane graphs and the host-uplink cache
+    // are shared between demand pre-scaling and the phase loop.
+    let oracle = AnyPathOracle::new(net);
+
     // --- Demand pre-scaling so that OPT λ' is Θ(1). -----------------------
     // Lower bound: route every commodity on a shortest allowed path and
     // scale by the resulting congestion.
-    let seed_routes = shortest_routes_unit(net, commodities, mode, opts.parallelism);
+    let seed_routes = shortest_routes_unit(net, commodities, mode, opts.parallelism, &oracle);
     let mut seed_load = vec![0.0f64; caps.len()];
     for (c, route) in commodities.iter().zip(&seed_routes) {
         for &l in route {
@@ -162,8 +165,38 @@ pub fn solve_with_options(
         .filter(|(_, g)| !g.is_empty())
         .map(|(s, _)| s)
         .collect();
+    // Destination racks each source's tree bundle will be read at — the
+    // per-phase Dijkstras early-terminate once these are settled.
+    let target_racks: Vec<Vec<RackId>> = sources
+        .iter()
+        .map(|&s| {
+            let mut t: Vec<RackId> = by_src[s]
+                .iter()
+                .map(|&i| net.rack_of_host(commodities[i].dst))
+                .collect();
+            t.sort_unstable_by_key(|r| r.0);
+            t.dedup();
+            t
+        })
+        .collect();
 
-    let oracle = AnyPathOracle::new(net);
+    // Persistent per-source tree bundles (AnyPath): refreshed in place each
+    // phase instead of reallocated, and one route buffer serves every push.
+    let mut phase_trees: Vec<PlaneTrees> = match mode {
+        PathMode::AnyPath => (0..sources.len()).map(|_| oracle.empty_trees()).collect(),
+        PathMode::Explicit(_) => Vec::new(),
+    };
+    // Per-plane CSR-order weight snapshot, regathered once per phase and
+    // shared by every source's Dijkstra. A plane is dirty when one of its
+    // fabric links grew since its last gather: pushes mark the chosen
+    // plane, and clean planes skip both the gather and all their Dijkstras
+    // next phase (their trees are already exactly what a recompute would
+    // produce). Host attachment links never dirty a plane — they are not
+    // part of the plane graphs, and `best_route_into` reads them straight
+    // from `length`.
+    let mut phase_w: Vec<Vec<f64>> = Vec::new();
+    let mut plane_dirty: Vec<bool> = vec![true; oracle.planes.len()];
+    let mut route: Vec<LinkId> = Vec::new();
 
     'outer: while d_sum < 1.0 && phases < max_phases {
         phases += 1;
@@ -174,33 +207,48 @@ pub fn solve_with_options(
         // the (1-O(eps)) guarantee, and the final congestion rescale keeps
         // the primal feasible regardless). Sequential consumption below
         // keeps serial and parallel runs bit-identical.
-        let phase_trees: Vec<PlaneTrees> = match mode {
-            PathMode::AnyPath => opts.parallelism.map_indexed(sources.len(), |i| {
-                oracle.trees(net, HostId(sources[i] as u32), &length)
-            }),
-            PathMode::Explicit(_) => Vec::new(),
-        };
+        if matches!(mode, PathMode::AnyPath) {
+            oracle.edge_weights(&length, &plane_dirty, &mut phase_w);
+            opts.parallelism.update_indexed(&mut phase_trees, |i, t| {
+                oracle.refresh_trees(
+                    net,
+                    HostId(sources[i] as u32),
+                    &target_racks[i],
+                    &phase_w,
+                    &plane_dirty,
+                    t,
+                )
+            });
+            plane_dirty.fill(false);
+        }
         for (si, &src) in sources.iter().enumerate() {
             let group = &by_src[src];
-            let trees = match mode {
-                PathMode::AnyPath => Some(&phase_trees[si]),
-                PathMode::Explicit(_) => None,
-            };
             for &i in group {
                 let mut remaining = commodities[i].demand * scale;
                 while remaining > 0.0 {
                     if d_sum >= 1.0 {
                         break 'outer;
                     }
-                    let route: Vec<LinkId> = match mode {
-                        PathMode::Explicit(paths) => best_explicit(&paths[i], &length).to_vec(),
-                        PathMode::AnyPath => oracle.best_route(
-                            net,
-                            commodities[i].src,
-                            commodities[i].dst,
-                            trees.unwrap(),
-                            &length,
-                        ),
+                    match mode {
+                        PathMode::Explicit(paths) => {
+                            route.clear();
+                            route.extend_from_slice(best_explicit(&paths[i], &length));
+                        }
+                        PathMode::AnyPath => {
+                            let p = oracle.best_route_into(
+                                net,
+                                commodities[i].src,
+                                commodities[i].dst,
+                                &phase_trees[si],
+                                &length,
+                                &mut route,
+                            );
+                            // Routes longer than uplink + downlink grow
+                            // fabric lengths: plane p's trees go stale.
+                            if route.len() > 2 {
+                                plane_dirty[p] = true;
+                            }
+                        }
                     };
                     let bottleneck = route
                         .iter()
@@ -262,6 +310,7 @@ fn shortest_routes_unit(
     commodities: &[Commodity],
     mode: &PathMode,
     par: Parallelism,
+    oracle: &AnyPathOracle,
 ) -> Vec<Vec<LinkId>> {
     match mode {
         PathMode::Explicit(paths) => paths
@@ -276,12 +325,24 @@ fn shortest_routes_unit(
             .collect(),
         PathMode::AnyPath => {
             let unit: Vec<f64> = net.links().map(|_| 1.0).collect();
-            let oracle = AnyPathOracle::new(net);
             let mut sources: Vec<u32> = commodities.iter().map(|c| c.src.0).collect();
             sources.sort_unstable();
             sources.dedup();
+            let targets: Vec<Vec<RackId>> = sources
+                .iter()
+                .map(|&s| {
+                    let mut t: Vec<RackId> = commodities
+                        .iter()
+                        .filter(|c| c.src.0 == s)
+                        .map(|c| net.rack_of_host(c.dst))
+                        .collect();
+                    t.sort_unstable_by_key(|r| r.0);
+                    t.dedup();
+                    t
+                })
+                .collect();
             let trees: Vec<PlaneTrees> = par.map_indexed(sources.len(), |i| {
-                oracle.trees(net, HostId(sources[i]), &unit)
+                oracle.trees(net, HostId(sources[i]), &targets[i], &unit)
             });
             commodities
                 .iter()
@@ -312,94 +373,319 @@ fn best_explicit<'a>(candidates: &'a [Vec<LinkId>], length: &[f64]) -> &'a [Link
 
 use pnet_routing::PlaneGraph;
 
-/// One plane's tree: (dist to each dense switch, parent link of each switch).
-type PlaneTree = (Vec<f64>, Vec<Option<(usize, LinkId)>>);
+/// Parent sentinel: `u64::MAX` cannot encode a real (node, link) pair.
+const NO_PARENT: u64 = u64::MAX;
 
-/// Shortest-path trees from one source rack, one per plane.
+/// One plane's tree: (dist to each dense switch, packed parent of each
+/// switch). A parent packs `(dense parent node) << 32 | link id`, or
+/// [`NO_PARENT`] at the tree root — one word instead of a 24-byte
+/// `Option<(usize, LinkId)>`, so refreshes touch less memory.
+type PlaneTree = (Vec<f64>, Vec<u64>);
+
+/// Indexed 4-ary min-heap on `(distance bits, dense node)` with
+/// decrease-key, reused across Dijkstras.
+///
+/// Every distance is a non-negative finite float, and for those the
+/// IEEE-754 bit pattern orders identically to the value — so the heap
+/// compares plain integers yet pops in the exact (dist asc, node asc) order
+/// an `f64`-keyed heap would. Decrease-key (via the `pos` index) keeps one
+/// entry per frontier node instead of the lazy-deletion scheme's duplicates:
+/// the sequence of *valid* extract-mins — hence the settle order, the
+/// relaxation order, and every float operation — is unchanged, but roughly
+/// half the pops and their sift-downs disappear.
+struct DijkstraHeap {
+    /// `(dist bits, node)` entries in 4-ary heap order.
+    items: Vec<(u64, u32)>,
+    /// Heap position of each dense node, `u32::MAX` when absent.
+    pos: Vec<u32>,
+}
+
+impl DijkstraHeap {
+    fn with_nodes(max_n: usize) -> DijkstraHeap {
+        DijkstraHeap {
+            items: Vec::with_capacity(max_n),
+            pos: vec![u32::MAX; max_n],
+        }
+    }
+
+    /// Remove all entries, resetting their position marks.
+    fn clear(&mut self) {
+        for &(_, v) in &self.items {
+            self.pos[v as usize] = u32::MAX;
+        }
+        self.items.clear();
+    }
+
+    /// Insert `node` with `key`, or lower its existing key (Dijkstra only
+    /// ever improves keys, so a present node always sifts up).
+    fn push_or_decrease(&mut self, key: u64, node: u32) {
+        let p = self.pos[node as usize];
+        if p == u32::MAX {
+            self.items.push((key, node));
+            self.sift_up(self.items.len() - 1);
+        } else {
+            self.items[p as usize].0 = key;
+            self.sift_up(p as usize);
+        }
+    }
+
+    /// Extract the minimum `(key, node)` entry.
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let top = *self.items.first()?;
+        self.pos[top.1 as usize] = u32::MAX;
+        let last = self.items.pop().unwrap();
+        if !self.items.is_empty() {
+            self.items[0] = last;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let it = self.items[i];
+        while i > 0 {
+            let p = (i - 1) / 4;
+            if self.items[p] <= it {
+                break;
+            }
+            self.items[i] = self.items[p];
+            self.pos[self.items[i].1 as usize] = i as u32;
+            i = p;
+        }
+        self.items[i] = it;
+        self.pos[it.1 as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let it = self.items[i];
+        loop {
+            let c0 = 4 * i + 1;
+            if c0 >= self.items.len() {
+                break;
+            }
+            let mut m = c0;
+            for c in c0 + 1..(c0 + 4).min(self.items.len()) {
+                if self.items[c] < self.items[m] {
+                    m = c;
+                }
+            }
+            if it <= self.items[m] {
+                break;
+            }
+            self.items[i] = self.items[m];
+            self.pos[self.items[i].1 as usize] = i as u32;
+            i = m;
+        }
+        self.items[i] = it;
+        self.pos[it.1 as usize] = i as u32;
+    }
+}
+
+/// Shortest-path trees from one source rack, one per plane. Persistent: the
+/// phase loop refreshes the same trees in place every phase (dist refilled,
+/// the Dijkstra heap reused) instead of reallocating — refreshing performs
+/// the exact same float operations as building fresh, so solutions are
+/// bit-identical.
 pub struct PlaneTrees {
     trees: Vec<PlaneTree>,
+    /// Reused Dijkstra frontier (cleared per plane).
+    heap: DijkstraHeap,
+    /// Scratch target-marks for early-terminated Dijkstra (shared across the
+    /// planes of one refresh; every set bit is cleared again before reuse).
+    mask: Vec<bool>,
 }
 
 struct AnyPathOracle {
     planes: Vec<PlaneGraph>,
-}
-
-#[derive(PartialEq)]
-struct HeapItem(f64, usize);
-impl Eq for HeapItem {}
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed for a min-heap; weights are finite positives.
-        other
-            .0
-            .partial_cmp(&self.0)
-            .unwrap()
-            .then(other.1.cmp(&self.1))
-    }
-}
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+    /// Host uplink per (host, plane), cached once: `host_uplink` scans the
+    /// host's link arena slice on every call, and `best_route` asks for it
+    /// several times per commodity per phase. Link state is frozen for the
+    /// duration of a solve, so the cache cannot go stale mid-run.
+    uplinks: Vec<Option<LinkId>>,
+    n_planes: usize,
 }
 
 impl AnyPathOracle {
     fn new(net: &Network) -> Self {
+        let planes = PlaneGraph::build_all(net);
+        let n_planes = planes.len();
+        let mut uplinks = Vec::with_capacity(net.n_hosts() * n_planes);
+        for h in 0..net.n_hosts() {
+            for p in 0..n_planes {
+                uplinks.push(net.host_uplink(HostId(h as u32), PlaneId(p as u16)));
+            }
+        }
         AnyPathOracle {
-            planes: PlaneGraph::build_all(net),
+            planes,
+            uplinks,
+            n_planes,
         }
     }
 
-    /// Dijkstra from `src`'s ToR in every plane under `length`.
-    fn trees(&self, net: &Network, src: HostId, length: &[f64]) -> PlaneTrees {
-        let rack = net.rack_of_host(src);
-        let trees = self
+    #[inline]
+    fn uplink(&self, h: HostId, p: usize) -> Option<LinkId> {
+        self.uplinks[h.index() * self.n_planes + p]
+    }
+
+    /// Empty tree bundle sized for this oracle, to be filled by
+    /// [`AnyPathOracle::refresh_trees`].
+    fn empty_trees(&self) -> PlaneTrees {
+        let max_n = self
             .planes
             .iter()
-            .map(|pg| {
-                let s = pg.tor(rack);
-                let n = pg.n_switches();
-                let mut dist = vec![f64::INFINITY; n];
-                let mut parent: Vec<Option<(usize, LinkId)>> = vec![None; n];
-                let mut heap = BinaryHeap::new();
-                dist[s] = 0.0;
-                heap.push(HeapItem(0.0, s));
-                while let Some(HeapItem(d, u)) = heap.pop() {
-                    if d > dist[u] {
-                        continue;
-                    }
-                    for &(v, l) in pg.neighbors(u) {
-                        let nd = d + length[l.index()];
-                        if nd < dist[v] {
-                            dist[v] = nd;
-                            parent[v] = Some((u, l));
-                            heap.push(HeapItem(nd, v));
-                        }
+            .map(|pg| pg.n_switches())
+            .max()
+            .unwrap_or(0);
+        PlaneTrees {
+            trees: self
+                .planes
+                .iter()
+                .map(|pg| {
+                    let n = pg.n_switches();
+                    (vec![f64::INFINITY; n], vec![NO_PARENT; n])
+                })
+                .collect(),
+            heap: DijkstraHeap::with_nodes(max_n),
+            mask: vec![false; max_n],
+        }
+    }
+
+    /// Gather `length` into per-plane CSR-edge-order weight arrays. Every
+    /// same-phase Dijkstra (one per source) then reads its relaxation weight
+    /// at the CSR position it is already walking, instead of chasing
+    /// `length[link.index()]` — one gather per plane per phase, shared by
+    /// all sources. Values are copied verbatim, so sums are bit-identical.
+    /// Planes whose `dirty` flag is unset kept their previous weights and
+    /// are skipped.
+    fn edge_weights(&self, length: &[f64], dirty: &[bool], out: &mut Vec<Vec<f64>>) {
+        out.resize(self.planes.len(), Vec::new());
+        for ((pg, w), _) in self
+            .planes
+            .iter()
+            .zip(out.iter_mut())
+            .zip(dirty)
+            .filter(|&(_, &d)| d)
+        {
+            pg.gather_weights(length, w);
+        }
+    }
+
+    /// Dijkstra from `src`'s ToR in every plane under per-plane CSR-order
+    /// `weights` (see [`AnyPathOracle::edge_weights`]), refreshing `out` in
+    /// place.
+    ///
+    /// `targets` are the destination racks the caller will read out of the
+    /// trees (via [`AnyPathOracle::best_route_into`]): each plane's Dijkstra
+    /// stops as soon as every target is settled. A target's distance and the
+    /// parent pointers along its shortest path are final at settle time, so
+    /// every value the caller can observe is identical to a full run — only
+    /// relaxations of never-read nodes are skipped. An empty `targets` slice
+    /// settles everything.
+    ///
+    /// Parents are *not* cleared between refreshes: every node on a
+    /// backtracked path was improved (and its parent overwritten) during
+    /// this refresh before its settle, except the root, whose distance 0.0
+    /// no relaxation can beat — so only the root's sentinel is written.
+    /// Stale parents of nodes off the returned paths are never read.
+    ///
+    /// Planes whose `dirty` flag is unset are skipped entirely: their
+    /// weights match the previous refresh, so the (dist, parent) arrays
+    /// already hold exactly what recomputing would produce.
+    fn refresh_trees(
+        &self,
+        net: &Network,
+        src: HostId,
+        targets: &[RackId],
+        weights: &[Vec<f64>],
+        dirty: &[bool],
+        out: &mut PlaneTrees,
+    ) {
+        let rack = net.rack_of_host(src);
+        let PlaneTrees { trees, heap, mask } = out;
+        for (((pg, w), (dist, parent)), _) in self
+            .planes
+            .iter()
+            .zip(weights)
+            .zip(trees.iter_mut())
+            .zip(dirty)
+            .filter(|&(_, &d)| d)
+        {
+            let s = pg.tor(rack);
+            let mut remaining = 0usize;
+            for &r in targets {
+                let t = pg.tor(r);
+                if !mask[t] {
+                    mask[t] = true;
+                    remaining += 1;
+                }
+            }
+            let early = !targets.is_empty();
+            dist.fill(f64::INFINITY);
+            dist[s] = 0.0;
+            parent[s] = NO_PARENT;
+            heap.clear();
+            heap.push_or_decrease(0, s as u32);
+            while let Some((db, u)) = heap.pop() {
+                let u = u as usize;
+                if early && mask[u] {
+                    mask[u] = false;
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
                     }
                 }
-                (dist, parent)
-            })
-            .collect();
-        PlaneTrees { trees }
+                let d = f64::from_bits(db);
+                let row = pg.neighbors(u);
+                let wrow = &w[pg.row_start(u)..pg.row_start(u) + row.len()];
+                for (&(v, l), &wt) in row.iter().zip(wrow) {
+                    let v = v as usize;
+                    let nd = d + wt;
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                        parent[v] = ((u as u64) << 32) | l.0 as u64;
+                        heap.push_or_decrease(nd.to_bits(), v as u32);
+                    }
+                }
+            }
+            // Unreachable targets never pop: clear their marks for the next
+            // plane/refresh.
+            if remaining > 0 {
+                for &r in targets {
+                    mask[pg.tor(r)] = false;
+                }
+            }
+        }
+    }
+
+    /// One-shot tree bundle (allocating convenience over
+    /// [`AnyPathOracle::refresh_trees`], gathering its own weights).
+    fn trees(&self, net: &Network, src: HostId, targets: &[RackId], length: &[f64]) -> PlaneTrees {
+        let all = vec![true; self.planes.len()];
+        let mut w = Vec::new();
+        self.edge_weights(length, &all, &mut w);
+        let mut out = self.empty_trees();
+        self.refresh_trees(net, src, targets, &w, &all, &mut out);
+        out
     }
 
     /// Best full route `src -> dst` across all planes given precomputed
-    /// trees. Falls back across planes where a host lacks an uplink.
-    fn best_route(
+    /// trees, written into `route` (cleared first); returns the chosen
+    /// plane's index. Falls back across planes where a host lacks an uplink.
+    fn best_route_into(
         &self,
         net: &Network,
         src: HostId,
         dst: HostId,
         trees: &PlaneTrees,
         length: &[f64],
-    ) -> Vec<LinkId> {
+        route: &mut Vec<LinkId>,
+    ) -> usize {
         let dst_rack = net.rack_of_host(dst);
         let mut best: Option<(f64, usize)> = None;
         for (p, (dist, _)) in trees.trees.iter().enumerate() {
-            let plane = PlaneId(p as u16);
             let (Some(up), Some(down)) = (
-                net.host_uplink(src, plane),
-                net.host_uplink(dst, plane).map(|l| l.reverse()),
+                self.uplink(src, p),
+                self.uplink(dst, p).map(|l| l.reverse()),
             ) else {
                 continue;
             };
@@ -413,20 +699,37 @@ impl AnyPathOracle {
             }
         }
         let (_, p) = best.expect("no plane connects the commodity endpoints");
-        let plane = PlaneId(p as u16);
         let pg = &self.planes[p];
         let (_, parent) = &trees.trees[p];
-        let mut fabric = Vec::new();
+        // Backtrack the fabric portion, then reverse in place within the
+        // route buffer (slot 0 holds the uplink; the downlink is appended).
+        route.clear();
+        route.push(self.uplink(src, p).unwrap());
         let mut cur = pg.tor(dst_rack);
-        while let Some((q, l)) = parent[cur] {
-            fabric.push(l);
-            cur = q;
+        loop {
+            let pv = parent[cur];
+            if pv == NO_PARENT {
+                break;
+            }
+            route.push(LinkId(pv as u32));
+            cur = (pv >> 32) as usize;
         }
-        fabric.reverse();
-        let mut route = Vec::with_capacity(fabric.len() + 2);
-        route.push(net.host_uplink(src, plane).unwrap());
-        route.extend(fabric);
-        route.push(net.host_uplink(dst, plane).unwrap().reverse());
+        route[1..].reverse();
+        route.push(self.uplink(dst, p).unwrap().reverse());
+        p
+    }
+
+    /// Allocating wrapper over [`AnyPathOracle::best_route_into`].
+    fn best_route(
+        &self,
+        net: &Network,
+        src: HostId,
+        dst: HostId,
+        trees: &PlaneTrees,
+        length: &[f64],
+    ) -> Vec<LinkId> {
+        let mut route = Vec::new();
+        self.best_route_into(net, src, dst, trees, length, &mut route);
         route
     }
 }

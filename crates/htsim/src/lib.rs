@@ -54,7 +54,8 @@ pub mod time;
 
 pub use packet::{ConnId, Packet, PacketKind, ACK_BYTES, MTU_BYTES};
 pub use sim::{
-    run, run_to_completion, Driver, FlowRecord, FlowSpec, NullDriver, SimConfig, Simulator,
+    run, run_to_completion, Driver, FlowRecord, FlowSpec, NullDriver, QueueStats, SimConfig,
+    Simulator,
 };
 pub use tcp::{CcAlgo, TcpConfig};
 pub use time::SimTime;

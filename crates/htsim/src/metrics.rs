@@ -1,7 +1,37 @@
-//! Metric helpers: percentiles, means, and CDFs over flow records.
+//! Metric helpers: percentiles, means, and CDFs over flow records, plus the
+//! packet-loss breakdown by cause.
 
-use crate::sim::FlowRecord;
+use crate::sim::{FlowRecord, QueueStats};
 use crate::time::SimTime;
+
+/// Packet losses split by cause across a set of queues. Drop-tail loss at a
+/// live link signals congestion; a discard at a dark link signals failure —
+/// conflating them makes failure experiments look like buffer problems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DropBreakdown {
+    /// Drop-tail losses at live links.
+    pub congestion: u64,
+    /// Discards at links that were down.
+    pub link_down: u64,
+}
+
+impl DropBreakdown {
+    /// Sum the breakdown over per-queue statistics (e.g. one
+    /// [`crate::Simulator::queue_stats`] call per link).
+    pub fn accumulate(stats: impl IntoIterator<Item = QueueStats>) -> Self {
+        let mut out = DropBreakdown::default();
+        for qs in stats {
+            out.congestion += qs.dropped;
+            out.link_down += qs.dropped_link_down;
+        }
+        out
+    }
+
+    /// All losses regardless of cause.
+    pub fn total(&self) -> u64 {
+        self.congestion + self.link_down
+    }
+}
 
 /// A percentile of a sample set (nearest-rank). `p` in [0, 100].
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
@@ -104,6 +134,20 @@ pub fn fmt_duration(t: SimTime) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn drop_breakdown_sums_by_cause() {
+        let q = |dropped, link_down| QueueStats {
+            enqueued: 10,
+            dropped,
+            dropped_link_down: link_down,
+            peak_bytes: 0,
+        };
+        let b = DropBreakdown::accumulate([q(3, 0), q(0, 5), q(2, 1)]);
+        assert_eq!(b.congestion, 5);
+        assert_eq!(b.link_down, 6);
+        assert_eq!(b.total(), 11);
+    }
 
     #[test]
     fn percentile_nearest_rank() {

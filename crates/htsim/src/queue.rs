@@ -34,7 +34,12 @@ pub struct Queue {
     busy: bool,
     /// Statistics.
     pub enqueued: u64,
+    /// Drop-tail losses: packet arrived at a live link with a full buffer.
     pub dropped: u64,
+    /// Packets discarded because the link was down, not because the buffer
+    /// was full — kept apart so failure experiments don't misread blackhole
+    /// loss as congestion.
+    pub dropped_link_down: u64,
     /// Peak queue occupancy in bytes.
     pub peak_bytes: u64,
 }
@@ -49,6 +54,8 @@ pub enum Enqueue {
     Queued,
     /// Buffer full: packet dropped.
     Dropped,
+    /// Link is down: packet discarded regardless of buffer occupancy.
+    DroppedLinkDown,
 }
 
 impl Queue {
@@ -66,6 +73,7 @@ impl Queue {
             busy: false,
             enqueued: 0,
             dropped: 0,
+            dropped_link_down: 0,
             peak_bytes: 0,
         }
     }
@@ -73,7 +81,11 @@ impl Queue {
     /// Try to accept `packet`.
     pub fn enqueue(&mut self, mut packet: Packet) -> Enqueue {
         let size = packet.size_bytes as u64;
-        if !self.link_up || self.buffered_bytes + size > self.capacity_bytes {
+        if !self.link_up {
+            self.dropped_link_down += 1;
+            return Enqueue::DroppedLinkDown;
+        }
+        if self.buffered_bytes + size > self.capacity_bytes {
             self.dropped += 1;
             return Enqueue::Dropped;
         }
@@ -238,6 +250,22 @@ mod tests {
             q.enqueue(pkt(1500));
         }
         assert_eq!(q.marked, 0);
+    }
+
+    #[test]
+    fn link_down_drops_counted_separately() {
+        let mut q = Queue::new(100_000_000_000, 0, 2 * 1500);
+        q.enqueue(pkt(1500));
+        q.enqueue(pkt(1500));
+        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Dropped); // congestion
+        q.link_up = false;
+        // Plenty of headroom would exist after a departure, but the link is
+        // dark: this is a failure drop, not drop-tail.
+        assert_eq!(q.enqueue(pkt(40)), Enqueue::DroppedLinkDown);
+        assert_eq!(q.enqueue(pkt(40)), Enqueue::DroppedLinkDown);
+        assert_eq!(q.dropped, 1);
+        assert_eq!(q.dropped_link_down, 2);
+        assert_eq!(q.enqueued, 2);
     }
 
     #[test]

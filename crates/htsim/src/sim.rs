@@ -97,6 +97,28 @@ pub trait Driver {
 pub struct NullDriver;
 impl Driver for NullDriver {}
 
+/// Counters of one link's output queue, as reported by
+/// [`Simulator::queue_stats`]. `dropped` is drop-tail (congestion) loss only;
+/// `dropped_link_down` counts packets discarded because the link was dark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Packets accepted into the buffer.
+    pub enqueued: u64,
+    /// Packets lost to a full buffer on a live link.
+    pub dropped: u64,
+    /// Packets discarded because the link was down.
+    pub dropped_link_down: u64,
+    /// Peak buffer occupancy in bytes.
+    pub peak_bytes: u64,
+}
+
+impl QueueStats {
+    /// All losses at this queue, regardless of cause.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped + self.dropped_link_down
+    }
+}
+
 /// The engine.
 pub struct Simulator {
     /// Current simulation time.
@@ -111,6 +133,9 @@ pub struct Simulator {
     pending_complete: Vec<ConnId>,
     /// Packets lost to full buffers.
     pub dropped_packets: u64,
+    /// Packets lost to dark (failed) links — separate from drop-tail loss so
+    /// failure experiments don't misreport congestion.
+    pub dropped_link_down_packets: u64,
     /// Timestamps per subflow of last forward progress (for lazy RTO).
     last_progress: Vec<Vec<SimTime>>,
 }
@@ -137,6 +162,7 @@ impl Simulator {
             records: Vec::new(),
             pending_complete: Vec::new(),
             dropped_packets: 0,
+            dropped_link_down_packets: 0,
             last_progress: Vec::new(),
         }
     }
@@ -156,10 +182,15 @@ impl Simulator {
         self.conns.len()
     }
 
-    /// Queue statistics of a link: (enqueued, dropped, peak bytes).
-    pub fn queue_stats(&self, link: LinkId) -> (u64, u64, u64) {
+    /// Queue statistics of a link.
+    pub fn queue_stats(&self, link: LinkId) -> QueueStats {
         let q = &self.queues[link.index()];
-        (q.enqueued, q.dropped, q.peak_bytes)
+        QueueStats {
+            enqueued: q.enqueued,
+            dropped: q.dropped,
+            dropped_link_down: q.dropped_link_down,
+            peak_bytes: q.peak_bytes,
+        }
     }
 
     /// Events dispatched so far.
@@ -269,6 +300,7 @@ impl Simulator {
             }
             Enqueue::Queued => {}
             Enqueue::Dropped => self.dropped_packets += 1,
+            Enqueue::DroppedLinkDown => self.dropped_link_down_packets += 1,
         }
     }
 
@@ -943,9 +975,9 @@ mod tests {
             let mut drops = 0;
             let mut peak = 0;
             for (id, _) in n.links() {
-                let (_, d, p) = sim.queue_stats(id);
-                drops += d;
-                peak = peak.max(p);
+                let qs = sim.queue_stats(id);
+                drops += qs.dropped;
+                peak = peak.max(qs.peak_bytes);
             }
             (drops, peak)
         };

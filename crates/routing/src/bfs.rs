@@ -1,27 +1,51 @@
 //! Breadth-first shortest paths on plane graphs: distances, deterministic
 //! single paths, equal-cost path enumeration, and hop-count matrices.
+//!
+//! Traversals run on the CSR adjacency of [`PlaneGraph`] with their state in
+//! an epoch-stamped [`RouteScratch`], so a bulk caller (the router's
+//! precompute, the hop-matrix sweeps) pays no per-query allocation beyond
+//! the paths it actually returns. [`ecmp_destinations`] batches the
+//! equal-cost enumeration of one `(plane, src)` over many destinations on a
+//! single BFS distance field.
 
 use crate::path::Path;
 use crate::plane_graph::PlaneGraph;
+use crate::scratch::{with_thread_scratch, RouteScratch};
 use pnet_topology::{LinkId, RackId};
-use std::collections::VecDeque;
+
+/// BFS over the whole plane from dense index `src`, leaving distances and
+/// first-discovery parents in the current search generation of `scratch`.
+/// No bans are honored — this is the plain distance field.
+fn bfs_fill(pg: &PlaneGraph, src: usize, scratch: &mut RouteScratch) {
+    scratch.ensure(pg.n_switches(), pg.link_bound());
+    scratch.begin_search();
+    let mut queue = std::mem::take(&mut scratch.queue);
+    queue.clear();
+    scratch.visit(src, 0, (0, LinkId(0)));
+    queue.push(src as u32);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        let du = scratch.dist(u);
+        for &(v, l) in pg.neighbors(u) {
+            let v = v as usize;
+            if scratch.dist(v) == u32::MAX {
+                scratch.visit(v, du + 1, (u as u32, l));
+                queue.push(v as u32);
+            }
+        }
+    }
+    scratch.queue = queue;
+}
 
 /// Distance (in fabric links) from `src` to every switch; `u32::MAX` for
 /// unreachable switches.
 pub fn bfs_dist(pg: &PlaneGraph, src: usize) -> Vec<u32> {
-    let mut dist = vec![u32::MAX; pg.n_switches()];
-    let mut queue = VecDeque::new();
-    dist[src] = 0;
-    queue.push_back(src);
-    while let Some(u) = queue.pop_front() {
-        for &(v, _) in pg.neighbors(u) {
-            if dist[v] == u32::MAX {
-                dist[v] = dist[u] + 1;
-                queue.push_back(v);
-            }
-        }
-    }
-    dist
+    with_thread_scratch(|scratch| {
+        bfs_fill(pg, src, scratch);
+        (0..pg.n_switches()).map(|u| scratch.dist(u)).collect()
+    })
 }
 
 /// One shortest ToR-to-ToR path, deterministic (prefers lowest link ids).
@@ -34,36 +58,23 @@ pub fn shortest_path(pg: &PlaneGraph, src: RackId, dst: RackId) -> Option<Path> 
     let t = pg.tor(dst);
     // BFS storing the first (lowest-link-id) parent; neighbor lists are
     // sorted by link id, so first discovery is the deterministic choice.
-    let mut parent: Vec<Option<(usize, LinkId)>> = vec![None; pg.n_switches()];
-    let mut dist = vec![u32::MAX; pg.n_switches()];
-    let mut queue = VecDeque::new();
-    dist[s] = 0;
-    queue.push_back(s);
-    'search: while let Some(u) = queue.pop_front() {
-        for &(v, l) in pg.neighbors(u) {
-            if dist[v] == u32::MAX {
-                dist[v] = dist[u] + 1;
-                parent[v] = Some((u, l));
-                if v == t {
-                    break 'search;
-                }
-                queue.push_back(v);
-            }
+    with_thread_scratch(|scratch| {
+        bfs_fill(pg, s, scratch);
+        let d = scratch.dist(t);
+        if d == u32::MAX {
+            return None;
         }
-    }
-    if dist[t] == u32::MAX {
-        return None;
-    }
-    let mut links = Vec::with_capacity(dist[t] as usize);
-    let mut cur = t;
-    while let Some((p, l)) = parent[cur] {
-        links.push(l);
-        cur = p;
-    }
-    links.reverse();
-    Some(Path {
-        plane: pg.plane,
-        links,
+        let mut links = vec![LinkId(0); d as usize];
+        let mut cur = t;
+        for i in (0..d as usize).rev() {
+            let (p, l) = scratch.parent(cur);
+            links[i] = l;
+            cur = p as usize;
+        }
+        Some(Path {
+            plane: pg.plane,
+            links,
+        })
     })
 }
 
@@ -75,20 +86,58 @@ pub fn all_shortest_paths(pg: &PlaneGraph, src: RackId, dst: RackId, cap: usize)
     }
     let s = pg.tor(src);
     let t = pg.tor(dst);
-    let dist = bfs_dist(pg, s);
-    if dist[t] == u32::MAX || cap == 0 {
+    with_thread_scratch(|scratch| {
+        bfs_fill(pg, s, scratch);
+        enumerate_to(pg, scratch, s, t, cap)
+    })
+}
+
+/// Equal-cost path sets from `src` toward each rack in `dsts`, sharing one
+/// BFS distance field. Entry `i` is identical to
+/// `all_shortest_paths(pg, src, dsts[i], cap)`.
+pub fn ecmp_destinations(
+    pg: &PlaneGraph,
+    src: RackId,
+    dsts: &[RackId],
+    cap: usize,
+) -> Vec<Vec<Path>> {
+    with_thread_scratch(|scratch| {
+        let s = pg.tor(src);
+        bfs_fill(pg, s, scratch);
+        dsts.iter()
+            .map(|&dst| {
+                if dst == src {
+                    vec![Path::intra_rack(pg.plane)]
+                } else {
+                    enumerate_to(pg, scratch, s, pg.tor(dst), cap)
+                }
+            })
+            .collect()
+    })
+}
+
+/// Enumerate up to `cap` shortest paths from the BFS root `s` of the current
+/// search generation toward dense index `t`.
+fn enumerate_to(
+    pg: &PlaneGraph,
+    scratch: &RouteScratch,
+    s: usize,
+    t: usize,
+    cap: usize,
+) -> Vec<Path> {
+    if scratch.dist(t) == u32::MAX || cap == 0 {
         return Vec::new();
     }
     // DFS forward along the shortest-path DAG (dist strictly increasing).
     let mut out = Vec::new();
     let mut stack: Vec<LinkId> = Vec::new();
-    dfs_enumerate(pg, &dist, s, t, cap, &mut stack, &mut out);
+    dfs_enumerate(pg, scratch, s, t, cap, &mut stack, &mut out);
     out
 }
 
 fn dfs_enumerate(
     pg: &PlaneGraph,
-    dist: &[u32],
+    scratch: &RouteScratch,
     u: usize,
     t: usize,
     cap: usize,
@@ -105,10 +154,14 @@ fn dfs_enumerate(
         });
         return;
     }
+    let du = scratch.dist(u);
+    let dt = scratch.dist(t);
     for &(v, l) in pg.neighbors(u) {
-        if dist[v] == dist[u] + 1 && dist[v] <= dist[t] {
+        let v = v as usize;
+        let dv = scratch.dist(v);
+        if dv == du + 1 && dv <= dt {
             stack.push(l);
-            dfs_enumerate(pg, dist, v, t, cap, stack, out);
+            dfs_enumerate(pg, scratch, v, t, cap, stack, out);
             stack.pop();
             if out.len() >= cap {
                 return;
@@ -121,14 +174,16 @@ fn dfs_enumerate(
 /// number of ToR-to-ToR links on the shortest path (0 on the diagonal,
 /// `u32::MAX` if disconnected).
 pub fn rack_hop_matrix(pg: &PlaneGraph) -> Vec<Vec<u32>> {
-    (0..pg.n_racks())
-        .map(|r| {
-            let dist = bfs_dist(pg, pg.tor(RackId(r as u32)));
-            (0..pg.n_racks())
-                .map(|q| dist[pg.tor(RackId(q as u32))])
-                .collect()
-        })
-        .collect()
+    with_thread_scratch(|scratch| {
+        (0..pg.n_racks())
+            .map(|r| {
+                bfs_fill(pg, pg.tor(RackId(r as u32)), scratch);
+                (0..pg.n_racks())
+                    .map(|q| scratch.dist(pg.tor(RackId(q as u32))))
+                    .collect()
+            })
+            .collect()
+    })
 }
 
 /// Element-wise minimum of per-plane hop matrices: the hop count an end host
@@ -230,6 +285,21 @@ mod tests {
         let paths = all_shortest_paths(&pg, RackId(0), RackId(7), 64);
         let set: std::collections::HashSet<_> = paths.iter().map(|p| p.links.clone()).collect();
         assert_eq!(set.len(), paths.len());
+    }
+
+    #[test]
+    fn batched_ecmp_matches_per_pair() {
+        let net = ft_net();
+        let pg = PlaneGraph::build(&net, PlaneId(0));
+        let dsts: Vec<RackId> = (0..8).map(RackId).collect();
+        let batched = ecmp_destinations(&pg, RackId(0), &dsts, 64);
+        for (i, dst) in dsts.iter().enumerate() {
+            assert_eq!(
+                batched[i],
+                all_shortest_paths(&pg, RackId(0), *dst, 64),
+                "batched ECMP diverged for destination {dst}"
+            );
+        }
     }
 
     #[test]

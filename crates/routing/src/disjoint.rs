@@ -7,11 +7,17 @@
 //! repeated shortest-path extraction with used links removed (the standard
 //! greedy approximation; within a plane of a P-Net, min-cut many disjoint
 //! paths exist by construction of the regular topologies used here).
+//!
+//! The greedy loop stages its banned-cable set in the epoch-stamped
+//! [`RouteScratch`] (cable id = link id / 2, always below the plane's link
+//! bound), so successive extractions reuse the same arrays and the ban set
+//! grows incrementally instead of rehashing per BFS.
 
 use crate::path::Path;
 use crate::plane_graph::PlaneGraph;
+use crate::scratch::{with_thread_scratch, RouteScratch};
 use pnet_topology::{LinkId, RackId};
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 
 /// Up to `k` pairwise edge-disjoint ToR-to-ToR paths within one plane,
 /// shortest first. Disjointness is over *undirected* cables (a pair of
@@ -26,55 +32,75 @@ pub fn edge_disjoint_paths(pg: &PlaneGraph, src: RackId, dst: RackId, k: usize) 
     }
     let s = pg.tor(src);
     let t = pg.tor(dst);
-    let mut banned: HashSet<u32> = HashSet::new(); // cable ids (link id / 2)
-    let mut out = Vec::new();
-    while out.len() < k {
-        let Some(links) = bfs_avoiding(pg, s, t, &banned) else {
-            break;
-        };
-        for &l in &links {
-            banned.insert(l.0 / 2);
+    with_thread_scratch(|scratch| {
+        scratch.ensure(pg.n_switches(), pg.link_bound());
+        scratch.begin_node_bans();
+        // One ban generation for the whole greedy loop: each extracted
+        // path's cables are added, never removed.
+        scratch.begin_link_bans();
+        let mut out = Vec::new();
+        while out.len() < k {
+            let Some(links) = bfs_avoiding(pg, s, t, scratch) else {
+                break;
+            };
+            for &l in &links {
+                scratch.ban_link_slot((l.0 / 2) as usize * 2);
+            }
+            out.push(Path {
+                plane: pg.plane,
+                links,
+            });
         }
-        out.push(Path {
-            plane: pg.plane,
-            links,
-        });
-    }
-    out
+        out
+    })
 }
 
-/// BFS shortest path avoiding banned cables; deterministic (lowest link id
-/// first).
-fn bfs_avoiding(pg: &PlaneGraph, s: usize, t: usize, banned: &HashSet<u32>) -> Option<Vec<LinkId>> {
-    let n = pg.n_switches();
-    let mut parent: Vec<Option<(usize, LinkId)>> = vec![None; n];
-    let mut seen = vec![false; n];
-    let mut queue = VecDeque::new();
-    seen[s] = true;
-    queue.push_back(s);
-    while let Some(u) = queue.pop_front() {
+/// BFS shortest path avoiding the cables banned in `scratch` (slot = cable
+/// id * 2, i.e. the even link of the duplex pair); deterministic (lowest
+/// link id first).
+fn bfs_avoiding(
+    pg: &PlaneGraph,
+    s: usize,
+    t: usize,
+    scratch: &mut RouteScratch,
+) -> Option<Vec<LinkId>> {
+    scratch.begin_search();
+    let mut queue = std::mem::take(&mut scratch.queue);
+    queue.clear();
+    scratch.visit(s, 0, (0, LinkId(0)));
+    queue.push(s as u32);
+    let mut head = 0;
+    'search: while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
         if u == t {
             break;
         }
+        let du = scratch.dist(u);
         for &(v, l) in pg.neighbors(u) {
-            if seen[v] || banned.contains(&(l.0 / 2)) {
+            let v = v as usize;
+            if scratch.link_slot_banned((l.0 / 2) as usize * 2) || scratch.dist(v) != u32::MAX {
                 continue;
             }
-            seen[v] = true;
-            parent[v] = Some((u, l));
-            queue.push_back(v);
+            scratch.visit(v, du + 1, (u as u32, l));
+            if v == t {
+                break 'search;
+            }
+            queue.push(v as u32);
         }
     }
-    if !seen[t] {
+    scratch.queue = queue;
+    let d = scratch.dist(t);
+    if d == u32::MAX {
         return None;
     }
-    let mut links = Vec::new();
+    let mut links = vec![LinkId(0); d as usize];
     let mut cur = t;
-    while let Some((p, l)) = parent[cur] {
-        links.push(l);
-        cur = p;
+    for i in (0..d as usize).rev() {
+        let (p, l) = scratch.parent(cur);
+        links[i] = l;
+        cur = p as usize;
     }
-    links.reverse();
     Some(links)
 }
 

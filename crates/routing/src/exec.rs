@@ -44,6 +44,26 @@ impl Parallelism {
             Parallelism::Rayon => (0..n).into_par_iter().map(f).collect(),
         }
     }
+
+    /// Update every slot of `items` in place via `f(index, &mut item)`. Each
+    /// index is touched exactly once, so for per-index-pure `f` the result is
+    /// independent of the strategy — this is the in-place sibling of
+    /// [`Parallelism::map_indexed`] for recomputing persistent per-worker
+    /// state (e.g. the GK phase trees) without reallocating it.
+    pub fn update_indexed<T, F>(self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        match self {
+            Parallelism::Serial => {
+                for (i, item) in items.iter_mut().enumerate() {
+                    f(i, item);
+                }
+            }
+            Parallelism::Rayon => rayon::par_update_index(items, f),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -57,6 +77,16 @@ mod tests {
             Parallelism::Serial.map_indexed(100, f),
             Parallelism::Rayon.map_indexed(100, f)
         );
+    }
+
+    #[test]
+    fn update_indexed_serial_and_rayon_agree() {
+        let mut a: Vec<usize> = (0..64).collect();
+        let mut b = a.clone();
+        let f = |i: usize, x: &mut usize| *x = *x * 3 + i;
+        Parallelism::Serial.update_indexed(&mut a, f);
+        Parallelism::Rayon.update_indexed(&mut b, f);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod exec;
 pub mod path;
 pub mod plane_graph;
 pub mod router;
+pub mod scratch;
 pub mod yen;
 
 pub use disjoint::{are_edge_disjoint, edge_disjoint_paths};
@@ -37,4 +38,5 @@ pub use exec::Parallelism;
 pub use path::{host_route, reverse_route, rotate_ties, sort_paths, Path};
 pub use plane_graph::PlaneGraph;
 pub use router::{RouteAlgo, Router};
-pub use yen::ksp;
+pub use scratch::RouteScratch;
+pub use yen::{ksp, ksp_all_destinations, ksp_destinations, ksp_reference};

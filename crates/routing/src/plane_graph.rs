@@ -1,12 +1,16 @@
-//! Compact per-plane switch graphs.
+//! Compact per-plane switch graphs in CSR (compressed sparse row) form.
 //!
 //! All routing algorithms run on a [`PlaneGraph`]: the switches of one plane
-//! with dense indices and an adjacency list that remembers the underlying
-//! [`LinkId`]s. Building it once per plane avoids filtering the full
+//! with dense indices and a flat adjacency array that remembers the
+//! underlying [`LinkId`]s. The CSR layout — one offsets vector plus one
+//! packed `(neighbor, link)` array — keeps every traversal cache-linear and
+//! allocation-free: a BFS touches two contiguous arrays instead of chasing
+//! one heap-allocated `Vec` per node, and node lookup is a dense vector
+//! index instead of a `HashMap` probe (node ids are arena-dense in
+//! `pnet_topology`). Building it once per plane avoids filtering the full
 //! multi-plane [`Network`] adjacency on every traversal.
 
 use pnet_topology::{LinkId, Network, NodeId, NodeKind, PlaneId, RackId};
-use std::collections::HashMap;
 
 /// Switch-level graph of a single plane. Only *up* links are included, so a
 /// graph built after failure injection reflects the failures (rebuild after
@@ -17,47 +21,81 @@ pub struct PlaneGraph {
     pub plane: PlaneId,
     /// Node id of each switch, indexed by dense switch index.
     nodes: Vec<NodeId>,
-    /// Dense index of each switch node.
-    index: HashMap<NodeId, usize>,
-    /// adjacency\[u\] = (dense neighbor, link id) pairs, sorted by link id for
-    /// deterministic traversal order.
-    adjacency: Vec<Vec<(usize, LinkId)>>,
+    /// Dense switch index of each network node (`u32::MAX` for nodes not in
+    /// this plane), indexed by `NodeId`. Node ids are arena-dense, so a flat
+    /// vector replaces the former `HashMap<NodeId, usize>`.
+    dense_of: Vec<u32>,
+    /// CSR offsets: neighbors of dense switch `u` live at
+    /// `packed[offsets[u]..offsets[u + 1]]`.
+    offsets: Vec<u32>,
+    /// Packed adjacency: `(dense neighbor, link id)` pairs, per-node runs
+    /// sorted by link id for deterministic traversal order.
+    packed: Vec<(u32, LinkId)>,
     /// Dense switch index of each rack's ToR.
-    tor_of_rack: Vec<usize>,
+    tor_of_rack: Vec<u32>,
+    /// Exclusive upper bound on the link ids appearing in this plane graph
+    /// (sizes the per-link scratch arrays of [`crate::scratch::RouteScratch`]).
+    link_bound: u32,
 }
 
 impl PlaneGraph {
     /// Extract the switch graph of `plane` from `net`.
+    ///
+    /// One pass over the nodes assigns dense indices; one pass over the link
+    /// arena counts per-switch degrees and a second fills the packed CSR
+    /// rows — no per-node `out_links_in_plane` scans. Links are visited in
+    /// `LinkId` order, so each CSR row comes out sorted by link id without an
+    /// explicit sort.
     pub fn build(net: &Network, plane: PlaneId) -> Self {
         let mut nodes = Vec::new();
-        let mut index = HashMap::new();
-        let mut tor_of_rack = vec![usize::MAX; net.n_racks()];
+        let mut dense_of = vec![u32::MAX; net.n_nodes()];
+        let mut tor_of_rack = vec![u32::MAX; net.n_racks()];
         for (id, node) in net.nodes() {
             if node.kind.is_switch() && node.plane == Some(plane) {
-                let dense = nodes.len();
-                index.insert(id, dense);
+                let dense = nodes.len() as u32;
+                dense_of[id.index()] = dense;
                 if let NodeKind::Tor { rack } = node.kind {
                     tor_of_rack[rack.index()] = dense;
                 }
                 nodes.push(id);
             }
         }
-        let mut adjacency = vec![Vec::new(); nodes.len()];
-        for (u, &nid) in nodes.iter().enumerate() {
-            for l in net.out_links_in_plane(nid, plane) {
-                let link = net.link(l);
-                if let Some(&v) = index.get(&link.dst) {
-                    adjacency[u].push((v, l));
-                }
+        let n = nodes.len();
+        // Degree-counting pass, then prefix-sum, then fill.
+        let mut offsets = vec![0u32; n + 1];
+        let in_plane = |link: &pnet_topology::Link| {
+            link.up
+                && link.plane == plane
+                && dense_of[link.src.index()] != u32::MAX
+                && dense_of[link.dst.index()] != u32::MAX
+        };
+        let mut link_bound = 0u32;
+        for (id, link) in net.links() {
+            if in_plane(link) {
+                offsets[dense_of[link.src.index()] as usize + 1] += 1;
+                link_bound = link_bound.max(id.0 + 1);
             }
-            adjacency[u].sort_by_key(|&(_, l)| l);
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut packed = vec![(0u32, LinkId(0)); offsets[n] as usize];
+        for (id, link) in net.links() {
+            if in_plane(link) {
+                let u = dense_of[link.src.index()] as usize;
+                packed[cursor[u] as usize] = (dense_of[link.dst.index()], id);
+                cursor[u] += 1;
+            }
         }
         PlaneGraph {
             plane,
             nodes,
-            index,
-            adjacency,
+            dense_of,
+            offsets,
+            packed,
             tor_of_rack,
+            link_bound,
         }
     }
 
@@ -93,8 +131,8 @@ impl PlaneGraph {
     #[inline]
     pub fn tor(&self, rack: RackId) -> usize {
         let t = self.tor_of_rack[rack.index()];
-        assert!(t != usize::MAX, "rack {rack} has no ToR in {}", self.plane);
-        t
+        assert!(t != u32::MAX, "rack {rack} has no ToR in {}", self.plane);
+        t as usize
     }
 
     /// Node id of a dense switch index.
@@ -106,18 +144,49 @@ impl PlaneGraph {
     /// Dense index of a switch node, if it is in this plane.
     #[inline]
     pub fn dense(&self, node: NodeId) -> Option<usize> {
-        self.index.get(&node).copied()
+        match self.dense_of.get(node.index()) {
+            Some(&d) if d != u32::MAX => Some(d as usize),
+            _ => None,
+        }
     }
 
-    /// Neighbors of a dense switch index.
+    /// Neighbors of a dense switch index: `(dense neighbor, link)` pairs in
+    /// link-id order, as one contiguous CSR slice.
     #[inline]
-    pub fn neighbors(&self, dense: usize) -> &[(usize, LinkId)] {
-        &self.adjacency[dense]
+    pub fn neighbors(&self, dense: usize) -> &[(u32, LinkId)] {
+        &self.packed[self.offsets[dense] as usize..self.offsets[dense + 1] as usize]
+    }
+
+    /// Offset of `dense`'s first CSR entry: `neighbors(dense)[j]` sits at
+    /// flat position `row_start(dense) + j` in any array laid out in packed
+    /// CSR order (e.g. a weight array built by
+    /// [`PlaneGraph::gather_weights`]).
+    #[inline]
+    pub fn row_start(&self, dense: usize) -> usize {
+        self.offsets[dense] as usize
+    }
+
+    /// Gather per-link weights into packed CSR order: `out[i]` becomes the
+    /// weight of the `i`-th packed adjacency entry's link. Weighted
+    /// traversals that would otherwise chase `weight[link.index()]` per
+    /// relaxation can instead stream the row they are already walking; the
+    /// values are copied verbatim, so results are bit-identical.
+    pub fn gather_weights(&self, weight: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.packed.iter().map(|&(_, l)| weight[l.index()]));
     }
 
     /// Total directed fabric links in the plane graph.
+    #[inline]
     pub fn n_directed_links(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).sum()
+        self.packed.len()
+    }
+
+    /// Exclusive upper bound on link ids used by this plane (for sizing
+    /// per-link scratch arrays).
+    #[inline]
+    pub fn link_bound(&self) -> usize {
+        self.link_bound as usize
     }
 }
 
@@ -175,6 +244,36 @@ mod tests {
         // 3-regular.
         for u in 0..10 {
             assert_eq!(pg.neighbors(u).len(), 3);
+        }
+    }
+
+    #[test]
+    fn csr_rows_sorted_by_link_id() {
+        let net = assemble_homogeneous(
+            &Jellyfish::new(16, 4, 1, 9),
+            2,
+            &LinkProfile::paper_default(),
+        );
+        for plane in [PlaneId(0), PlaneId(1)] {
+            let pg = PlaneGraph::build(&net, plane);
+            for u in 0..pg.n_switches() {
+                let row = pg.neighbors(u);
+                for w in row.windows(2) {
+                    assert!(w[0].1 < w[1].1, "row of {u} not sorted by link id");
+                }
+                for &(_, l) in row {
+                    assert!(l.index() < pg.link_bound());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_node_are_inverse() {
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let pg = PlaneGraph::build(&net, PlaneId(1));
+        for u in 0..pg.n_switches() {
+            assert_eq!(pg.dense(pg.node(u)), Some(u));
         }
     }
 }

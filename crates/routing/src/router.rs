@@ -112,6 +112,21 @@ impl Router {
         paths
     }
 
+    /// Batched per-(plane, src) computation: identical per-destination output
+    /// to [`Router::compute`], but the first shortest-path BFS (KSP) or the
+    /// whole distance field (ECMP) is shared across the destination list.
+    fn compute_batch(&self, plane: PlaneId, src: RackId, dsts: &[RackId]) -> Vec<Vec<Path>> {
+        let pg = &self.planes[plane.index()];
+        let mut per_dst = match self.algo {
+            RouteAlgo::Ecmp { cap } => bfs::ecmp_destinations(pg, src, dsts, cap),
+            RouteAlgo::Ksp { k } => yen::ksp_destinations(pg, src, dsts, k),
+        };
+        for paths in &mut per_dst {
+            sort_paths(paths);
+        }
+        per_dst
+    }
+
     /// Path set between two racks within one plane (memoized, shared).
     pub fn paths_in_plane(&self, plane: PlaneId, src: RackId, dst: RackId) -> Arc<Vec<Path>> {
         let key = (plane, src, dst);
@@ -135,21 +150,41 @@ impl Router {
     pub fn precompute_with(&self, pairs: &[(RackId, RackId)], par: Parallelism) {
         let n_planes = self.planes.len();
         // Skip keys that are already materialized (precompute after lazy use
-        // must not replace Arcs callers may have compared by pointer).
-        let todo: Vec<RouteKey> = {
+        // must not replace Arcs callers may have compared by pointer), then
+        // group the remainder by (plane, src): one batched computation per
+        // group shares the source-side BFS work across destinations.
+        let mut groups: Vec<((PlaneId, RackId), Vec<RackId>)> = Vec::new();
+        {
             let table = self.table.read().unwrap();
-            pairs
-                .iter()
-                .flat_map(|&(src, dst)| (0..n_planes).map(move |p| (PlaneId(p as u16), src, dst)))
-                .filter(|key| !table.contains_key(key))
-                .collect()
-        };
-        let computed: Vec<Vec<Path>> = par.map_indexed(todo.len(), |i| {
-            self.compute(todo[i].0, todo[i].1, todo[i].2)
+            let mut group_of: HashMap<(PlaneId, RackId), usize> = HashMap::new();
+            let mut seen: std::collections::HashSet<RouteKey> = std::collections::HashSet::new();
+            for &(src, dst) in pairs {
+                for p in 0..n_planes {
+                    let key = (PlaneId(p as u16), src, dst);
+                    if table.contains_key(&key) || !seen.insert(key) {
+                        continue;
+                    }
+                    let g = *group_of.entry((key.0, src)).or_insert_with(|| {
+                        groups.push(((key.0, src), Vec::new()));
+                        groups.len() - 1
+                    });
+                    groups[g].1.push(dst);
+                }
+            }
+        }
+        // Fan out per group; per-destination results are identical to
+        // per-key `compute`, and commit order does not affect the table.
+        let computed: Vec<Vec<Vec<Path>>> = par.map_indexed(groups.len(), |i| {
+            let ((plane, src), dsts) = &groups[i];
+            self.compute_batch(*plane, *src, dsts)
         });
         let mut table = self.table.write().unwrap();
-        for (key, paths) in todo.into_iter().zip(computed) {
-            table.entry(key).or_insert_with(|| Arc::new(paths));
+        for (((plane, src), dsts), per_dst) in groups.into_iter().zip(computed) {
+            for (dst, paths) in dsts.into_iter().zip(per_dst) {
+                table
+                    .entry((plane, src, dst))
+                    .or_insert_with(|| Arc::new(paths));
+            }
         }
     }
 

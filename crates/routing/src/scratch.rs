@@ -1,0 +1,230 @@
+//! Reusable, epoch-stamped traversal scratch.
+//!
+//! Every BFS/Yen/disjoint-path call needs a distance array, a parent array,
+//! and banned-node/banned-link sets. Allocating those per call (`vec![u32::MAX;
+//! n]`, a fresh `HashSet` per spur) dominates the all-pairs KSP hot path, so a
+//! [`RouteScratch`] keeps them alive and invalidates by bumping a generation
+//! counter: an entry is only meaningful when its stamp equals the current
+//! epoch, so "clearing" an array is a single integer increment instead of an
+//! `O(n)` fill.
+//!
+//! A scratch is plain mutable state owned by one worker. The bulk entry
+//! points ([`crate::router::Router::precompute`], the batched KSP functions)
+//! reach it through [`with_thread_scratch`], which hands out one scratch per
+//! OS thread — the per-index closures of
+//! [`crate::exec::Parallelism::map_indexed`] stay pure in their *outputs*
+//! (scratch contents never influence results, only allocation reuse), so
+//! serial and parallel runs remain bit-identical.
+
+use pnet_topology::LinkId;
+use std::cell::RefCell;
+
+/// Per-worker traversal scratch. All arrays are epoch-stamped; `begin_*`
+/// methods start a fresh logical state in O(1).
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    // --- BFS state (dist/parent), valid where `stamp[i] == epoch`. --------
+    epoch: u32,
+    stamp: Vec<u32>,
+    dist: Vec<u32>,
+    parent: Vec<(u32, LinkId)>,
+    // --- Banned switches, banned iff `node_ban[i] == node_ban_epoch`. -----
+    node_ban_epoch: u32,
+    node_ban: Vec<u32>,
+    // --- Banned links (indexed by link id), same scheme. ------------------
+    link_ban_epoch: u32,
+    link_ban: Vec<u32>,
+    // --- FIFO queue storage reused across BFS calls. ----------------------
+    pub(crate) queue: Vec<u32>,
+}
+
+impl RouteScratch {
+    /// New empty scratch (arrays grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Make sure the arrays cover `n_nodes` switches and link ids below
+    /// `link_bound`. Growing resets the epochs (stamps in the fresh region
+    /// are zeroed, so epoch 0 must never be a live generation — counters
+    /// start at 0 and are bumped *before* first use).
+    pub fn ensure(&mut self, n_nodes: usize, link_bound: usize) {
+        if self.stamp.len() < n_nodes {
+            self.stamp.resize(n_nodes, 0);
+            self.dist.resize(n_nodes, 0);
+            self.parent.resize(n_nodes, (0, LinkId(0)));
+            self.node_ban.resize(n_nodes, 0);
+        }
+        if self.link_ban.len() < link_bound {
+            self.link_ban.resize(link_bound, 0);
+        }
+    }
+
+    /// Start a fresh BFS generation: all distances become "unset".
+    #[inline]
+    pub fn begin_search(&mut self) {
+        self.epoch = bump(&mut self.epoch, &mut self.stamp);
+    }
+
+    /// Distance of `u` in the current generation, `u32::MAX` if unset.
+    #[inline]
+    pub fn dist(&self, u: usize) -> u32 {
+        if self.stamp[u] == self.epoch {
+            self.dist[u]
+        } else {
+            u32::MAX
+        }
+    }
+
+    /// Set distance and parent edge of `u` in the current generation.
+    #[inline]
+    pub fn visit(&mut self, u: usize, d: u32, parent: (u32, LinkId)) {
+        self.stamp[u] = self.epoch;
+        self.dist[u] = d;
+        self.parent[u] = parent;
+    }
+
+    /// Parent edge `(predecessor, link)` of `u`; only meaningful for visited
+    /// nodes at distance > 0.
+    #[inline]
+    pub fn parent(&self, u: usize) -> (u32, LinkId) {
+        debug_assert_eq!(self.stamp[u], self.epoch, "parent of unvisited node");
+        self.parent[u]
+    }
+
+    /// Start a fresh banned-switch set.
+    #[inline]
+    pub fn begin_node_bans(&mut self) {
+        self.node_ban_epoch = bump(&mut self.node_ban_epoch, &mut self.node_ban);
+    }
+
+    /// Ban switch `u` until the next [`RouteScratch::begin_node_bans`].
+    #[inline]
+    pub fn ban_node(&mut self, u: usize) {
+        self.node_ban[u] = self.node_ban_epoch;
+    }
+
+    /// Is switch `u` banned?
+    #[inline]
+    pub fn node_banned(&self, u: usize) -> bool {
+        self.node_ban[u] == self.node_ban_epoch
+    }
+
+    /// Start a fresh banned-link set.
+    #[inline]
+    pub fn begin_link_bans(&mut self) {
+        self.link_ban_epoch = bump(&mut self.link_ban_epoch, &mut self.link_ban);
+    }
+
+    /// Ban `slot` (a link id, or any caller-chosen index below `link_bound`,
+    /// e.g. cable ids) until the next [`RouteScratch::begin_link_bans`].
+    #[inline]
+    pub fn ban_link_slot(&mut self, slot: usize) {
+        self.link_ban[slot] = self.link_ban_epoch;
+    }
+
+    /// Is `slot` banned?
+    #[inline]
+    pub fn link_slot_banned(&self, slot: usize) -> bool {
+        self.link_ban[slot] == self.link_ban_epoch
+    }
+}
+
+/// Advance an epoch counter, clearing `stamps` on (rare) wrap-around so a
+/// stale stamp can never alias a live generation.
+#[inline]
+fn bump(epoch: &mut u32, stamps: &mut [u32]) -> u32 {
+    if *epoch == u32::MAX {
+        stamps.fill(0);
+        *epoch = 1;
+    } else {
+        *epoch += 1;
+    }
+    *epoch
+}
+
+thread_local! {
+    static SCRATCH: RefCell<RouteScratch> = RefCell::new(RouteScratch::new());
+}
+
+/// Run `f` with this thread's [`RouteScratch`]. Public routing entry points
+/// use this so callers get allocation reuse without threading a scratch
+/// through their own signatures; nested calls must pass the borrowed scratch
+/// down instead of re-entering.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut RouteScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_invalidate_without_clearing() {
+        let mut s = RouteScratch::new();
+        s.ensure(4, 8);
+        s.begin_search();
+        s.visit(2, 7, (0, LinkId(3)));
+        assert_eq!(s.dist(2), 7);
+        assert_eq!(s.dist(1), u32::MAX);
+        s.begin_search();
+        assert_eq!(s.dist(2), u32::MAX, "stale entry leaked across epochs");
+    }
+
+    #[test]
+    fn bans_are_generation_scoped() {
+        let mut s = RouteScratch::new();
+        s.ensure(4, 8);
+        s.begin_node_bans();
+        s.ban_node(1);
+        assert!(s.node_banned(1));
+        assert!(!s.node_banned(0));
+        s.begin_node_bans();
+        assert!(!s.node_banned(1));
+
+        s.begin_link_bans();
+        s.ban_link_slot(5);
+        assert!(s.link_slot_banned(5));
+        s.begin_link_bans();
+        assert!(!s.link_slot_banned(5));
+    }
+
+    #[test]
+    fn ensure_grows_preserving_soundness() {
+        let mut s = RouteScratch::new();
+        s.ensure(2, 2);
+        s.begin_search();
+        s.visit(0, 1, (0, LinkId(0)));
+        s.ensure(10, 10);
+        // Freshly grown region is unset in the current generation.
+        assert_eq!(s.dist(9), u32::MAX);
+        assert_eq!(s.dist(0), 1);
+    }
+
+    #[test]
+    fn wraparound_resets_stamps() {
+        let mut s = RouteScratch::new();
+        s.ensure(2, 2);
+        s.epoch = u32::MAX - 1;
+        s.stamp.fill(u32::MAX - 1);
+        s.begin_search(); // -> MAX
+        s.visit(0, 3, (0, LinkId(0)));
+        s.begin_search(); // wraps -> 1, stamps cleared
+        assert_eq!(s.dist(0), u32::MAX);
+    }
+
+    #[test]
+    fn thread_scratch_is_reusable() {
+        let a = with_thread_scratch(|s| {
+            s.ensure(8, 8);
+            s.begin_search();
+            s.visit(3, 9, (0, LinkId(1)));
+            s.dist(3)
+        });
+        assert_eq!(a, 9);
+        let b = with_thread_scratch(|s| s.dist(3));
+        // Same generation persists across with_thread_scratch calls on the
+        // same thread until someone begins a new search.
+        assert_eq!(b, 9);
+    }
+}

@@ -255,8 +255,9 @@ fn cmd_simulate(args: &Args) {
         s.min, s.median, s.mean, s.p90, s.p99, s.max
     );
     println!(
-        "drops: {}  retransmits: {}  events: {}",
+        "drops: {} congestion + {} link-down  retransmits: {}  events: {}",
         sim.dropped_packets,
+        sim.dropped_link_down_packets,
         sim.records.iter().map(|r| r.retransmits).sum::<u64>(),
         sim.events_dispatched()
     );

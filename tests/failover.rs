@@ -70,6 +70,25 @@ fn mptcp_survives_a_plane_failure_mid_flight() {
     // it must not have taken a pathological number of timeouts.
     let fct = conn.finish.unwrap().as_ms_f64();
     assert!(fct < 50.0, "fct {fct} ms too slow for a 3-plane recovery");
+
+    // The blackholed packets are failure loss, not congestion loss: they
+    // land in the dedicated link-down counters.
+    assert!(
+        sim.dropped_link_down_packets > 0,
+        "dark uplink should have discarded in-flight packets"
+    );
+    // Both directions of the cable went dark: data dies at the uplink
+    // queue, returning ACKs at its reverse. Together they are every
+    // link-down discard in the run.
+    let fwd = sim.queue_stats(plane0_uplink);
+    let rev = sim.queue_stats(plane0_uplink.reverse());
+    assert_eq!(
+        fwd.dropped_link_down + rev.dropped_link_down,
+        sim.dropped_link_down_packets
+    );
+    // Slow-start overshoot before the failure may drop-tail a few packets;
+    // those stay in the congestion counters, not the failure counters.
+    assert!(fwd.dropped + rev.dropped <= sim.dropped_packets);
 }
 
 #[test]

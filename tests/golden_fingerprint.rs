@@ -1,0 +1,130 @@
+//! Golden output fingerprints for the routing/MCF hot paths.
+//!
+//! The KSP/MCF overhaul (CSR plane graphs, epoch-stamped scratch, Lawler's
+//! optimization) promises *byte-identical* outputs to the straightforward
+//! reference implementations. These tests pin that promise down across
+//! sessions: each hashes a complete all-pairs route table (or a GK solve)
+//! into a single FNV-1a fingerprint and compares it against a committed
+//! constant. Any change to path contents, path order, tie-breaking, or
+//! float operation order in GK shows up as a fingerprint mismatch — if one
+//! of these fails after an optimization, the optimization changed observable
+//! behaviour and must be fixed (do not re-pin without understanding why).
+
+use pnet::flowsim::{commodity, mcf};
+use pnet::routing::{Parallelism, RouteAlgo, Router};
+use pnet::topology::{
+    assemble_homogeneous, FatTree, Jellyfish, LinkProfile, Network, PlaneId, RackId,
+};
+use pnet::workloads::tm;
+
+/// 64-bit FNV-1a, seeded with the standard offset basis. No external crates:
+/// the point is a stable, dependency-free digest of structured output.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Hash the full all-pairs route table of `net` under KSP-k, in canonical
+/// (src, dst, plane) order: every path's plane and exact link sequence
+/// contributes, so path set, order, and tie-breaking are all pinned.
+fn ksp_table_fingerprint(net: &Network, k: usize) -> u64 {
+    let router = Router::with_parallelism(net, RouteAlgo::Ksp { k }, Parallelism::Serial);
+    router.precompute_all_pairs_with(Parallelism::Serial);
+    let mut h = Fnv::new();
+    let racks = router.n_racks();
+    for a in 0..racks {
+        for b in 0..racks {
+            if a == b {
+                continue;
+            }
+            for p in 0..router.n_planes() {
+                let paths =
+                    router.paths_in_plane(PlaneId(p as u16), RackId(a as u32), RackId(b as u32));
+                h.u64(paths.len() as u64);
+                for path in paths.iter() {
+                    h.u64(path.plane.0 as u64);
+                    h.u64(path.links.len() as u64);
+                    for l in &path.links {
+                        h.u64(l.0 as u64);
+                    }
+                }
+            }
+        }
+    }
+    h.0
+}
+
+#[test]
+fn jellyfish_ksp_table_fingerprint_is_stable() {
+    let net = assemble_homogeneous(
+        &Jellyfish::new(16, 4, 1, 7),
+        2,
+        &LinkProfile::paper_default(),
+    );
+    assert_eq!(
+        ksp_table_fingerprint(&net, 8),
+        GOLDEN_JELLYFISH_KSP,
+        "all-pairs KSP table changed on seeded Jellyfish(16, 4, seed 7) x2 planes, k=8"
+    );
+}
+
+#[test]
+fn fat_tree_ksp_table_fingerprint_is_stable() {
+    let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+    assert_eq!(
+        ksp_table_fingerprint(&net, 8),
+        GOLDEN_FAT_TREE_KSP,
+        "all-pairs KSP table changed on fat tree k=4 x2 planes, KSP k=8"
+    );
+}
+
+#[test]
+fn gk_mcf_lambda_fingerprint_is_stable() {
+    // Same construction as bench_report, scaled down: seeded Jellyfish,
+    // random-permutation commodities, AnyPath oracle at eps = 0.1. lambda and
+    // every per-commodity rate are hashed bit-exactly.
+    let net = assemble_homogeneous(
+        &Jellyfish::new(16, 4, 1, 7),
+        2,
+        &LinkProfile::paper_default(),
+    );
+    let c = commodity::permutation(&tm::random_permutation(16, 7));
+    let sol = mcf::solve_with_options(
+        &net,
+        &c,
+        &mcf::PathMode::AnyPath,
+        0.1,
+        mcf::McfOptions {
+            parallelism: Parallelism::Serial,
+            ..Default::default()
+        },
+    );
+    let mut h = Fnv::new();
+    h.u64(sol.lambda.to_bits());
+    h.u64(sol.phases as u64);
+    for r in &sol.rates {
+        h.u64(r.to_bits());
+    }
+    assert_eq!(
+        h.0, GOLDEN_GK_LAMBDA,
+        "GK solve changed (lambda {} over {} phases)",
+        sol.lambda, sol.phases
+    );
+}
+
+// Pinned fingerprints. Regenerate only when an *intentional* output change
+// lands, and record why in the commit message.
+const GOLDEN_JELLYFISH_KSP: u64 = 14853875402589996389;
+const GOLDEN_FAT_TREE_KSP: u64 = 11144640133350879781;
+// lambda 199901380670.61145 over 2028 phases.
+const GOLDEN_GK_LAMBDA: u64 = 2946497110374994333;

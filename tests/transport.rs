@@ -218,8 +218,8 @@ fn queue_stats_account_every_packet() {
         owner_tag: 0,
     });
     run_to_completion(&mut sim);
-    let (enq, drops, _) = sim.queue_stats(first_link);
+    let qs = sim.queue_stats(first_link);
     let rec = &sim.records[0];
     // Every data packet (fresh + retransmitted) passed the first uplink.
-    assert_eq!(enq + drops, 1000 + rec.retransmits);
+    assert_eq!(qs.enqueued + qs.total_dropped(), 1000 + rec.retransmits);
 }

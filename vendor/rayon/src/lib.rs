@@ -70,6 +70,45 @@ where
     })
 }
 
+/// Update each element of `items` in place via `f(index, &mut item)` on the
+/// available threads, splitting into one contiguous chunk per thread. Each
+/// index is touched exactly once, so for per-index-pure `f` the outcome is
+/// identical to the serial loop.
+pub fn par_update_index<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = current_num_threads();
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest = items;
+        let mut start = 0;
+        let mut handles = Vec::new();
+        for range in chunk_ranges(n, threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let base = start;
+            start += chunk.len();
+            handles.push(s.spawn(move || {
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    f(base + i, item);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("rayon stub worker panicked");
+        }
+    });
+}
+
 pub mod iter {
     use super::{chunk_ranges, current_num_threads, par_map_index};
     use std::ops::Range;
@@ -325,6 +364,18 @@ mod tests {
     fn range_map_collect_preserves_order() {
         let got: Vec<usize> = (3..300).into_par_iter().map(|i| i * i).collect();
         assert_eq!(got, (3..300).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_update_index_matches_serial() {
+        let mut a: Vec<u64> = (0..997).collect();
+        let mut b = a.clone();
+        let f = |i: usize, x: &mut u64| *x = x.wrapping_mul(31) ^ i as u64;
+        for (i, x) in a.iter_mut().enumerate() {
+            f(i, x);
+        }
+        par_update_index(&mut b, f);
+        assert_eq!(a, b);
     }
 
     #[test]
