@@ -66,11 +66,10 @@ impl AdaptiveBalancer {
             .iter()
             .min_by(|a, b| {
                 self.score(**a)
-                    .partial_cmp(&self.score(**b))
-                    .unwrap()
+                    .total_cmp(&self.score(**b))
                     .then(a.0.cmp(&b.0))
             })
-            .unwrap()
+            .expect("invariant: usable is checked non-empty above")
     }
 
     /// Decay all scores toward 1.0 (call periodically so stale congestion

@@ -44,7 +44,8 @@ impl HostStack {
         let host_in_rack = net.hosts_by_rack()[rack.index()]
             .iter()
             .position(|&h| h == host)
-            .expect("host missing from its rack") as u8;
+            .expect("invariant: every host appears in its own rack's host list")
+            as u8;
         let addrs = net
             .planes()
             .map(|plane| PlaneAddr {

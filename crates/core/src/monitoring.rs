@@ -96,7 +96,12 @@ impl PlaneReport {
         if total == 0 || self.planes.is_empty() {
             return 1.0;
         }
-        let max = self.planes.iter().map(|p| p.enqueued).max().unwrap();
+        let max = self
+            .planes
+            .iter()
+            .map(|p| p.enqueued)
+            .max()
+            .expect("invariant: planes is checked non-empty above");
         max as f64 * self.planes.len() as f64 / total as f64
     }
 

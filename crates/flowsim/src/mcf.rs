@@ -319,7 +319,7 @@ fn shortest_routes_unit(
                 cands
                     .iter()
                     .min_by_key(|p| p.len())
-                    .expect("commodity with no candidate path")
+                    .expect("invariant: every commodity has a non-empty candidate path set")
                     .clone()
             })
             .collect(),
@@ -347,7 +347,9 @@ fn shortest_routes_unit(
             commodities
                 .iter()
                 .map(|c| {
-                    let si = sources.binary_search(&c.src.0).unwrap();
+                    let si = sources
+                        .binary_search(&c.src.0)
+                        .expect("invariant: sources holds every commodity source host");
                     oracle.best_route(net, c.src, c.dst, &trees[si], &unit)
                 })
                 .collect()
@@ -362,9 +364,9 @@ fn best_explicit<'a>(candidates: &'a [Vec<LinkId>], length: &[f64]) -> &'a [Link
         .min_by(|a, b| {
             let la: f64 = a.iter().map(|&l| length[l.index()]).sum();
             let lb: f64 = b.iter().map(|&l| length[l.index()]).sum();
-            la.partial_cmp(&lb).unwrap()
+            la.total_cmp(&lb)
         })
-        .expect("no candidate path")
+        .expect("invariant: every commodity has a non-empty candidate path set")
 }
 
 // --------------------------------------------------------------------------
@@ -433,7 +435,10 @@ impl DijkstraHeap {
     fn pop(&mut self) -> Option<(u64, u32)> {
         let top = *self.items.first()?;
         self.pos[top.1 as usize] = u32::MAX;
-        let last = self.items.pop().unwrap();
+        let last = self
+            .items
+            .pop()
+            .expect("invariant: items is non-empty when first() returned an entry");
         if !self.items.is_empty() {
             self.items[0] = last;
             self.sift_down(0);
@@ -698,16 +703,20 @@ impl AnyPathOracle {
                 best = Some((total, p));
             }
         }
-        let (_, p) = best.expect("no plane connects the commodity endpoints");
+        let (_, p) = best.expect("invariant: some plane connects every commodity's endpoints");
         let pg = &self.planes[p];
         let (_, parent) = &trees.trees[p];
         // Backtrack the fabric portion, then reverse in place within the
         // route buffer (slot 0 holds the uplink; the downlink is appended).
         route.clear();
-        route.push(self.uplink(src, p).unwrap());
+        route.push(
+            self.uplink(src, p)
+                .expect("invariant: the chosen plane has an uplink for the source host"),
+        );
         let mut cur = pg.tor(dst_rack);
         loop {
             let pv = parent[cur];
+            // pnet-tidy: allow(D3) -- pv is a packed u64 parent word; exact integer sentinel compare
             if pv == NO_PARENT {
                 break;
             }
@@ -715,7 +724,11 @@ impl AnyPathOracle {
             cur = (pv >> 32) as usize;
         }
         route[1..].reverse();
-        route.push(self.uplink(dst, p).unwrap().reverse());
+        route.push(
+            self.uplink(dst, p)
+                .expect("invariant: the chosen plane has an uplink for the destination host")
+                .reverse(),
+        );
         p
     }
 
@@ -839,7 +852,7 @@ pub fn ecmp_mode_with(
 /// Distinct inter-rack (src, dst) rack pairs of a commodity list, in first-
 /// appearance order — the precompute work-list for the helpers above.
 fn inter_rack_pairs(net: &Network, commodities: &[Commodity]) -> Vec<(RackId, RackId)> {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     let mut pairs = Vec::new();
     for c in commodities {
         let (sa, sb) = (net.rack_of_host(c.src), net.rack_of_host(c.dst));

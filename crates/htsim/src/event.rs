@@ -121,6 +121,17 @@ impl EventQueue {
     pub fn scheduled(&self) -> u64 {
         self.scheduled
     }
+
+    /// Packets currently propagating: pending [`EventKind::Arrival`] events.
+    /// Only needed by the conservation ledger, and O(pending events), so it
+    /// is compiled out with the feature.
+    #[cfg(feature = "strict-invariants")]
+    pub fn pending_arrivals(&self) -> u64 {
+        self.heap
+            .iter()
+            .filter(|Reverse(e)| matches!(e.kind, EventKind::Arrival { .. }))
+            .count() as u64
+    }
 }
 
 #[cfg(test)]

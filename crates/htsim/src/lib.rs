@@ -53,6 +53,8 @@ pub mod tcp;
 pub mod time;
 
 pub use packet::{ConnId, Packet, PacketKind, ACK_BYTES, MTU_BYTES};
+#[cfg(feature = "strict-invariants")]
+pub use sim::ConservationLedger;
 pub use sim::{
     run, run_to_completion, Driver, FlowRecord, FlowSpec, NullDriver, QueueStats, SimConfig,
     Simulator,

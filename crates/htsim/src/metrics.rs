@@ -38,7 +38,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     assert!(!samples.is_empty(), "percentile of empty sample set");
     assert!((0.0..=100.0).contains(&p));
     let mut v = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
     v[rank.saturating_sub(1).min(v.len() - 1)]
 }
@@ -62,12 +62,13 @@ pub fn stddev(samples: &[f64]) -> f64 {
 /// Empirical CDF points `(value, fraction <= value)`, one per distinct value.
 pub fn ecdf(samples: &[f64]) -> Vec<(f64, f64)> {
     let mut v = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let n = v.len() as f64;
     let mut out: Vec<(f64, f64)> = Vec::new();
     for (i, x) in v.iter().enumerate() {
         let frac = (i + 1) as f64 / n;
         match out.last_mut() {
+            // pnet-tidy: allow(D3) -- dedup of sorted samples: exact representation equality is the intent
             Some(last) if last.0 == *x => last.1 = frac,
             _ => out.push((*x, frac)),
         }

@@ -114,7 +114,10 @@ impl Queue {
     /// Serialization time of the head-of-line packet (call when starting
     /// service).
     pub fn head_service_ps(&self) -> u64 {
-        let head = self.fifo.front().expect("service on empty queue");
+        let head = self
+            .fifo
+            .front()
+            .expect("invariant: service only starts on a non-empty queue");
         serialization_ps(head.size_bytes, self.rate_bps)
     }
 
@@ -123,7 +126,10 @@ impl Queue {
     /// another departure event must be scheduled (`Some(next_service_ps)`)
     /// for the new head.
     pub fn depart(&mut self, now: SimTime) -> (Packet, SimTime, Option<u64>) {
-        let packet = self.fifo.pop_front().expect("departure from empty queue");
+        let packet = self
+            .fifo
+            .pop_front()
+            .expect("invariant: departures only fire on a non-empty queue");
         self.buffered_bytes -= packet.size_bytes as u64;
         let arrival = now + SimTime::from_ps(self.delay_ps);
         let next = if self.fifo.is_empty() {

@@ -119,6 +119,37 @@ impl QueueStats {
     }
 }
 
+/// Packet-conservation ledger (feature `strict-invariants`): a snapshot of
+/// where every packet ever handed to [`Simulator::send_packet`]'s first hop
+/// currently is. The books balance at every event boundary:
+///
+/// `injected == delivered + dropped_congestion + dropped_link_down + in_flight`
+///
+/// and once the event queue drains, `in_flight == 0`.
+#[cfg(feature = "strict-invariants")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConservationLedger {
+    /// Packets entering the network at hop 0 (data and ACKs alike).
+    pub injected: u64,
+    /// Packets that reached the end of their route.
+    pub delivered: u64,
+    /// Drop-tail losses at live links.
+    pub dropped_congestion: u64,
+    /// Discards at dark (failed) links.
+    pub dropped_link_down: u64,
+    /// Packets buffered in queues or propagating on the wire.
+    pub in_flight: u64,
+}
+
+#[cfg(feature = "strict-invariants")]
+impl ConservationLedger {
+    /// True when every injected packet is accounted for.
+    pub fn balanced(&self) -> bool {
+        self.injected
+            == self.delivered + self.dropped_congestion + self.dropped_link_down + self.in_flight
+    }
+}
+
 /// The engine.
 pub struct Simulator {
     /// Current simulation time.
@@ -138,6 +169,12 @@ pub struct Simulator {
     pub dropped_link_down_packets: u64,
     /// Timestamps per subflow of last forward progress (for lazy RTO).
     last_progress: Vec<Vec<SimTime>>,
+    /// Packets injected at hop 0 (conservation ledger numerator).
+    #[cfg(feature = "strict-invariants")]
+    ledger_injected: u64,
+    /// Packets that reached the end of their route.
+    #[cfg(feature = "strict-invariants")]
+    ledger_delivered: u64,
 }
 
 impl Simulator {
@@ -164,6 +201,49 @@ impl Simulator {
             dropped_packets: 0,
             dropped_link_down_packets: 0,
             last_progress: Vec::new(),
+            #[cfg(feature = "strict-invariants")]
+            ledger_injected: 0,
+            #[cfg(feature = "strict-invariants")]
+            ledger_delivered: 0,
+        }
+    }
+
+    /// Snapshot of the packet-conservation books (feature
+    /// `strict-invariants`). Valid at any event boundary; [`run`] asserts
+    /// [`ConservationLedger::balanced`] before returning.
+    #[cfg(feature = "strict-invariants")]
+    pub fn conservation(&self) -> ConservationLedger {
+        let buffered: u64 = self.queues.iter().map(|q| q.depth() as u64).sum();
+        ConservationLedger {
+            injected: self.ledger_injected,
+            delivered: self.ledger_delivered,
+            dropped_congestion: self.dropped_packets,
+            dropped_link_down: self.dropped_link_down_packets,
+            in_flight: buffered + self.events.pending_arrivals(),
+        }
+    }
+
+    /// Panic unless the conservation books balance (and, if the event queue
+    /// has drained, unless the network is empty).
+    #[cfg(feature = "strict-invariants")]
+    fn assert_conservation(&self) {
+        let l = self.conservation();
+        assert!(
+            l.balanced(),
+            "packet conservation violated: injected {} != delivered {} \
+             + dropped_congestion {} + dropped_link_down {} + in_flight {}",
+            l.injected,
+            l.delivered,
+            l.dropped_congestion,
+            l.dropped_link_down,
+            l.in_flight
+        );
+        if self.events.is_empty() {
+            assert_eq!(
+                l.in_flight, 0,
+                "event queue drained but {} packet(s) still in flight",
+                l.in_flight
+            );
         }
     }
 
@@ -224,7 +304,9 @@ impl Simulator {
     pub fn start_flow(&mut self, spec: FlowSpec) -> ConnId {
         assert!(spec.src != spec.dst, "flow to self");
         assert!(!spec.routes.is_empty(), "flow needs at least one route");
-        let id = ConnId(self.conns.len() as u32);
+        let id = ConnId(
+            u32::try_from(self.conns.len()).expect("invariant: connection count stays within u32"),
+        );
         let size_packets = spec.size_bytes.div_ceil(MTU_BYTES as u64).max(1);
         let subflows: Vec<Subflow> = spec
             .routes
@@ -288,7 +370,13 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn send_packet(&mut self, pkt: Packet) {
-        let link = pkt.next_link().expect("send_packet on exhausted route");
+        #[cfg(feature = "strict-invariants")]
+        if pkt.hop == 0 {
+            self.ledger_injected += 1;
+        }
+        let link = pkt
+            .next_link()
+            .expect("invariant: send_packet is only called with hops remaining");
         let q = &mut self.queues[link.index()];
         match q.enqueue(pkt) {
             Enqueue::StartService => {
@@ -322,6 +410,10 @@ impl Simulator {
         if pkt.next_link().is_some() {
             self.send_packet(pkt);
             return;
+        }
+        #[cfg(feature = "strict-invariants")]
+        {
+            self.ledger_delivered += 1;
         }
         match pkt.kind {
             PacketKind::Data {
@@ -570,7 +662,7 @@ impl Simulator {
             size_bytes: size,
             kind: PacketKind::Data {
                 conn,
-                subflow: si as u8,
+                subflow: u8::try_from(si).expect("invariant: subflow count stays within u8"),
                 seq,
                 ts: now,
                 rtx,
@@ -594,7 +686,7 @@ impl Simulator {
             deadline,
             EventKind::RtoTimer {
                 conn,
-                subflow: si as u8,
+                subflow: u8::try_from(si).expect("invariant: subflow count stays within u8"),
                 token: sub.timer_token,
             },
         );
@@ -702,7 +794,7 @@ pub fn run(sim: &mut Simulator, driver: &mut dyn Driver, until: Option<SimTime>)
                 .records
                 .iter()
                 .rfind(|r| r.conn == cid)
-                .expect("completion without record")
+                .expect("invariant: every completed connection has a flow record")
                 .clone();
             driver.on_flow_complete(sim, &rec);
         }
@@ -715,7 +807,10 @@ pub fn run(sim: &mut Simulator, driver: &mut dyn Driver, until: Option<SimTime>)
                 break;
             }
         }
-        let ev = sim.events.pop().unwrap();
+        let ev = sim
+            .events
+            .pop()
+            .expect("invariant: peek_time returned a pending event");
         sim.now = ev.time;
         match ev.kind {
             EventKind::AppTimer { app, tag } => driver.on_app_timer(sim, app, tag),
@@ -727,10 +822,12 @@ pub fn run(sim: &mut Simulator, driver: &mut dyn Driver, until: Option<SimTime>)
             .records
             .iter()
             .rfind(|r| r.conn == cid)
-            .expect("completion without record")
+            .expect("invariant: every completed connection has a flow record")
             .clone();
         driver.on_flow_complete(sim, &rec);
     }
+    #[cfg(feature = "strict-invariants")]
+    sim.assert_conservation();
 }
 
 /// Convenience: run with no driver.

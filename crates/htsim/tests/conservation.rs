@@ -1,0 +1,119 @@
+//! Packet-conservation ledger (feature `strict-invariants`): every packet
+//! injected at a host must end up delivered, dropped at a full buffer,
+//! discarded at a dark link, or still in flight — and nothing may be counted
+//! twice. `run()` asserts this at every return; these tests additionally
+//! inspect the books directly, including across a mid-flight link failure.
+#![cfg(feature = "strict-invariants")]
+
+use pnet_htsim::{
+    run, run_to_completion, CcAlgo, FlowSpec, NullDriver, SimConfig, SimTime, Simulator,
+};
+use pnet_routing::{host_route, RouteAlgo, Router};
+use pnet_topology::{assemble_homogeneous, FatTree, HostId, LinkId, LinkProfile, Network, PlaneId};
+
+fn net2() -> Network {
+    assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default())
+}
+
+fn route_for(net: &Network, src: HostId, dst: HostId, plane: u16) -> Vec<LinkId> {
+    let router = Router::new(net, RouteAlgo::Ksp { k: 1 });
+    let (ra, rb) = (net.rack_of_host(src), net.rack_of_host(dst));
+    let p = router
+        .paths_in_plane(PlaneId(plane), ra, rb)
+        .first()
+        .cloned()
+        .expect("inter-rack pair must have a path");
+    host_route(net, src, dst, &p).expect("route must assemble")
+}
+
+#[test]
+fn books_balance_after_a_clean_run() {
+    let n = net2();
+    let mut sim = Simulator::new(&n, SimConfig::default());
+    for h in 0..4u32 {
+        let (src, dst) = (HostId(h), HostId(15 - h));
+        sim.start_flow(FlowSpec {
+            src,
+            dst,
+            size_bytes: 500_000,
+            routes: vec![route_for(&n, src, dst, (h % 2) as u16)],
+            cc: CcAlgo::Reno,
+            owner_tag: h as u64,
+        });
+    }
+    run_to_completion(&mut sim);
+    let l = sim.conservation();
+    assert!(l.balanced(), "{l:?}");
+    assert_eq!(l.in_flight, 0, "drained run must leave nothing in flight");
+    assert!(l.injected > 0);
+    assert_eq!(
+        l.injected,
+        l.delivered + l.dropped_congestion + l.dropped_link_down
+    );
+}
+
+#[test]
+fn books_balance_at_a_mid_run_stop() {
+    // Stopping at `until` leaves packets buffered and on the wire; the
+    // in_flight column must absorb exactly the difference.
+    let n = net2();
+    let mut sim = Simulator::new(&n, SimConfig::default());
+    sim.start_flow(FlowSpec {
+        src: HostId(0),
+        dst: HostId(15),
+        size_bytes: 50_000_000,
+        routes: vec![route_for(&n, HostId(0), HostId(15), 0)],
+        cc: CcAlgo::Reno,
+        owner_tag: 0,
+    });
+    run(&mut sim, &mut NullDriver, Some(SimTime::from_us(100)));
+    let l = sim.conservation();
+    assert!(l.balanced(), "{l:?}");
+    assert!(l.in_flight > 0, "a 50 MB flow must still be in flight");
+}
+
+#[test]
+fn books_balance_across_a_link_failure() {
+    // MPTCP over both planes, then plane 0's uplink goes dark mid-flight:
+    // blackholed packets move to the link-down column, the dead subflow's
+    // data is re-injected on plane 1, and the books must still balance once
+    // the flow completes and the network drains.
+    let n = net2();
+    let mut cfg = SimConfig::default();
+    cfg.tcp.min_rto = SimTime::from_ms(1); // fast failure detection
+    let mut sim = Simulator::new(&n, cfg);
+    let r0 = route_for(&n, HostId(0), HostId(15), 0);
+    let plane0_uplink = r0[0];
+    let id = sim.start_flow(FlowSpec {
+        src: HostId(0),
+        dst: HostId(15),
+        size_bytes: 20_000_000,
+        routes: vec![r0, route_for(&n, HostId(0), HostId(15), 1)],
+        cc: CcAlgo::Lia,
+        owner_tag: 0,
+    });
+
+    run(&mut sim, &mut NullDriver, Some(SimTime::from_us(200)));
+    assert!(
+        sim.conn(id).finish.is_none(),
+        "flow finished before failure"
+    );
+    assert!(sim.conservation().balanced(), "{:?}", sim.conservation());
+
+    sim.fail_link(plane0_uplink);
+    run(&mut sim, &mut NullDriver, None);
+
+    assert!(
+        sim.conn(id).finish.is_some(),
+        "MPTCP flow never completed after losing one plane"
+    );
+    let l = sim.conservation();
+    assert!(l.balanced(), "{l:?}");
+    assert_eq!(l.in_flight, 0);
+    assert!(
+        l.dropped_link_down > 0,
+        "dark uplink should have discarded in-flight packets"
+    );
+    assert_eq!(l.dropped_link_down, sim.dropped_link_down_packets);
+    assert_eq!(l.dropped_congestion, sim.dropped_packets);
+}

@@ -1,0 +1,17 @@
+//! C1/C2 fixtures: panics and narrowing casts in the simulator.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn checked_first(v: &[u32]) -> u32 {
+    *v.first().expect("invariant: caller guarantees non-empty")
+}
+
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn boom() -> u32 {
+    panic!("fixture: allowlisted panic site")
+}

@@ -1,0 +1,474 @@
+//! A minimal Rust lexer — just enough structure for tidy-style rules.
+//!
+//! The scanner works offline and dependency-free (no `syn`, no `proc-macro2`):
+//! it splits a source file into identifier / number / punctuation / string
+//! tokens with exact line:col spans, collects comments separately (waivers
+//! live in comments), and never confuses rule patterns with text inside
+//! string literals or doc comments. It understands the token-level corners
+//! that matter for that guarantee: nested block comments, raw strings,
+//! byte strings, char literals vs lifetimes, and float vs integer literals.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`let`, `as`, `HashMap`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `0.`, `1e9`, `2f64`).
+    Float,
+    /// Punctuation, longest-match (`==`, `!=`, `::`, `->`, `=>`, `..=`, ...).
+    Punct,
+    /// Lifetime (`'a`) — kept distinct so `'a` is never read as a char.
+    Lifetime,
+    /// String / char / byte-string literal; `text` holds the *contents*
+    /// (without quotes), so rules can inspect e.g. `expect("...")` messages.
+    Str,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A comment (line or block) with the 1-based position of its `//` / `/*`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lex result for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, off: usize) -> Option<char> {
+        self.chars.get(self.i + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Multi-character punctuation, longest first so greedy matching works.
+const PUNCTS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "=>", "->", "::", "..", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lex `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment { text, line });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0u32;
+            while let Some(ch) = cur.peek(0) {
+                if ch == '/' && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    cur.bump();
+                    cur.bump();
+                } else if ch == '*' && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            out.comments.push(Comment { text, line });
+            continue;
+        }
+        // Identifiers — including raw-string / byte-string prefixes.
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if is_ident_continue(ch) {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            let next = cur.peek(0);
+            let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb")
+                && (next == Some('"') || (text != "b" && next == Some('#')));
+            if is_str_prefix {
+                let raw = text.contains('r');
+                if let Some(content) = lex_string_tail(&mut cur, raw) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: content,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (text, is_float) = lex_number(&mut cur);
+            out.tokens.push(Token {
+                kind: if is_float {
+                    TokenKind::Float
+                } else {
+                    TokenKind::Int
+                },
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Cooked strings.
+        if c == '"' {
+            if let Some(content) = lex_string_tail(&mut cur, false) {
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: content,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        // Lifetimes vs char literals.
+        if c == '\'' {
+            if let Some(n1) = cur.peek(1) {
+                let lifetime = is_ident_start(n1) && {
+                    // 'a, 'static, ... — a lifetime unless the ident run is a
+                    // single char immediately closed by another quote ('x').
+                    let mut j = 2;
+                    while cur.peek(j).is_some_and(is_ident_continue) {
+                        j += 1;
+                    }
+                    cur.peek(j) != Some('\'')
+                };
+                if lifetime {
+                    cur.bump(); // '
+                    let mut text = String::from("'");
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        text.push(cur.bump().expect("peeked char"));
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            // Char literal.
+            cur.bump(); // opening '
+            let mut content = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\\' {
+                    content.push(ch);
+                    cur.bump();
+                    if let Some(esc) = cur.bump() {
+                        content.push(esc);
+                    }
+                } else if ch == '\'' {
+                    cur.bump();
+                    break;
+                } else {
+                    content.push(ch);
+                    cur.bump();
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: content,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Punctuation, longest match first.
+        let mut matched = None;
+        for p in PUNCTS {
+            let plen = p.chars().count();
+            if (0..plen).all(|k| cur.peek(k) == p.chars().nth(k)) {
+                matched = Some(*p);
+                break;
+            }
+        }
+        if let Some(p) = matched {
+            for _ in 0..p.chars().count() {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: p.to_string(),
+                line,
+                col,
+            });
+        } else {
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+    out
+}
+
+/// Consume a string literal starting at the cursor (at `"` for cooked, at
+/// `#`/`"` after an `r`/`br` prefix for raw). Returns the contents.
+fn lex_string_tail(cur: &mut Cursor, raw: bool) -> Option<String> {
+    let mut hashes = 0usize;
+    if raw {
+        while cur.peek(0) == Some('#') {
+            hashes += 1;
+            cur.bump();
+        }
+    }
+    if cur.peek(0) != Some('"') {
+        return None;
+    }
+    cur.bump(); // opening quote
+    let mut content = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if !raw && ch == '\\' {
+            content.push(ch);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                content.push(esc);
+            }
+            continue;
+        }
+        if ch == '"' {
+            if raw {
+                // Need `"` followed by exactly `hashes` hashes.
+                let matches_close = (0..hashes).all(|k| cur.peek(1 + k) == Some('#'));
+                if matches_close {
+                    cur.bump();
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    return Some(content);
+                }
+                content.push(ch);
+                cur.bump();
+                continue;
+            }
+            cur.bump();
+            return Some(content);
+        }
+        content.push(ch);
+        cur.bump();
+    }
+    Some(content) // unterminated: tolerate, return what we saw
+}
+
+/// Consume a numeric literal; returns (text, is_float).
+fn lex_number(cur: &mut Cursor) -> (String, bool) {
+    let mut text = String::new();
+    let mut is_float = false;
+    // Radix prefixes never produce floats.
+    if cur.peek(0) == Some('0')
+        && matches!(cur.peek(1), Some('x') | Some('X') | Some('o') | Some('b'))
+    {
+        text.push(cur.bump().expect("peeked char"));
+        text.push(cur.bump().expect("peeked char"));
+        while cur
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+        {
+            text.push(cur.bump().expect("peeked char"));
+        }
+        // Suffix (u8, i64, usize, ...).
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            text.push(cur.bump().expect("peeked char"));
+        }
+        return (text, false);
+    }
+    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+        text.push(cur.bump().expect("peeked char"));
+    }
+    // Fractional part: a `.` belongs to the number unless it starts a range
+    // (`1..2`) or a method/field access (`1.max(2)`).
+    if cur.peek(0) == Some('.')
+        && cur.peek(1) != Some('.')
+        && !cur.peek(1).is_some_and(is_ident_start)
+    {
+        is_float = true;
+        text.push(cur.bump().expect("peeked char"));
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            text.push(cur.bump().expect("peeked char"));
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e') | Some('E')) {
+        let sign = matches!(cur.peek(1), Some('+') | Some('-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            text.push(cur.bump().expect("peeked char"));
+            if sign {
+                text.push(cur.bump().expect("peeked char"));
+            }
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push(cur.bump().expect("peeked char"));
+            }
+        }
+    }
+    // Type suffix.
+    let mut suffix = String::new();
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        suffix.push(cur.bump().expect("peeked char"));
+    }
+    if suffix == "f32" || suffix == "f64" {
+        is_float = true;
+    }
+    text.push_str(&suffix);
+    (text, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_tuple_access() {
+        let t = kinds("let x = 1.0; let y = v.0; let z = 1e9; let w = 0x1E;");
+        assert!(t.contains(&(TokenKind::Float, "1.0".into())));
+        assert!(t.contains(&(TokenKind::Float, "1e9".into())));
+        assert!(t.contains(&(TokenKind::Int, "0".into())));
+        assert!(t.contains(&(TokenKind::Int, "0x1E".into())));
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let l = lex("// HashMap in comment\nlet s = \"HashMap::new()\"; /* unwrap() */");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.kind != TokenKind::Ident || t.text != "HashMap"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let l = lex(r####"fn f<'a>(s: &'a str) { let r = r#"un"wrap()"#; }"####);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.contains("un\"wrap")));
+    }
+
+    #[test]
+    fn char_literal_not_lifetime() {
+        let l = lex("let c = 'x'; let n = '\\n';");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("a\n  bb");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn greedy_punct() {
+        let t = kinds("a == b != c => d .. e ..= f :: g");
+        let puncts: Vec<String> = t
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "=>", "..", "..=", "::"]);
+    }
+}

@@ -1,0 +1,184 @@
+//! `pnet-tidy` CLI.
+//!
+//! Modes:
+//! * `check` — human-readable diagnostics for every unsuppressed finding;
+//!   exit 1 if any. This is the CI gate and what `tests/tidy.rs` shells to.
+//! * `list`  — every finding (suppressed included) as a JSON array.
+//! * `stats` — per-rule counts of active / waived / allowlisted findings.
+//!
+//! Flags: `--root <dir>` (default: walk up from cwd to the `[workspace]`
+//! manifest) and `--allowlist <file>` (default: `<root>/lint-allowlist.toml`).
+
+use pnet_lint::rules::{rule_summary, Finding, Suppression};
+use pnet_lint::{find_workspace_root, scan};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut mode: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allowlist" => allowlist = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            m if mode.is_none() && !m.starts_with('-') => mode = Some(m.to_string()),
+            other => {
+                eprintln!("pnet-tidy: unknown argument `{other}`");
+                print_usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mode = mode.unwrap_or_else(|| "check".to_string());
+    if !matches!(mode.as_str(), "check" | "list" | "stats") {
+        eprintln!("pnet-tidy: unknown mode `{mode}`");
+        print_usage();
+        return ExitCode::from(2);
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("pnet-tidy: cannot determine cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "pnet-tidy: no [workspace] Cargo.toml above {}; pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let allowlist = allowlist.unwrap_or_else(|| root.join("lint-allowlist.toml"));
+    let report = match scan(&root, &allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pnet-tidy: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match mode.as_str() {
+        "check" => run_check(&report),
+        "list" => {
+            println!("{}", to_json(&report.findings));
+            ExitCode::SUCCESS
+        }
+        "stats" => {
+            run_stats(&report);
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: pnet-tidy [check|list|stats] [--root <dir>] [--allowlist <file>]\n\
+         \n\
+         check  exit 1 on any unwaived finding (default; the CI gate)\n\
+         list   all findings, suppressed included, as JSON\n\
+         stats  per-rule active/waived/allowlisted counts"
+    );
+}
+
+fn run_check(report: &pnet_lint::ScanReport) -> ExitCode {
+    let active: Vec<&Finding> = report.active().collect();
+    for f in &active {
+        println!(
+            "{}:{}:{}: [{}] {}\n    {}",
+            f.file, f.line, f.col, f.rule, f.message, f.snippet
+        );
+    }
+    let suppressed = report.findings.len() - active.len();
+    if active.is_empty() {
+        println!(
+            "pnet-tidy: clean — {} files scanned, {} suppressed finding(s)",
+            report.files_scanned, suppressed
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "pnet-tidy: {} finding(s) in {} files scanned ({} suppressed)",
+            active.len(),
+            report.files_scanned,
+            suppressed
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_stats(report: &pnet_lint::ScanReport) {
+    // rule -> (active, waived, allowlisted)
+    let mut by_rule: BTreeMap<&str, (usize, usize, usize)> = BTreeMap::new();
+    for f in &report.findings {
+        let e = by_rule.entry(f.rule).or_default();
+        match f.suppressed {
+            None => e.0 += 1,
+            Some(Suppression::Waiver) => e.1 += 1,
+            Some(Suppression::Allowlist) => e.2 += 1,
+        }
+    }
+    println!("rule  active  waived  allowlisted  description");
+    for (rule, (a, w, al)) in &by_rule {
+        println!("{rule:<5} {a:>6}  {w:>6}  {al:>11}  {}", rule_summary(rule));
+    }
+    println!("files scanned: {}", report.files_scanned);
+}
+
+fn to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n  {");
+        s.push_str(&format!("\"rule\":{},", json_str(f.rule)));
+        s.push_str(&format!("\"file\":{},", json_str(&f.file)));
+        s.push_str(&format!("\"line\":{},", f.line));
+        s.push_str(&format!("\"col\":{},", f.col));
+        s.push_str(&format!("\"message\":{},", json_str(&f.message)));
+        s.push_str(&format!("\"snippet\":{},", json_str(&f.snippet)));
+        let sup = match f.suppressed {
+            None => "null".to_string(),
+            Some(Suppression::Waiver) => json_str("waiver"),
+            Some(Suppression::Allowlist) => json_str("allowlist"),
+        };
+        s.push_str(&format!("\"suppressed\":{sup}"));
+        s.push('}');
+    }
+    s.push_str("\n]");
+    s
+}
+
+fn json_str(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

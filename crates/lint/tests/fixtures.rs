@@ -1,0 +1,138 @@
+//! End-to-end scan of the rule-violating fixture workspace under
+//! `fixtures/ws/`: one deliberate violation per rule, a waived and an
+//! allowlisted variant, a dead waiver, and a stale allowlist entry. The
+//! fixture tree is excluded from real workspace scans (`fixtures` is in the
+//! linter's excluded-dirs list), so these violations never gate CI — they
+//! exist to pin the scanner's exact output.
+
+use pnet_lint::rules::{Finding, Suppression};
+use pnet_lint::scan;
+use std::path::Path;
+
+fn fixture_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn scan_fixtures() -> pnet_lint::ScanReport {
+    let root = fixture_root();
+    scan(&root, &root.join("lint-allowlist.toml")).expect("fixture scan must succeed")
+}
+
+/// 1-based column of `needle` on 1-based `line` of the fixture file.
+fn col_of(rel: &str, line: u32, needle: &str) -> u32 {
+    let src = std::fs::read_to_string(fixture_root().join(rel)).expect("fixture file readable");
+    let l = src.lines().nth(line as usize - 1).expect("line exists");
+    l.find(needle).expect("needle on line") as u32 + 1
+}
+
+fn brief(f: &Finding) -> (String, &'static str, u32, u32, Option<Suppression>) {
+    (f.file.clone(), f.rule, f.line, f.col, f.suppressed)
+}
+
+#[test]
+fn fixture_scan_reports_exact_rule_ids_and_spans() {
+    let report = scan_fixtures();
+    assert_eq!(report.files_scanned, 3, "three fixture .rs files");
+    let got: Vec<_> = report.findings.iter().map(brief).collect();
+    let expected = vec![
+        // flowsim: active float ==, waived sentinel ==, dead waiver.
+        (
+            "crates/flowsim/src/lib.rs".to_string(),
+            "D3",
+            4,
+            col_of("crates/flowsim/src/lib.rs", 4, "=="),
+            None,
+        ),
+        (
+            "crates/flowsim/src/lib.rs".to_string(),
+            "D3",
+            9,
+            col_of("crates/flowsim/src/lib.rs", 9, "=="),
+            Some(Suppression::Waiver),
+        ),
+        ("crates/flowsim/src/lib.rs".to_string(), "W1", 12, 1, None),
+        // htsim: active unwrap, active narrowing cast, allowlisted panic.
+        // (The `expect("invariant: ...")` on line 8 is sanctioned: no finding.)
+        (
+            "crates/htsim/src/lib.rs".to_string(),
+            "C1",
+            4,
+            col_of("crates/htsim/src/lib.rs", 4, "unwrap"),
+            None,
+        ),
+        (
+            "crates/htsim/src/lib.rs".to_string(),
+            "C2",
+            12,
+            col_of("crates/htsim/src/lib.rs", 12, "as u32"),
+            None,
+        ),
+        (
+            "crates/htsim/src/lib.rs".to_string(),
+            "C1",
+            16,
+            col_of("crates/htsim/src/lib.rs", 16, "panic"),
+            Some(Suppression::Allowlist),
+        ),
+        // routing: active HashMap, waived HashSet, active wall-clock read.
+        (
+            "crates/routing/src/lib.rs".to_string(),
+            "D1",
+            3,
+            col_of("crates/routing/src/lib.rs", 3, "HashMap"),
+            None,
+        ),
+        (
+            "crates/routing/src/lib.rs".to_string(),
+            "D1",
+            6,
+            col_of("crates/routing/src/lib.rs", 6, "HashSet"),
+            Some(Suppression::Waiver),
+        ),
+        (
+            "crates/routing/src/lib.rs".to_string(),
+            "D2",
+            8,
+            col_of("crates/routing/src/lib.rs", 8, "Instant"),
+            None,
+        ),
+        // The stale allowlist entry is itself a finding, anchored at its
+        // `[[allow]]` header line.
+        ("lint-allowlist.toml".to_string(), "A1", 7, 1, None),
+    ];
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn fixture_scan_fails_the_check_gate() {
+    let report = scan_fixtures();
+    let active: Vec<_> = report.active().map(|f| f.rule).collect();
+    // Every enforceable rule trips at least once, and the two meta-rules
+    // (dead waiver, stale allowlist entry) are active findings too.
+    for rule in ["D1", "D2", "D3", "C1", "C2", "W1", "A1"] {
+        assert!(
+            active.contains(&rule),
+            "rule {rule} missing from {active:?}"
+        );
+    }
+    assert_eq!(active.len(), 7);
+}
+
+#[test]
+fn fixture_suppressions_carry_their_mechanism() {
+    let report = scan_fixtures();
+    let suppressed: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.suppressed.is_some())
+        .map(|f| (f.rule, f.suppressed))
+        .collect();
+    assert_eq!(
+        suppressed,
+        vec![
+            ("D3", Some(Suppression::Waiver)),
+            ("C1", Some(Suppression::Allowlist)),
+            ("D1", Some(Suppression::Waiver)),
+        ]
+    );
+}

@@ -17,7 +17,7 @@ use crate::path::Path;
 use crate::plane_graph::PlaneGraph;
 use crate::scratch::{with_thread_scratch, RouteScratch};
 use pnet_topology::{LinkId, RackId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Up to `k` pairwise edge-disjoint ToR-to-ToR paths within one plane,
 /// shortest first. Disjointness is over *undirected* cables (a pair of
@@ -107,7 +107,7 @@ fn bfs_avoiding(
 /// Check (for tests and callers) that a path set is pairwise edge-disjoint
 /// over undirected cables.
 pub fn are_edge_disjoint(paths: &[Path]) -> bool {
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     for p in paths {
         for l in &p.links {
             if !seen.insert(l.0 / 2) {

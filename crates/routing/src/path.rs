@@ -43,7 +43,7 @@ impl Path {
     /// endpoints, all links are up and in the declared plane, and no switch
     /// repeats (simple path).
     pub fn validate(&self, net: &Network) -> Result<(), String> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (i, &l) in self.links.iter().enumerate() {
             let link = net.link(l);
             if link.plane != self.plane {

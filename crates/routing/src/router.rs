@@ -26,7 +26,7 @@ use crate::path::{sort_paths, Path};
 use crate::plane_graph::PlaneGraph;
 use crate::yen;
 use pnet_topology::{Network, PlaneId, RackId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, RwLock};
 
 /// Which path computation the router serves.
@@ -56,7 +56,7 @@ type RouteKey = (PlaneId, RackId, RackId);
 pub struct Router {
     planes: Arc<Vec<PlaneGraph>>,
     algo: RouteAlgo,
-    table: RwLock<HashMap<RouteKey, Arc<Vec<Path>>>>,
+    table: RwLock<BTreeMap<RouteKey, Arc<Vec<Path>>>>,
 }
 
 impl Router {
@@ -72,7 +72,7 @@ impl Router {
         Router {
             planes: Arc::new(PlaneGraph::build_all_with(net, par)),
             algo,
-            table: RwLock::new(HashMap::new()),
+            table: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -98,7 +98,10 @@ impl Router {
 
     /// Route-table entries currently materialized.
     pub fn cached_entries(&self) -> usize {
-        self.table.read().unwrap().len()
+        self.table
+            .read()
+            .expect("invariant: route-table lock is never poisoned")
+            .len()
     }
 
     /// Pure per-key path computation (the function the table memoizes).
@@ -130,12 +133,23 @@ impl Router {
     /// Path set between two racks within one plane (memoized, shared).
     pub fn paths_in_plane(&self, plane: PlaneId, src: RackId, dst: RackId) -> Arc<Vec<Path>> {
         let key = (plane, src, dst);
-        if let Some(p) = self.table.read().unwrap().get(&key) {
+        if let Some(p) = self
+            .table
+            .read()
+            .expect("invariant: route-table lock is never poisoned")
+            .get(&key)
+        {
             return Arc::clone(p);
         }
         let paths = Arc::new(self.compute(plane, src, dst));
         // First writer wins so repeat lookups keep returning the same Arc.
-        Arc::clone(self.table.write().unwrap().entry(key).or_insert(paths))
+        Arc::clone(
+            self.table
+                .write()
+                .expect("invariant: route-table lock is never poisoned")
+                .entry(key)
+                .or_insert(paths),
+        )
     }
 
     /// Bulk-fill the route table for every (plane, src, dst) combination of
@@ -155,9 +169,12 @@ impl Router {
         // group shares the source-side BFS work across destinations.
         let mut groups: Vec<((PlaneId, RackId), Vec<RackId>)> = Vec::new();
         {
-            let table = self.table.read().unwrap();
-            let mut group_of: HashMap<(PlaneId, RackId), usize> = HashMap::new();
-            let mut seen: std::collections::HashSet<RouteKey> = std::collections::HashSet::new();
+            let table = self
+                .table
+                .read()
+                .expect("invariant: route-table lock is never poisoned");
+            let mut group_of: BTreeMap<(PlaneId, RackId), usize> = BTreeMap::new();
+            let mut seen: BTreeSet<RouteKey> = BTreeSet::new();
             for &(src, dst) in pairs {
                 for p in 0..n_planes {
                     let key = (PlaneId(p as u16), src, dst);
@@ -178,7 +195,10 @@ impl Router {
             let ((plane, src), dsts) = &groups[i];
             self.compute_batch(*plane, *src, dsts)
         });
-        let mut table = self.table.write().unwrap();
+        let mut table = self
+            .table
+            .write()
+            .expect("invariant: route-table lock is never poisoned");
         for (((plane, src), dsts), per_dst) in groups.into_iter().zip(computed) {
             for (dst, paths) in dsts.into_iter().zip(per_dst) {
                 table
@@ -275,7 +295,10 @@ impl Router {
     /// Invalidate the table and re-extract the plane graphs (after failures).
     pub fn refresh(&mut self, net: &Network) {
         self.planes = Arc::new(PlaneGraph::build_all(net));
-        self.table.write().unwrap().clear();
+        self.table
+            .write()
+            .expect("invariant: route-table lock is never poisoned")
+            .clear();
     }
 }
 
@@ -427,6 +450,7 @@ mod tests {
             .map(|_| {
                 let r = Arc::clone(&r);
                 let want = reference.clone();
+                // pnet-tidy: allow(D2) -- this test exists to prove the router is shareable across real OS threads
                 std::thread::spawn(move || {
                     for _ in 0..50 {
                         assert_eq!(r.k_best_across_planes(RackId(0), RackId(7), 8), want);

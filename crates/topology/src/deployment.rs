@@ -149,10 +149,10 @@ pub fn deployment(
 /// panels this is the *entire* cost of re-instantiating a heterogeneous
 /// plane — no floor cabling changes (section 6.2, "hiding heterogeneity").
 pub fn rewiring_ops(old_edges: &[(usize, usize)], new_edges: &[(usize, usize)]) -> usize {
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
     let norm = |e: &(usize, usize)| if e.0 < e.1 { (e.0, e.1) } else { (e.1, e.0) };
-    let old: HashSet<_> = old_edges.iter().map(norm).collect();
-    let new: HashSet<_> = new_edges.iter().map(norm).collect();
+    let old: BTreeSet<_> = old_edges.iter().map(norm).collect();
+    let new: BTreeSet<_> = new_edges.iter().map(norm).collect();
     old.difference(&new).count() + new.difference(&old).count()
 }
 

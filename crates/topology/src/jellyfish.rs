@@ -18,7 +18,7 @@ use crate::profile::LinkProfile;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A Jellyfish plane builder.
 #[derive(Debug, Clone, Copy)]
@@ -108,7 +108,7 @@ impl Jellyfish {
 fn random_regular_graph(n: usize, d: usize, seed: u64) -> Vec<(usize, usize)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut free: Vec<usize> = vec![d; n];
-    let mut adj: HashSet<(usize, usize)> = HashSet::new();
+    let mut adj: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
 
     let key = |a: usize, b: usize| if a < b { (a, b) } else { (b, a) };
@@ -322,8 +322,7 @@ pub fn expand_rack(
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ (plane.0 as u64) << 32);
         cables.shuffle(&mut rng);
         // Disjoint cables so the new ToR gets `degree` distinct neighbors.
-        let mut used: std::collections::HashSet<crate::ids::NodeId> =
-            std::collections::HashSet::new();
+        let mut used: BTreeSet<crate::ids::NodeId> = BTreeSet::new();
         let mut picked = Vec::with_capacity(need);
         for c in cables {
             let l = *net.link(c);
@@ -387,7 +386,7 @@ mod tests {
     fn no_duplicate_edges() {
         let jf = Jellyfish::new(30, 5, 1, 42);
         let edges = jf.generate_edges();
-        let set: HashSet<_> = edges.iter().collect();
+        let set: BTreeSet<_> = edges.iter().collect();
         assert_eq!(set.len(), edges.len());
     }
 

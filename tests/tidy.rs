@@ -1,0 +1,33 @@
+//! Tier-1 gate: the workspace must lint clean under `pnet-tidy check`.
+//!
+//! The same command runs as the `tidy` CI job; this test makes the gate
+//! local too, so a plain `cargo test` catches determinism/correctness lint
+//! regressions before a push. See DESIGN.md §"Static analysis & determinism
+//! contract" for the rule catalogue and the waiver/allowlist machinery.
+
+use std::process::Command;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = Command::new(env!("CARGO"))
+        .args([
+            "run",
+            "-q",
+            "-p",
+            "pnet-lint",
+            "--bin",
+            "pnet-tidy",
+            "--",
+            "check",
+        ])
+        .current_dir(root)
+        .output()
+        .expect("failed to launch cargo");
+    assert!(
+        out.status.success(),
+        "pnet-tidy check failed:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
