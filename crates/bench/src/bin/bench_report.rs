@@ -14,17 +14,27 @@
 //! 3. **Parallel sanity** — serial vs `Parallelism::Rayon` wall clock with
 //!    byte-identical outputs (degenerates to the serial loop on one core;
 //!    pin workers with `RAYON_NUM_THREADS`).
+//! 4. **Telemetry overhead** (`BENCH_telemetry.json`) — packet-level wall
+//!    clock of a permutation workload with telemetry fully off vs fully on
+//!    (every trace category + 50 µs sampler), min-of-N; the FCT vectors
+//!    must be bit-identical (the observer cannot perturb the simulation).
 //!
 //! Usage: `bench_report [--quick] [--tors 64] [--degree 8] [--planes 4]
-//!                      [--k 32] [--seed 1] [--eps 0.1] [--no-reference]`
+//!                      [--k 32] [--seed 1] [--eps 0.1] [--no-reference]
+//!                      [--repeats 5]`
 //!
 //! `--quick` shrinks the instance (16 ToRs, degree 4, 2 planes, k=8) for a
 //! CI smoke run; explicit size flags still override it.
 
 use pnet_bench::{banner, f3, Args};
 use pnet_flowsim::{commodity, mcf, Commodity};
-use pnet_routing::{sort_paths, yen, Parallelism, Path, RouteAlgo, Router};
-use pnet_topology::{assemble_homogeneous, Jellyfish, LinkProfile, Network, PlaneId, RackId};
+use pnet_htsim::{
+    run_to_completion, CcAlgo, FlowSpec, SimConfig, SimTime, Simulator, TelemetryConfig,
+};
+use pnet_routing::{host_route, sort_paths, yen, Parallelism, Path, RouteAlgo, Router};
+use pnet_topology::{
+    assemble_homogeneous, HostId, Jellyfish, LinkProfile, Network, PlaneId, RackId,
+};
 use pnet_workloads::tm;
 use std::time::Instant;
 
@@ -140,6 +150,42 @@ fn staged_precompute(net: &Network, k: usize) -> StageBreakdown {
         spur_ms: (full_ms - first_bfs_ms).max(0.0),
         commit_ms,
     }
+}
+
+/// One packet-level run of a fixed permutation workload; returns (wall ms,
+/// sorted per-flow FCTs in ps, trace records kept). The FCT vector is the
+/// perturbation check: telemetry on and off must produce the same one.
+fn timed_sim(
+    net: &Network,
+    flows: &[(HostId, HostId, Vec<pnet_topology::LinkId>)],
+    telemetry: TelemetryConfig,
+) -> (f64, Vec<u64>, usize) {
+    let cfg = SimConfig {
+        telemetry,
+        ..SimConfig::default()
+    };
+    let t0 = Instant::now();
+    let mut sim = Simulator::new(net, cfg);
+    for (i, (src, dst, route)) in flows.iter().enumerate() {
+        sim.start_flow(FlowSpec {
+            src: *src,
+            dst: *dst,
+            size_bytes: 500_000,
+            routes: vec![route.clone()],
+            cc: CcAlgo::Reno,
+            owner_tag: i as u64,
+        });
+    }
+    run_to_completion(&mut sim);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut fcts: Vec<(u64, u64)> = sim
+        .records
+        .iter()
+        .map(|r| (r.owner_tag, r.fct().as_ps()))
+        .collect();
+    fcts.sort_unstable();
+    let n_records = sim.telemetry().map_or(0, |t| t.len());
+    (ms, fcts.into_iter().map(|(_, f)| f).collect(), n_records)
 }
 
 fn timed_mcf(
@@ -290,6 +336,75 @@ fn main() {
             c.len(),
             sol_s.phases,
             sol_s.lambda,
+        ),
+    );
+
+    // --- Telemetry overhead: traced vs untraced packet simulation. --------
+    // Min-of-N wall clock over a fixed permutation workload. Telemetry off
+    // must cost nothing beyond one branch per hook site; telemetry on (all
+    // categories + sampler) buys the trace for the reported premium. Both
+    // must produce bit-identical FCT vectors — the observer cannot perturb.
+    let repeats: usize = args.get("repeats", if quick { 3 } else { 5 });
+    let router = Router::new(&net, RouteAlgo::Ksp { k: 2 });
+    let flows: Vec<(HostId, HostId, Vec<pnet_topology::LinkId>)> =
+        tm::permutation_pairs(tors, seed)
+            .iter()
+            .map(|&(a, b)| {
+                let i = a;
+                let (src, dst) = (HostId(a as u32), HostId(b as u32));
+                let p = router.paths_in_plane(
+                    PlaneId((i % planes) as u16),
+                    net.rack_of_host(src),
+                    net.rack_of_host(dst),
+                )[0]
+                .clone();
+                let route =
+                    host_route(&net, src, dst, &p).expect("permutation pair must be routable");
+                (src, dst, route)
+            })
+            .collect();
+    let on_cfg = TelemetryConfig::all(SimTime::from_us(50));
+    let mut off_ms = f64::INFINITY;
+    let mut on_ms = f64::INFINITY;
+    let mut fcts_off = Vec::new();
+    let mut fcts_on = Vec::new();
+    let mut trace_records = 0usize;
+    for _ in 0..repeats {
+        let (ms, fcts, _) = timed_sim(&net, &flows, TelemetryConfig::default());
+        off_ms = off_ms.min(ms);
+        fcts_off = fcts;
+        let (ms, fcts, n) = timed_sim(&net, &flows, on_cfg);
+        on_ms = on_ms.min(ms);
+        fcts_on = fcts;
+        trace_records = n;
+    }
+    let identical_fcts = fcts_off == fcts_on;
+    let overhead_pct = (on_ms / off_ms - 1.0) * 100.0;
+    println!(
+        "telemetry: {} flows, {repeats} repeats: off {} ms, on {} ms \
+         ({} trace records), overhead {}%, identical FCTs: {identical_fcts}",
+        flows.len(),
+        f3(off_ms),
+        f3(on_ms),
+        trace_records,
+        f3(overhead_pct)
+    );
+    assert!(
+        identical_fcts,
+        "telemetry perturbed the simulation: FCT vectors diverged"
+    );
+    write_json(
+        "BENCH_telemetry.json",
+        &format!(
+            "{{\n  \"benchmark\": \"telemetry_overhead\",\n  \
+             \"topology\": {{\"kind\": \"jellyfish\", \"n_tors\": {tors}, \"degree\": {degree}, \"planes\": {planes}}},\n  \
+             \"flows\": {},\n  \"repeats\": {repeats},\n  \
+             \"sample_interval_us\": 50,\n  \
+             \"off_ms\": {off_ms:.3},\n  \"on_ms\": {on_ms:.3},\n  \
+             \"overhead_percent\": {overhead_pct:.3},\n  \
+             \"trace_records\": {trace_records},\n  \
+             \"identical_fcts\": {identical_fcts}\n}}\n",
+            flows.len(),
         ),
     );
 }

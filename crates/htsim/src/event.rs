@@ -26,6 +26,9 @@ pub enum EventKind {
     },
     /// An application-scheduled wakeup (flow start, think time, ...).
     AppTimer { app: u32, tag: u64 },
+    /// A periodic telemetry sampler tick. Observes queue/plane/subflow state
+    /// and mutates nothing, so enabling it never changes transport behaviour.
+    TelemetrySample,
 }
 
 /// A scheduled event.

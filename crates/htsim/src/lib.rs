@@ -50,6 +50,7 @@ pub mod packet;
 pub mod queue;
 pub mod sim;
 pub mod tcp;
+pub mod telemetry;
 pub mod time;
 
 pub use packet::{ConnId, Packet, PacketKind, ACK_BYTES, MTU_BYTES};
@@ -60,4 +61,5 @@ pub use sim::{
     Simulator,
 };
 pub use tcp::{CcAlgo, TcpConfig};
+pub use telemetry::{EventMask, Telemetry, TelemetryConfig, TraceRecord};
 pub use time::SimTime;

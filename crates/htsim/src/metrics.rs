@@ -118,11 +118,13 @@ pub fn ps_to_us(samples_ps: &[u64]) -> Vec<f64> {
     samples_ps.iter().map(|&p| p as f64 / 1e6).collect()
 }
 
-/// Goodput of a record in Gb/s.
+/// Goodput of a record in Gb/s. A zero-duration record (degenerate, e.g. a
+/// hand-built placeholder) yields 0.0 rather than infinity, so aggregates
+/// like [`mean`] and [`Summary::of`] stay finite.
 pub fn goodput_gbps(rec: &FlowRecord) -> f64 {
     let secs = rec.fct().as_secs_f64();
     if secs <= 0.0 {
-        return f64::INFINITY;
+        return 0.0;
     }
     rec.size_bytes as f64 * 8.0 / secs / 1e9
 }
@@ -143,6 +145,7 @@ mod tests {
             dropped,
             dropped_link_down: link_down,
             peak_bytes: 0,
+            bytes_sent: 0,
         };
         let b = DropBreakdown::accumulate([q(3, 0), q(0, 5), q(2, 1)]);
         assert_eq!(b.congestion, 5);
@@ -189,5 +192,31 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_rejects_empty() {
         percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn goodput_of_zero_duration_record_is_zero_not_infinite() {
+        use crate::packet::ConnId;
+        use pnet_topology::HostId;
+        let rec = |fct_ps: u64| FlowRecord {
+            conn: ConnId(0),
+            src: HostId(0),
+            dst: HostId(1),
+            size_bytes: 1500,
+            start: SimTime::from_us(1),
+            finish: SimTime::from_us(1) + SimTime::from_ps(fct_ps),
+            retransmits: 0,
+            timeouts: 0,
+            n_subflows: 1,
+            min_switch_hops: 2,
+            owner_tag: 0,
+        };
+        let degenerate = rec(0);
+        assert_eq!(goodput_gbps(&degenerate), 0.0);
+        // And it no longer poisons aggregates.
+        let normal = rec(1_000_000); // 1500 B in 1 us = 12 Gb/s
+        let m = mean(&[goodput_gbps(&degenerate), goodput_gbps(&normal)]);
+        assert!(m.is_finite());
+        assert!((m - 6.0).abs() < 1e-9, "mean goodput {m}");
     }
 }

@@ -42,6 +42,9 @@ pub struct Queue {
     pub dropped_link_down: u64,
     /// Peak queue occupancy in bytes.
     pub peak_bytes: u64,
+    /// Cumulative bytes that completed serialization on this link (the
+    /// numerator of the telemetry layer's per-plane utilization samples).
+    pub bytes_sent: u64,
 }
 
 /// Outcome of an enqueue attempt.
@@ -75,6 +78,7 @@ impl Queue {
             dropped: 0,
             dropped_link_down: 0,
             peak_bytes: 0,
+            bytes_sent: 0,
         }
     }
 
@@ -131,6 +135,7 @@ impl Queue {
             .pop_front()
             .expect("invariant: departures only fire on a non-empty queue");
         self.buffered_bytes -= packet.size_bytes as u64;
+        self.bytes_sent += packet.size_bytes as u64;
         let arrival = now + SimTime::from_ps(self.delay_ps);
         let next = if self.fifo.is_empty() {
             self.busy = false;
@@ -281,5 +286,17 @@ mod tests {
         q.enqueue(pkt(1500));
         q.depart(SimTime::ZERO);
         assert_eq!(q.peak_bytes, 3000);
+    }
+
+    #[test]
+    fn bytes_sent_counts_departures_only() {
+        let mut q = Queue::new(1_000_000_000, 0, 100_000);
+        q.enqueue(pkt(1500));
+        q.enqueue(pkt(40));
+        assert_eq!(q.bytes_sent, 0); // buffered, not yet on the wire
+        q.depart(SimTime::ZERO);
+        assert_eq!(q.bytes_sent, 1500);
+        q.depart(SimTime::ZERO);
+        assert_eq!(q.bytes_sent, 1540);
     }
 }

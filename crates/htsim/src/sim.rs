@@ -15,6 +15,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::packet::{ConnId, Packet, PacketKind, ACK_BYTES, MTU_BYTES};
 use crate::queue::{Enqueue, Queue};
 use crate::tcp::{CcAlgo, Connection, Subflow, TcpConfig};
+use crate::telemetry::{EventMask, Telemetry, TelemetryConfig, TraceRecord};
 use crate::time::SimTime;
 use pnet_routing::reverse_route;
 use pnet_topology::{HostId, LinkId, Network};
@@ -33,6 +34,9 @@ pub struct SimConfig {
     /// then behave like Reno. DCTCP's guideline is K ≈ 17%–20% of C·RTT;
     /// 20–65 packets are typical datacenter values.
     pub ecn_threshold_packets: Option<u32>,
+    /// Telemetry: event tracing and periodic sampling (default: fully
+    /// disabled — no records, no sampler events, no allocation).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SimConfig {
@@ -41,6 +45,7 @@ impl Default for SimConfig {
             tcp: TcpConfig::default(),
             queue_bytes: 100 * MTU_BYTES as u64,
             ecn_threshold_packets: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -51,7 +56,8 @@ impl Default for SimConfig {
 pub struct FlowSpec {
     pub src: HostId,
     pub dst: HostId,
-    /// Bytes to transfer (rounded up to whole MTU packets, minimum 1).
+    /// Bytes to transfer. The wire moves whole MTU packets (rounded up,
+    /// minimum 1), but completion records report this exact figure.
     pub size_bytes: u64,
     /// Host-to-host routes, one per subflow. Must be non-empty.
     pub routes: Vec<Vec<LinkId>>,
@@ -66,6 +72,8 @@ pub struct FlowRecord {
     pub conn: ConnId,
     pub src: HostId,
     pub dst: HostId,
+    /// Requested transfer size in bytes (not the MTU-rounded wire
+    /// footprint), so goodput of sub-MTU flows is not overstated.
     pub size_bytes: u64,
     pub start: SimTime,
     pub finish: SimTime,
@@ -110,6 +118,8 @@ pub struct QueueStats {
     pub dropped_link_down: u64,
     /// Peak buffer occupancy in bytes.
     pub peak_bytes: u64,
+    /// Cumulative bytes that completed serialization on the link.
+    pub bytes_sent: u64,
 }
 
 impl QueueStats {
@@ -169,6 +179,9 @@ pub struct Simulator {
     pub dropped_link_down_packets: u64,
     /// Timestamps per subflow of last forward progress (for lazy RTO).
     last_progress: Vec<Vec<SimTime>>,
+    /// Trace buffer; `None` (the default) keeps hook sites down to one
+    /// branch each and samplers unscheduled.
+    telemetry: Option<Box<Telemetry>>,
     /// Packets injected at hop 0 (conservation ledger numerator).
     #[cfg(feature = "strict-invariants")]
     ledger_injected: u64,
@@ -190,7 +203,12 @@ impl Simulator {
                 q
             })
             .collect();
-        Simulator {
+        let telemetry = if cfg.telemetry.enabled() {
+            Some(Box::new(Telemetry::new(net, cfg.telemetry)))
+        } else {
+            None
+        };
+        let mut sim = Simulator {
             now: SimTime::ZERO,
             events: EventQueue::new(),
             queues,
@@ -201,10 +219,41 @@ impl Simulator {
             dropped_packets: 0,
             dropped_link_down_packets: 0,
             last_progress: Vec::new(),
+            telemetry,
             #[cfg(feature = "strict-invariants")]
             ledger_injected: 0,
             #[cfg(feature = "strict-invariants")]
             ledger_delivered: 0,
+        };
+        // Arm the first sampler tick. If the run drains before flows exist,
+        // the tick observes an idle network once and does not re-arm.
+        if let Some(tl) = sim.telemetry.as_mut() {
+            if let Some(iv) = tl.cfg.sample_interval {
+                tl.sampler_armed = true;
+                sim.events.schedule(iv, EventKind::TelemetrySample);
+            }
+        }
+        sim
+    }
+
+    /// The telemetry trace buffer, when enabled via
+    /// [`SimConfig::telemetry`].
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// True when telemetry is on and `cat` is an enabled category.
+    #[inline]
+    fn wants(&self, cat: EventMask) -> bool {
+        self.telemetry.as_ref().is_some_and(|t| t.wants(cat))
+    }
+
+    /// Append a trace record (caller has already checked the category via
+    /// [`Simulator::wants`]).
+    #[inline]
+    fn emit(&mut self, rec: TraceRecord) {
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record(rec);
         }
     }
 
@@ -270,6 +319,7 @@ impl Simulator {
             dropped: q.dropped,
             dropped_link_down: q.dropped_link_down,
             peak_bytes: q.peak_bytes,
+            bytes_sent: q.bytes_sent,
         }
     }
 
@@ -285,12 +335,26 @@ impl Simulator {
     pub fn fail_link(&mut self, link: LinkId) {
         self.queues[link.index()].link_up = false;
         self.queues[link.reverse().index()].link_up = false;
+        if self.wants(EventMask::LINK_STATE) {
+            let t = self.now;
+            self.emit(TraceRecord::LinkDown {
+                t,
+                link: u64::from(link.0),
+            });
+        }
     }
 
     /// Restore a failed link.
     pub fn restore_link(&mut self, link: LinkId) {
         self.queues[link.index()].link_up = true;
         self.queues[link.reverse().index()].link_up = true;
+        if self.wants(EventMask::LINK_STATE) {
+            let t = self.now;
+            self.emit(TraceRecord::LinkUp {
+                t,
+                link: u64::from(link.0),
+            });
+        }
     }
 
     /// Schedule an application timer at absolute time `at` (delivered to the
@@ -321,12 +385,14 @@ impl Simulator {
             })
             .collect();
         self.last_progress.push(vec![self.now; subflows.len()]);
+        let n_subflows = subflows.len();
         self.conns.push(Connection {
             id,
             src: spec.src,
             dst: spec.dst,
             cc: spec.cc,
             size_packets,
+            size_bytes: spec.size_bytes.max(1),
             assigned: 0,
             acked: 0,
             start: self.now,
@@ -335,6 +401,27 @@ impl Simulator {
             rr: 0,
             owner_tag: spec.owner_tag,
         });
+        if self.wants(EventMask::FLOW_START) {
+            let t = self.now;
+            self.emit(TraceRecord::FlowStart {
+                t,
+                conn: u64::from(id.0),
+                src: spec.src.index() as u64,
+                dst: spec.dst.index() as u64,
+                size_bytes: spec.size_bytes.max(1),
+                n_subflows: n_subflows as u64,
+            });
+        }
+        // A flow starting on an idle simulator revives the sampler.
+        if let Some(tl) = self.telemetry.as_mut() {
+            if let Some(iv) = tl.cfg.sample_interval {
+                if !tl.sampler_armed {
+                    tl.sampler_armed = true;
+                    let at = self.now + iv;
+                    self.events.schedule(at, EventKind::TelemetrySample);
+                }
+            }
+        }
         self.pump(id);
         id
     }
@@ -377,7 +464,9 @@ impl Simulator {
         let link = pkt
             .next_link()
             .expect("invariant: send_packet is only called with hops remaining");
+        let trace_ecn = self.wants(EventMask::ECN_MARK);
         let q = &mut self.queues[link.index()];
+        let marked_before = if trace_ecn { q.marked } else { 0 };
         match q.enqueue(pkt) {
             Enqueue::StartService => {
                 let ser = q.head_service_ps();
@@ -389,6 +478,18 @@ impl Simulator {
             Enqueue::Queued => {}
             Enqueue::Dropped => self.dropped_packets += 1,
             Enqueue::DroppedLinkDown => self.dropped_link_down_packets += 1,
+        }
+        if trace_ecn {
+            let q = &self.queues[link.index()];
+            if q.marked > marked_before {
+                let t = self.now;
+                let buffered_bytes = q.buffered_bytes();
+                self.emit(TraceRecord::EcnMark {
+                    t,
+                    link: u64::from(link.0),
+                    buffered_bytes,
+                });
+            }
         }
     }
 
@@ -534,6 +635,13 @@ impl Simulator {
                 }
             }
         } else if cum == snd_una && self.conns[ci].subflows[si].outstanding() > 0 {
+            // DCTCP: a dupack still acknowledges one received data packet
+            // and carries that packet's CE mark in ECE — it must enter the
+            // marked-fraction accounting or the fraction under loss is
+            // understated.
+            if self.conns[ci].cc == CcAlgo::Dctcp {
+                self.conns[ci].subflows[si].dctcp_on_dupack(ece);
+            }
             let sub = &mut self.conns[ci].subflows[si];
             sub.dupacks += 1;
             if sub.dupacks == 3 && !sub.in_recovery {
@@ -563,7 +671,9 @@ impl Simulator {
             conn,
             src: c.src,
             dst: c.dst,
-            size_bytes: c.size_packets * MTU_BYTES as u64,
+            // The requested size, not the MTU-rounded wire footprint —
+            // goodput of sub-MTU flows would otherwise be overstated.
+            size_bytes: c.size_bytes,
             start: c.start,
             finish: self.now,
             retransmits: c.retransmits(),
@@ -577,6 +687,16 @@ impl Simulator {
                 .unwrap_or(0),
             owner_tag: c.owner_tag,
         };
+        if self.wants(EventMask::FLOW_FINISH) {
+            let t = self.now;
+            self.emit(TraceRecord::FlowFinish {
+                t,
+                conn: u64::from(conn.0),
+                fct_ps: rec.fct().as_ps(),
+                retransmits: rec.retransmits,
+                timeouts: rec.timeouts,
+            });
+        }
         self.records.push(rec);
         self.pending_complete.push(conn);
     }
@@ -644,17 +764,35 @@ impl Simulator {
     fn transmit(&mut self, conn: ConnId, si: usize, seq: u64, rtx: bool) {
         let ci = conn.0 as usize;
         let now = self.now;
+        let cc = self.conns[ci].cc;
         let (route, size) = {
             let sub = &mut self.conns[ci].subflows[si];
             sub.packets_sent += 1;
             if rtx {
                 sub.retransmits += 1;
             }
+            if cc == CcAlgo::Dctcp && !rtx && sub.snd_una == 0 && sub.dctcp_acked == 0 {
+                // Seed the first DCTCP observation window to span the whole
+                // initial flight. `pump` sends the entire initial cwnd
+                // before any ACK arrives, and `highest_sent` was already
+                // advanced past `seq`, so the window keeps extending through
+                // the burst; left at 0 the very first ACK would close a
+                // degenerate one-sample window and EWMA-update alpha from it.
+                sub.dctcp_window_end = sub.highest_sent;
+            }
             (Arc::clone(&sub.route), MTU_BYTES)
         };
         if !rtx {
             // Fresh data marks forward progress for the lazy RTO.
             self.last_progress[ci][si] = now;
+        }
+        if rtx && self.wants(EventMask::RETRANSMIT) {
+            self.emit(TraceRecord::Retransmit {
+                t: now,
+                conn: u64::from(conn.0),
+                subflow: si as u64,
+                seq,
+            });
         }
         let pkt = Packet {
             route,
@@ -740,6 +878,16 @@ impl Simulator {
             sub.resend_high = sub.snd_una;
             sub.timer_armed = false;
         }
+        if self.wants(EventMask::TIMEOUT) {
+            let t = self.now;
+            let backoff = u64::from(self.conns[ci].subflows[si].backoff);
+            self.emit(TraceRecord::Timeout {
+                t,
+                conn: u64::from(conn.0),
+                subflow: u64::from(subflow),
+                backoff,
+            });
+        }
         // MPTCP path-failure handling: after repeated backoffs, declare the
         // subflow dead and re-inject its outstanding data onto the
         // surviving subflows.
@@ -760,6 +908,15 @@ impl Simulator {
                 lost
             };
             self.conns[ci].assigned -= reclaimed;
+            if self.wants(EventMask::SUBFLOW_DEAD) {
+                let t = self.now;
+                self.emit(TraceRecord::SubflowDead {
+                    t,
+                    conn: u64::from(conn.0),
+                    subflow: u64::from(subflow),
+                    reclaimed,
+                });
+            }
             self.pump(conn);
             return; // no timer for a dead subflow
         }
@@ -780,6 +937,94 @@ impl Simulator {
                 token,
             } => self.on_rto(conn, subflow, token),
             EventKind::AppTimer { .. } => unreachable!("app timers handled by the run loop"),
+            EventKind::TelemetrySample => self.on_telemetry_sample(),
+        }
+    }
+
+    /// One sampler tick: observe queue occupancy, per-plane utilization, and
+    /// live subflow state. Mutates no transport or queue state, so enabling
+    /// sampling never changes FCTs, drops, or retransmit counts.
+    fn on_telemetry_sample(&mut self) {
+        let now = self.now;
+        let Some(tl) = self.telemetry.as_mut() else {
+            return;
+        };
+        let Some(interval) = tl.cfg.sample_interval else {
+            tl.sampler_armed = false;
+            return;
+        };
+        if tl.cfg.events.contains(EventMask::QUEUE_SAMPLE) {
+            // Only non-empty queues: trace volume tracks activity, and an
+            // absent link at a sample time reads as "empty".
+            for (i, q) in self.queues.iter().enumerate() {
+                if q.depth() > 0 {
+                    tl.record(TraceRecord::QueueSample {
+                        t: now,
+                        link: i as u64,
+                        depth_pkts: q.depth() as u64,
+                        buffered_bytes: q.buffered_bytes(),
+                    });
+                }
+            }
+        }
+        if tl.cfg.events.contains(EventMask::PLANE_SAMPLE) {
+            let n = tl.plane_capacity_bps.len();
+            let mut bytes = vec![0u64; n];
+            for (i, q) in self.queues.iter().enumerate() {
+                bytes[tl.link_planes[i].index()] += q.bytes_sent;
+            }
+            let dt_secs = now.saturating_sub(tl.last_sample_at).as_secs_f64();
+            for (p, &total) in bytes.iter().enumerate() {
+                let bytes_delta = total - tl.last_plane_bytes[p];
+                let cap = tl.plane_capacity_bps[p];
+                let utilization = if dt_secs > 0.0 && cap > 0 {
+                    bytes_delta as f64 * 8.0 / (cap as f64 * dt_secs)
+                } else {
+                    0.0
+                };
+                tl.record(TraceRecord::PlaneSample {
+                    t: now,
+                    plane: p as u64,
+                    bytes_delta,
+                    utilization,
+                });
+            }
+            tl.last_plane_bytes = bytes;
+        }
+        if tl.cfg.events.contains(EventMask::SUBFLOW_SAMPLE) {
+            for c in &self.conns {
+                if c.finish.is_some() {
+                    continue;
+                }
+                for (si, sub) in c.subflows.iter().enumerate() {
+                    if sub.dead {
+                        continue;
+                    }
+                    tl.record(TraceRecord::SubflowSample {
+                        t: now,
+                        conn: u64::from(c.id.0),
+                        subflow: si as u64,
+                        cwnd: sub.cwnd,
+                        srtt_ps: sub.srtt_ps,
+                        in_flight: sub.in_flight(),
+                    });
+                }
+            }
+        }
+        tl.last_sample_at = now;
+        // Re-arm only while a flow is still live AND other events are
+        // pending. The first guard stops the sampler once every flow has
+        // finished (stale RTO timers may linger in the queue long after);
+        // the second keeps the sampler from being the only thing driving
+        // the clock forever. `start_flow` re-arms it when traffic returns.
+        let live =
+            !self.pending_complete.is_empty() || self.conns.iter().any(|c| c.finish.is_none());
+        if live && !self.events.is_empty() {
+            tl.sampler_armed = true;
+            self.events
+                .schedule(now + interval, EventKind::TelemetrySample);
+        } else {
+            tl.sampler_armed = false;
         }
     }
 }

@@ -131,9 +131,15 @@ pub struct Subflow {
     /// Of those, packets whose ACK carried ECN-Echo.
     pub dctcp_marked: u64,
     /// The observation window ends when `snd_una` passes this sequence.
+    /// Seeded by the simulator at first transmission to cover the whole
+    /// initial flight (left at 0 the very first ACK would close a
+    /// degenerate one-sample window).
     pub dctcp_window_end: u64,
     /// At most one multiplicative cut per window.
     pub dctcp_cut_this_window: bool,
+    /// Lifetime count of duplicate ACKs that carried ECN-Echo (never reset;
+    /// regression guard that dupack marks enter the accounting).
+    pub dctcp_dupack_marks: u64,
 
     // --- receiver state (the peer's side of this subflow) ---
     pub rcv_next: u64,
@@ -174,6 +180,7 @@ impl Subflow {
             dctcp_marked: 0,
             dctcp_window_end: 0,
             dctcp_cut_this_window: false,
+            dctcp_dupack_marks: 0,
             rcv_next: 0,
             ooo: BTreeSet::new(),
             retransmits: 0,
@@ -258,6 +265,20 @@ impl Subflow {
         cut
     }
 
+    /// DCTCP processing of a duplicate ACK. A dupack still acknowledges the
+    /// arrival of one data packet, and its ECN-Echo carries that packet's CE
+    /// mark — both must enter the observation-window accounting or the
+    /// marked fraction is understated exactly when the network is congested
+    /// enough to reorder or drop. No cut and no window close here: those
+    /// stay on the cumulative-ACK path.
+    pub fn dctcp_on_dupack(&mut self, ece: bool) {
+        self.dctcp_acked += 1;
+        if ece {
+            self.dctcp_marked += 1;
+            self.dctcp_dupack_marks += 1;
+        }
+    }
+
     /// Receiver-side processing of an arriving data sequence. Returns the
     /// cumulative ACK value to send.
     pub fn receive_data(&mut self, seq: u64) -> u64 {
@@ -305,6 +326,9 @@ pub struct Connection {
     pub cc: CcAlgo,
     /// Total packets to transfer.
     pub size_packets: u64,
+    /// Requested transfer size in bytes (the wire moves `size_packets` whole
+    /// MTUs; completion records report this exact figure).
+    pub size_bytes: u64,
     /// Packets assigned to subflows so far.
     pub assigned: u64,
     /// Packets cumulatively acknowledged across subflows.
@@ -390,6 +414,7 @@ mod tests {
             dst: HostId(1),
             cc,
             size_packets: 100,
+            size_bytes: 100 * 1500,
             assigned: 0,
             acked: 0,
             start: SimTime::ZERO,
@@ -572,6 +597,32 @@ mod tests {
             }
         }
         assert!(s.dctcp_alpha < 0.01, "alpha {} should decay", s.dctcp_alpha);
+    }
+
+    #[test]
+    fn dctcp_dupack_marks_enter_accounting() {
+        let cfg = TcpConfig::default();
+        let mut s = sub(&cfg);
+        s.highest_sent = 20;
+        s.dctcp_window_end = 20;
+        s.snd_una = 5;
+        // Three marked dupacks and one clean one: 4 acked, 3 marked.
+        s.dctcp_on_dupack(true);
+        s.dctcp_on_dupack(true);
+        s.dctcp_on_dupack(false);
+        s.dctcp_on_dupack(true);
+        assert_eq!(s.dctcp_acked, 4);
+        assert_eq!(s.dctcp_marked, 3);
+        assert_eq!(s.dctcp_dupack_marks, 3);
+        // No cut and no window close happened: alpha untouched.
+        assert_eq!(s.dctcp_alpha, 1.0);
+        assert!(!s.dctcp_cut_this_window);
+        // The fraction flows into alpha when the window closes on the
+        // cumulative path: 5 acked total, 3 marked -> f = 0.6.
+        s.snd_una = 20;
+        s.dctcp_on_ack(1, false, 20);
+        let expect = (1.0 - 1.0 / 16.0) * 1.0 + (1.0 / 16.0) * 0.6;
+        assert!((s.dctcp_alpha - expect).abs() < 1e-12, "{}", s.dctcp_alpha);
     }
 
     #[test]

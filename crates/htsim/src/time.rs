@@ -99,6 +99,34 @@ impl Sub for SimTime {
     }
 }
 
+impl std::str::FromStr for SimTime {
+    type Err = String;
+
+    /// Parse a duration with an optional unit suffix: `ps`, `ns`, `us`,
+    /// `ms`, or `s` (bare digits mean picoseconds). E.g. `"100us"`, `"1ms"`.
+    fn from_str(s: &str) -> Result<SimTime, String> {
+        let s = s.trim();
+        let (digits, make): (&str, fn(u64) -> SimTime) = if let Some(d) = s.strip_suffix("ps") {
+            (d, SimTime::from_ps)
+        } else if let Some(d) = s.strip_suffix("ns") {
+            (d, SimTime::from_ns)
+        } else if let Some(d) = s.strip_suffix("us") {
+            (d, SimTime::from_us)
+        } else if let Some(d) = s.strip_suffix("ms") {
+            (d, SimTime::from_ms)
+        } else if let Some(d) = s.strip_suffix('s') {
+            (d, SimTime::from_secs)
+        } else {
+            (s, SimTime::from_ps)
+        };
+        digits
+            .trim()
+            .parse::<u64>()
+            .map(make)
+            .map_err(|e| format!("bad duration {s:?}: {e}"))
+    }
+}
+
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 >= 1_000_000_000 {
@@ -157,6 +185,20 @@ mod tests {
         assert_eq!(a + b, SimTime::from_us(3));
         assert_eq!(a - b, SimTime::from_us(1));
         assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn parses_duration_suffixes() {
+        assert_eq!("42".parse::<SimTime>().unwrap(), SimTime::from_ps(42));
+        assert_eq!("42ps".parse::<SimTime>().unwrap(), SimTime::from_ps(42));
+        assert_eq!("30ns".parse::<SimTime>().unwrap(), SimTime::from_ns(30));
+        assert_eq!("100us".parse::<SimTime>().unwrap(), SimTime::from_us(100));
+        assert_eq!("1ms".parse::<SimTime>().unwrap(), SimTime::from_ms(1));
+        assert_eq!("2s".parse::<SimTime>().unwrap(), SimTime::from_secs(2));
+        assert_eq!(" 5 us ".parse::<SimTime>().unwrap(), SimTime::from_us(5));
+        assert!("".parse::<SimTime>().is_err());
+        assert!("5xs".parse::<SimTime>().is_err());
+        assert!("-3us".parse::<SimTime>().is_err());
     }
 
     #[test]

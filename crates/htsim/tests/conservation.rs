@@ -117,3 +117,71 @@ fn books_balance_across_a_link_failure() {
     assert_eq!(l.dropped_link_down, sim.dropped_link_down_packets);
     assert_eq!(l.dropped_congestion, sim.dropped_packets);
 }
+
+#[test]
+fn books_balance_with_samplers_active() {
+    // Full telemetry (every trace category + periodic samplers) across a
+    // mid-run link failure and restore: the sampler observes but must not
+    // touch the ledger, and `run()`'s per-return conservation assert stays
+    // quiet throughout.
+    use pnet_htsim::{TelemetryConfig, TraceRecord};
+    let n = net2();
+    let mut cfg = SimConfig {
+        telemetry: TelemetryConfig::all(SimTime::from_us(5)),
+        ..SimConfig::default()
+    };
+    cfg.tcp.min_rto = SimTime::from_ms(1);
+    let mut sim = Simulator::new(&n, cfg);
+    let r0 = route_for(&n, HostId(0), HostId(15), 0);
+    let plane0_uplink = r0[0];
+    sim.start_flow(FlowSpec {
+        src: HostId(0),
+        dst: HostId(15),
+        size_bytes: 20_000_000,
+        routes: vec![r0, route_for(&n, HostId(0), HostId(15), 1)],
+        cc: CcAlgo::Lia,
+        owner_tag: 0,
+    });
+    for h in 1..4u32 {
+        let (src, dst) = (HostId(h), HostId(15 - h));
+        sim.start_flow(FlowSpec {
+            src,
+            dst,
+            size_bytes: 1_000_000,
+            routes: vec![route_for(&n, src, dst, (h % 2) as u16)],
+            cc: CcAlgo::Reno,
+            owner_tag: h as u64,
+        });
+    }
+
+    run(&mut sim, &mut NullDriver, Some(SimTime::from_us(200)));
+    assert!(sim.conservation().balanced(), "{:?}", sim.conservation());
+    sim.fail_link(plane0_uplink);
+    run(&mut sim, &mut NullDriver, Some(SimTime::from_ms(1)));
+    assert!(sim.conservation().balanced(), "{:?}", sim.conservation());
+    sim.restore_link(plane0_uplink);
+    run(&mut sim, &mut NullDriver, None);
+
+    let l = sim.conservation();
+    assert!(l.balanced(), "{l:?}");
+    assert_eq!(l.in_flight, 0);
+    assert_eq!(sim.records.len(), 4, "all flows must complete");
+
+    // The trace saw the failure and the samplers ran.
+    let tl = sim.telemetry().expect("telemetry was enabled");
+    let mut saw_down = false;
+    let mut saw_up = false;
+    let mut samples = 0usize;
+    for rec in tl.records() {
+        match rec {
+            TraceRecord::LinkDown { .. } => saw_down = true,
+            TraceRecord::LinkUp { .. } => saw_up = true,
+            TraceRecord::QueueSample { .. }
+            | TraceRecord::PlaneSample { .. }
+            | TraceRecord::SubflowSample { .. } => samples += 1,
+            _ => {}
+        }
+    }
+    assert!(saw_down && saw_up, "link failure/restore must be traced");
+    assert!(samples > 0, "samplers must have run");
+}

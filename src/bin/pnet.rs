@@ -14,7 +14,9 @@
 
 use pnet::core::{analysis, PNetSpec, PathPolicy, TopologyKind};
 use pnet::flowsim::{commodity, throughput};
-use pnet::htsim::{metrics, run_to_completion, FlowSpec, SimConfig, Simulator};
+use pnet::htsim::{
+    metrics, run_to_completion, EventMask, FlowSpec, SimConfig, SimTime, Simulator, TelemetryConfig,
+};
 use pnet::topology::{components, HostId, NetworkClass};
 use pnet::workloads::tm;
 use pnet_bench::{Args, Table};
@@ -37,6 +39,8 @@ SUBCOMMANDS:
                (topology flags) --pattern permutation|all-to-all --kpaths K --eps E
   simulate     packet-level FCTs of a permutation of flows
                (topology flags) --size BYTES --policy ... --kpaths K
+               --trace-out FILE[.jsonl|.csv] --sample-interval DUR (e.g. 100us)
+               --trace-events flow,retransmit,timeout,subflow-dead,ecn,link,samples|all
   components   Table 1 component accounting
                --hosts N --planes N
 
@@ -44,7 +48,8 @@ EXAMPLES:
   pnet topology --kind jellyfish --class hetero --planes 4 --tors 32 --degree 5
   pnet route --src 0 --dst 50 --policy shortest --class hetero
   pnet throughput --pattern permutation --kpaths 16 --planes 2
-  pnet simulate --size 1m --policy plane-ksp --planes 4"
+  pnet simulate --size 1m --policy plane-ksp --planes 4
+  pnet simulate --size 1m --trace-out trace.jsonl --sample-interval 100us"
     );
     std::process::exit(2);
 }
@@ -216,13 +221,45 @@ fn cmd_throughput(args: &Args) {
     );
 }
 
+/// Telemetry configuration from `--trace-out`, `--sample-interval`, and
+/// `--trace-events`. Tracing is enabled whenever an output file is named:
+/// all instantaneous events by default, plus the samplers when an interval
+/// is given; `--trace-events` narrows the categories.
+fn telemetry_from(args: &Args) -> TelemetryConfig {
+    if args.get_str("trace-out").is_none() {
+        return TelemetryConfig::default();
+    }
+    let sample_interval = args.get_str("sample-interval").map(|s| {
+        s.parse::<SimTime>().unwrap_or_else(|e| {
+            eprintln!("--sample-interval: {e}");
+            usage()
+        })
+    });
+    let events = match args.get_str("trace-events") {
+        Some(names) => EventMask::from_names(names).unwrap_or_else(|e| {
+            eprintln!("--trace-events: {e}");
+            usage()
+        }),
+        None if sample_interval.is_some() => EventMask::ALL,
+        None => EventMask::TRACE,
+    };
+    TelemetryConfig {
+        events,
+        sample_interval,
+    }
+}
+
 fn cmd_simulate(args: &Args) {
     let (kind, class, planes, seed) = topology_from(args);
     let pnet = PNetSpec::new(kind, class, planes, seed).build();
     let n = pnet.net.n_hosts();
     let size: u64 = args.get_list("size", &[1_000_000])[0];
     let mut selector = pnet.selector(policy_from(args, planes));
-    let mut sim = Simulator::new(&pnet.net, SimConfig::default());
+    let cfg = SimConfig {
+        telemetry: telemetry_from(args),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&pnet.net, cfg);
     for (i, (a, b)) in tm::permutation_pairs(n, seed).into_iter().enumerate() {
         let (routes, cc) = selector.select(
             &pnet.net,
@@ -261,6 +298,21 @@ fn cmd_simulate(args: &Args) {
         sim.records.iter().map(|r| r.retransmits).sum::<u64>(),
         sim.events_dispatched()
     );
+    if let Some(path) = args.get_str("trace-out") {
+        let tl = sim
+            .telemetry()
+            .expect("telemetry is enabled whenever --trace-out is given");
+        let body = if path.ends_with(".csv") {
+            tl.to_csv()
+        } else {
+            tl.to_jsonl()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("trace: {} records -> {path}", tl.len());
+    }
 }
 
 fn cmd_components(args: &Args) {

@@ -211,3 +211,54 @@ fn different_seeds_give_different_heterogeneous_planes() {
     };
     assert_ne!(fabric(&a), fabric(&b));
 }
+
+#[test]
+fn telemetry_trace_is_deterministic_and_inert() {
+    // Two telemetry-on runs must export byte-identical JSONL, and turning
+    // telemetry on must not move a single flow-completion timestamp
+    // relative to a telemetry-off run of the same workload.
+    use pnet::htsim::{SimTime, TelemetryConfig};
+    let run_once = |telemetry: TelemetryConfig| -> (Vec<u64>, String) {
+        let pnet = spec().build();
+        let mut selector = pnet.selector(PathPolicy::paper_default(16));
+        let cfg = SimConfig {
+            telemetry,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&pnet.net, cfg);
+        for (i, (a, b)) in tm::permutation_pairs(32, 6).into_iter().enumerate() {
+            let (routes, cc) = selector.select(
+                &pnet.net,
+                HostId(a as u32),
+                HostId(b as u32),
+                i as u64,
+                500_000,
+            );
+            sim.start_flow(FlowSpec {
+                src: HostId(a as u32),
+                dst: HostId(b as u32),
+                size_bytes: 500_000,
+                routes,
+                cc,
+                owner_tag: i as u64,
+            });
+        }
+        run_to_completion(&mut sim);
+        let mut fcts: Vec<(u64, u64)> = sim
+            .records
+            .iter()
+            .map(|r| (r.owner_tag, r.fct().as_ps()))
+            .collect();
+        fcts.sort_unstable();
+        let jsonl = sim.telemetry().map(|t| t.to_jsonl()).unwrap_or_default();
+        (fcts.into_iter().map(|(_, f)| f).collect(), jsonl)
+    };
+    let on = TelemetryConfig::all(SimTime::from_us(20));
+    let (fcts_a, jsonl_a) = run_once(on);
+    let (fcts_b, jsonl_b) = run_once(on);
+    assert_eq!(fcts_a, fcts_b, "telemetry-on runs diverged");
+    assert_eq!(jsonl_a, jsonl_b, "trace export not byte-identical");
+    assert!(!jsonl_a.is_empty());
+    let (fcts_off, _) = run_once(TelemetryConfig::default());
+    assert_eq!(fcts_a, fcts_off, "telemetry perturbed the simulation");
+}

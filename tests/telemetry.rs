@@ -1,0 +1,256 @@
+//! Telemetry-layer contract tests: tracing must never perturb the
+//! simulation (telemetry-on results are identical to telemetry-off), the
+//! exported JSONL/CSV must be byte-identical across runs, and category
+//! filters must admit exactly the events they name.
+
+use pnet::htsim::{
+    run_to_completion, CcAlgo, EventMask, FlowSpec, SimConfig, SimTime, Simulator, TelemetryConfig,
+    TraceRecord,
+};
+use pnet::routing::{host_route, RouteAlgo, Router};
+use pnet::topology::{
+    assemble_homogeneous, FatTree, HostId, LinkId, LinkProfile, Network, PlaneId,
+};
+
+fn net(planes: usize) -> Network {
+    assemble_homogeneous(
+        &FatTree::three_tier(4),
+        planes,
+        &LinkProfile::paper_default(),
+    )
+}
+
+fn route(net: &Network, src: HostId, dst: HostId, plane: u16) -> Vec<LinkId> {
+    let router = Router::new(net, RouteAlgo::Ksp { k: 2 });
+    let p = router.paths_in_plane(PlaneId(plane), net.rack_of_host(src), net.rack_of_host(dst))[0]
+        .clone();
+    host_route(net, src, dst, &p).unwrap()
+}
+
+/// A fixed multi-flow workload: 6 flows fanning into two destination racks
+/// across both planes, enough traffic to queue, mark, and (with small
+/// buffers) drop.
+fn workload(n: &Network, sim: &mut Simulator) {
+    for i in 0..6u32 {
+        let (src, dst) = (HostId(i), HostId(15 - (i % 2)));
+        sim.start_flow(FlowSpec {
+            src,
+            dst,
+            size_bytes: 300_000,
+            routes: vec![route(n, src, dst, (i % 2) as u16)],
+            cc: CcAlgo::Reno,
+            owner_tag: u64::from(i),
+        });
+    }
+}
+
+fn fct_vector(sim: &Simulator) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = sim
+        .records
+        .iter()
+        .map(|r| (r.owner_tag, r.fct().as_ps()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    // The whole point of the observer design: switching every trace
+    // category and the sampler on must not move a single timestamp.
+    let n = net(2);
+    let run_with = |telemetry: TelemetryConfig| -> (Vec<(u64, u64)>, u64) {
+        let cfg = SimConfig {
+            telemetry,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&n, cfg);
+        workload(&n, &mut sim);
+        run_to_completion(&mut sim);
+        (fct_vector(&sim), sim.dropped_packets)
+    };
+    let off = run_with(TelemetryConfig::default());
+    let on = run_with(TelemetryConfig::all(SimTime::from_us(10)));
+    assert_eq!(off, on, "telemetry-on run diverged from telemetry-off");
+}
+
+#[test]
+fn telemetry_export_is_byte_identical_across_runs() {
+    let n = net(2);
+    let run_once = || -> (String, String) {
+        let cfg = SimConfig {
+            telemetry: TelemetryConfig::all(SimTime::from_us(10)),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&n, cfg);
+        workload(&n, &mut sim);
+        run_to_completion(&mut sim);
+        let tl = sim.telemetry().expect("telemetry was enabled");
+        assert!(!tl.is_empty());
+        (tl.to_jsonl(), tl.to_csv())
+    };
+    let (jsonl_a, csv_a) = run_once();
+    let (jsonl_b, csv_b) = run_once();
+    assert_eq!(jsonl_a, jsonl_b, "JSONL export not byte-identical");
+    assert_eq!(csv_a, csv_b, "CSV export not byte-identical");
+    // Sanity on shape: JSONL is one object per line, CSV leads with the
+    // legend comments and the fixed header.
+    assert!(jsonl_a
+        .lines()
+        .all(|l| l.starts_with('{') && l.ends_with('}')));
+    let first_data = csv_a
+        .lines()
+        .find(|l| !l.starts_with('#'))
+        .expect("CSV must have a header line");
+    assert_eq!(first_data, "t_ps,event,conn,subflow,link,plane,v0,v1,v2,v3");
+}
+
+#[test]
+fn category_filter_admits_only_named_events() {
+    let n = net(2);
+    let cfg = SimConfig {
+        telemetry: TelemetryConfig {
+            events: EventMask::FLOW_START | EventMask::FLOW_FINISH,
+            sample_interval: None,
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&n, cfg);
+    workload(&n, &mut sim);
+    run_to_completion(&mut sim);
+    let tl = sim.telemetry().expect("telemetry was enabled");
+    // Exactly one start and one finish per flow, nothing else.
+    assert_eq!(tl.len(), 12, "6 flows -> 6 starts + 6 finishes");
+    for rec in tl.records() {
+        assert!(
+            matches!(
+                rec,
+                TraceRecord::FlowStart { .. } | TraceRecord::FlowFinish { .. }
+            ),
+            "unexpected record slipped past the filter: {rec:?}"
+        );
+    }
+    let finishes = tl
+        .records()
+        .iter()
+        .filter(|r| matches!(r, TraceRecord::FlowFinish { .. }))
+        .count();
+    assert_eq!(finishes, 6);
+}
+
+#[test]
+fn link_state_changes_are_traced() {
+    let n = net(2);
+    let cfg = SimConfig {
+        telemetry: TelemetryConfig {
+            events: EventMask::LINK_STATE,
+            sample_interval: None,
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&n, cfg);
+    sim.fail_link(LinkId(3));
+    sim.restore_link(LinkId(3));
+    let tl = sim.telemetry().expect("telemetry was enabled");
+    let recs = tl.records();
+    assert_eq!(recs.len(), 2);
+    assert!(matches!(recs[0], TraceRecord::LinkDown { link: 3, .. }));
+    assert!(matches!(recs[1], TraceRecord::LinkUp { link: 3, .. }));
+}
+
+#[test]
+fn ecn_marks_are_traced_under_dctcp_incast() {
+    let n = net(1);
+    let cfg = SimConfig {
+        ecn_threshold_packets: Some(5),
+        telemetry: TelemetryConfig {
+            events: EventMask::ECN_MARK,
+            sample_interval: None,
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&n, cfg);
+    for i in 0..8u32 {
+        let src = HostId(i);
+        let dst = HostId(15);
+        sim.start_flow(FlowSpec {
+            src,
+            dst,
+            size_bytes: 400_000,
+            routes: vec![route(&n, src, dst, 0)],
+            cc: CcAlgo::Dctcp,
+            owner_tag: u64::from(i),
+        });
+    }
+    run_to_completion(&mut sim);
+    let tl = sim.telemetry().expect("telemetry was enabled");
+    let marks = tl
+        .records()
+        .iter()
+        .filter(|r| matches!(r, TraceRecord::EcnMark { .. }))
+        .count();
+    assert!(marks > 0, "incast past K=5 must mark packets");
+    // Marks carry the buffered depth that tripped the threshold.
+    for rec in tl.records() {
+        if let TraceRecord::EcnMark { buffered_bytes, .. } = rec {
+            assert!(*buffered_bytes >= 5 * 1500, "mark below threshold");
+        }
+    }
+}
+
+#[test]
+fn samplers_emit_queue_plane_and_subflow_records() {
+    let n = net(2);
+    let cfg = SimConfig {
+        telemetry: TelemetryConfig {
+            events: EventMask::SAMPLES,
+            sample_interval: Some(SimTime::from_us(5)),
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&n, cfg);
+    workload(&n, &mut sim);
+    run_to_completion(&mut sim);
+    let tl = sim.telemetry().expect("telemetry was enabled");
+    let (mut queues, mut planes, mut subflows) = (0usize, 0usize, 0usize);
+    let mut last_t = 0u64;
+    for rec in tl.records() {
+        let t = rec.time().as_ps();
+        assert!(t >= last_t, "sampler records out of time order");
+        last_t = t;
+        match rec {
+            TraceRecord::QueueSample { depth_pkts, .. } => {
+                queues += 1;
+                assert!(*depth_pkts > 0, "idle queues are not sampled");
+            }
+            TraceRecord::PlaneSample { utilization, .. } => {
+                planes += 1;
+                assert!(
+                    utilization.is_finite() && *utilization >= 0.0,
+                    "utilization out of range: {utilization}"
+                );
+            }
+            TraceRecord::SubflowSample { cwnd, .. } => {
+                subflows += 1;
+                assert!(*cwnd > 0.0, "live subflow must have a window");
+            }
+            other => panic!("non-sample record slipped past the filter: {other:?}"),
+        }
+    }
+    assert!(queues > 0, "no queue samples recorded");
+    assert!(planes > 0, "no plane samples recorded");
+    assert!(subflows > 0, "no subflow samples recorded");
+    // Once the run drains, the sampler must have shut itself down rather
+    // than ticking forever: the final sample time is bounded by the last
+    // flow finish plus one interval.
+    let last_finish = sim
+        .records
+        .iter()
+        .map(|r| r.finish.as_ps())
+        .max()
+        .expect("flows finished");
+    assert!(
+        last_t <= last_finish + SimTime::from_us(5).as_ps(),
+        "sampler kept running after the network drained"
+    );
+}

@@ -203,6 +203,122 @@ fn single_packet_flows_have_minimal_fct() {
 }
 
 #[test]
+fn dctcp_first_window_spans_initial_flight() {
+    // Regression: `dctcp_window_end` used to start at 0, so the very first
+    // ACK (cum = 1 >= 0) closed a degenerate one-ACK observation window and
+    // EWMA-updated alpha from a single sample. The window end must be seeded
+    // at first transmission to cover the whole initial flight.
+    let n = net(1);
+    let r = route(&n, HostId(0), HostId(15), 0);
+    let mut sim = Simulator::new(&n, SimConfig::default());
+    let id = sim.start_flow(FlowSpec {
+        src: HostId(0),
+        dst: HostId(15),
+        size_bytes: 15_000, // exactly the initial cwnd of 10 packets
+        routes: vec![r],
+        cc: CcAlgo::Dctcp,
+        owner_tag: 0,
+    });
+    // The initial burst (10 packets, no ACKs yet) must all be inside the
+    // first observation window.
+    let sub = &sim.conn(id).subflows[0];
+    assert_eq!(sub.highest_sent, 10);
+    assert_eq!(
+        sub.dctcp_window_end, 10,
+        "first observation window must span the initial flight"
+    );
+    run_to_completion(&mut sim);
+    // Early-alpha trajectory: with no ECN marking, exactly ONE window (the
+    // seeded 10-packet one) closes over this transfer, so alpha decays by a
+    // single EWMA step: 1.0 * (1 - 1/16) = 0.9375. The pre-fix code closed
+    // an extra degenerate window on the first ACK, landing at 0.9375^2.
+    let alpha = sim.conn(id).subflows[0].dctcp_alpha;
+    assert!(
+        (alpha - 0.9375).abs() < 1e-12,
+        "early alpha trajectory off: {alpha} != 0.9375"
+    );
+}
+
+#[test]
+fn dctcp_counts_marks_carried_by_dupacks() {
+    // Regression: the dupack branch of `on_ack` used to ignore ECN-Echo, so
+    // marks carried by duplicate ACKs vanished from DCTCP's marked-fraction
+    // accounting exactly when the network was congested enough to drop.
+    // Force the situation: a deep incast into one host with a small buffer
+    // (drops -> dupacks) and a low ECN threshold (the surviving packets
+    // behind each hole are CE-marked, so their dupacks carry ECE).
+    let n = net(1);
+    let mut cfg = SimConfig {
+        ecn_threshold_packets: Some(5),
+        ..SimConfig::default()
+    };
+    cfg.queue_bytes = 20 * 1500;
+    let mut sim = Simulator::new(&n, cfg);
+    let dst = HostId(15);
+    let mut ids = Vec::new();
+    for h in 0..12u32 {
+        let src = HostId(h);
+        let r = route(&n, src, dst, 0);
+        ids.push(sim.start_flow(FlowSpec {
+            src,
+            dst,
+            size_bytes: 600_000,
+            routes: vec![r],
+            cc: CcAlgo::Dctcp,
+            owner_tag: h as u64,
+        }));
+    }
+    run_to_completion(&mut sim);
+    assert!(sim.dropped_packets > 0, "incast must overflow the buffer");
+    let dupack_marks: u64 = ids
+        .iter()
+        .map(|&id| {
+            sim.conn(id)
+                .subflows
+                .iter()
+                .map(|s| s.dctcp_dupack_marks)
+                .sum::<u64>()
+        })
+        .sum();
+    assert!(
+        dupack_marks > 0,
+        "marked dupacks must enter DCTCP's accounting"
+    );
+}
+
+#[test]
+fn flow_record_reports_requested_bytes() {
+    // Regression: FlowRecord.size_bytes used to round the transfer up to
+    // whole MTUs, overstating goodput for small flows (a 64-byte RPC
+    // reported as 1500 bytes = 23x).
+    let n = net(1);
+    let mut sim = Simulator::new(&n, SimConfig::default());
+    for (i, size) in [1_000u64, 3_001, 1_500].into_iter().enumerate() {
+        let r = route(&n, HostId(i as u32), HostId(15), 0);
+        sim.start_flow(FlowSpec {
+            src: HostId(i as u32),
+            dst: HostId(15),
+            size_bytes: size,
+            routes: vec![r],
+            cc: CcAlgo::Reno,
+            owner_tag: size,
+        });
+    }
+    run_to_completion(&mut sim);
+    assert_eq!(sim.records.len(), 3);
+    for rec in &sim.records {
+        assert_eq!(
+            rec.size_bytes, rec.owner_tag,
+            "record must report the requested size, not the MTU-rounded one"
+        );
+        let gput = pnet::htsim::metrics::goodput_gbps(rec);
+        assert!(gput > 0.0 && gput.is_finite());
+        // No goodput above the 100G line rate once sizes are honest.
+        assert!(gput < 100.0, "goodput {gput} Gb/s exceeds line rate");
+    }
+}
+
+#[test]
 fn queue_stats_account_every_packet() {
     let n = net(1);
     let mut sim = Simulator::new(&n, SimConfig::default());
