@@ -17,7 +17,7 @@
 //!                  [--kway 4] [--single] [--uncoupled] [--sweep-cutoff]
 //!                  [--csv]`
 
-use pnet_bench::{banner, f3, human_bytes, setups, Args, Table};
+use pnet_bench::{banner, f3, human_bytes, min_index_total, setups, Args, Table};
 use pnet_core::{PathPolicy, TopologyKind};
 use pnet_htsim::{metrics, run_to_completion, CcAlgo, FlowSpec, SimConfig, Simulator};
 use pnet_topology::{HostId, NetworkClass};
@@ -114,13 +114,9 @@ fn main() {
             vals.push(fct);
             row.push(format!("{fct:.1}us"));
         }
-        let best = classes[vals
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0]
-            .label();
+        let best = classes
+            [min_index_total(&vals).expect("invariant: one fct per class, classes non-empty")]
+        .label();
         row.push(best.to_string());
         table.row(row);
 

@@ -10,4 +10,4 @@ pub mod report;
 pub mod setups;
 
 pub use args::Args;
-pub use report::{banner, f3, human_bytes, pct, Table};
+pub use report::{banner, f3, human_bytes, min_index_total, pct, Table};

@@ -83,6 +83,16 @@ pub fn human_bytes(b: u64) -> String {
     }
 }
 
+/// Index of the smallest value under `f64::total_cmp`. Total order means a
+/// NaN (which sorts above every number) can never win the comparison or
+/// panic a `partial_cmp().unwrap()`; `None` only for an empty slice.
+pub fn min_index_total(vals: &[f64]) -> Option<usize> {
+    vals.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
 /// Print an experiment banner.
 pub fn banner(title: &str, detail: &str) {
     println!("=== {title} ===");
@@ -121,5 +131,15 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(80.1, 100.0), "80.1%");
+    }
+
+    #[test]
+    fn min_index_total_survives_nan() {
+        // The `partial_cmp().unwrap()` this replaced panicked on any NaN;
+        // under total_cmp a NaN sorts above every number and simply loses.
+        assert_eq!(min_index_total(&[3.0, f64::NAN, 1.0, 2.0]), Some(2));
+        assert_eq!(min_index_total(&[f64::NAN, f64::NAN]), Some(0));
+        assert_eq!(min_index_total(&[2.0, 1.0, 1.0]), Some(1));
+        assert_eq!(min_index_total(&[]), None);
     }
 }

@@ -85,7 +85,7 @@ impl AdaptiveBalancer {
 /// Ideal FCT (microseconds) of `bytes` at `bottleneck_bps` — the slowdown
 /// denominator used with [`AdaptiveBalancer::report`].
 pub fn ideal_fct_us(bytes: u64, bottleneck_bps: u64) -> f64 {
-    bytes as f64 * 8.0 / bottleneck_bps as f64 * 1e6
+    pnet_htsim::transfer_us_f64(bytes, bottleneck_bps)
 }
 
 #[cfg(test)]

@@ -106,6 +106,22 @@ impl PNetSpec {
     }
 }
 
+/// The KSP route-table width `policy` needs: wide enough for any built-in
+/// policy (floor 32), recursing into the wrapper variants so a nested
+/// `MultipathKsp { k > 32 }` is never truncated.
+fn ksp_width(policy: &PathPolicy) -> usize {
+    match policy {
+        PathPolicy::EcmpHash
+        | PathPolicy::RoundRobin
+        | PathPolicy::ShortestPlane
+        | PathPolicy::PlaneKsp { .. }
+        | PathPolicy::DisjointPerPlane { .. } => 32,
+        PathPolicy::MultipathKsp { k } => (*k).max(32),
+        PathPolicy::SizeThreshold { small, large, .. } => ksp_width(small).max(ksp_width(large)),
+        PathPolicy::Pinned { inner, .. } => ksp_width(inner),
+    }
+}
+
 /// An assembled P-Net.
 pub struct PNet {
     pub spec: PNetSpec,
@@ -131,14 +147,7 @@ impl PNet {
     /// A path selector for `policy`, backed by a KSP router wide enough for
     /// any of the built-in policies (`k = max(32, policy k)`).
     pub fn selector(&self, policy: PathPolicy) -> PathSelector {
-        let k = match &policy {
-            PathPolicy::MultipathKsp { k } => (*k).max(32),
-            PathPolicy::SizeThreshold { large, .. } => match **large {
-                PathPolicy::MultipathKsp { k } => k.max(32),
-                _ => 32,
-            },
-            _ => 32,
-        };
+        let k = ksp_width(&policy);
         PathSelector::new(self.router(RouteAlgo::Ksp { k }), policy)
     }
 
@@ -156,7 +165,9 @@ impl PNet {
                 NetworkClass::ParallelHomogeneous,
                 NetworkClass::SerialHigh,
             ],
-            _ => NetworkClass::all().to_vec(),
+            TopologyKind::Jellyfish { .. } | TopologyKind::Xpander { .. } => {
+                NetworkClass::all().to_vec()
+            }
         };
         classes
             .into_iter()

@@ -312,13 +312,10 @@ impl PathSelector {
     /// via link status and avoid using the broken dataplane(s)").
     fn usable_plane(&self, net: &Network, src: HostId, dst: HostId, preferred: PlaneId) -> PlaneId {
         let n = net.n_planes();
-        for off in 0..n {
-            let p = PlaneId((preferred.0 + off) % n);
-            if self.plane_usable(net, src, dst, p) {
-                return p;
-            }
-        }
-        panic!("no plane connects {src} and {dst}");
+        (0..n)
+            .map(|off| PlaneId((preferred.0 + off) % n))
+            .find(|&p| self.plane_usable(net, src, dst, p))
+            .expect("invariant: assembled multi-plane networks keep every host pair connected")
     }
 
     fn expand(&self, net: &Network, src: HostId, dst: HostId, paths: &[Path]) -> Vec<Vec<LinkId>> {

@@ -142,6 +142,40 @@ mod tests {
     use super::*;
 
     #[test]
+    fn event_partial_ord_is_consistent_with_ord_and_eq() {
+        use std::cmp::Ordering;
+        let ev = |t: u64, seq: u64| Event {
+            time: SimTime::from_ps(t),
+            seq,
+            kind: EventKind::TelemetrySample,
+        };
+        // Same (time, seq) with different kinds still compares Equal — the
+        // queue orders purely on (time, seq).
+        let same = Event {
+            time: SimTime::from_ps(10),
+            seq: 1,
+            kind: EventKind::AppTimer { app: 0, tag: 0 },
+        };
+        let cases = [ev(10, 1), ev(10, 2), ev(20, 0), same];
+        for x in &cases {
+            for y in &cases {
+                assert_eq!(
+                    x.partial_cmp(y),
+                    Some(x.cmp(y)),
+                    "PartialOrd must delegate to Ord"
+                );
+                assert_eq!(
+                    x == y,
+                    x.cmp(y) == Ordering::Equal,
+                    "Eq must agree with Ord"
+                );
+            }
+        }
+        assert!(ev(10, 1) < ev(10, 2), "seq breaks time ties");
+        assert!(ev(10, 2) < ev(20, 0), "time dominates");
+    }
+
+    #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_us(3), EventKind::AppTimer { app: 3, tag: 0 });

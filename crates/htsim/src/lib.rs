@@ -62,4 +62,4 @@ pub use sim::{
 };
 pub use tcp::{CcAlgo, TcpConfig};
 pub use telemetry::{EventMask, Telemetry, TelemetryConfig, TraceRecord};
-pub use time::SimTime;
+pub use time::{serialization_ps, transfer_us_f64, SimTime};

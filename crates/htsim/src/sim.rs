@@ -446,7 +446,7 @@ impl Simulator {
             let q = &self.queues[l.reverse().index()];
             rtt_ps += q.delay_ps + serialization_ps(ACK_BYTES, q.rate_bps);
         }
-        let bdp_bits = rtt_ps as f64 / 1e12 * bottleneck as f64;
+        let bdp_bits = SimTime::from_ps(rtt_ps).as_secs_f64() * bottleneck as f64;
         let bdp_packets = (bdp_bits / 8.0 / MTU_BYTES as f64).ceil();
         let buffer_packets = (self.cfg.queue_bytes / MTU_BYTES as u64) as f64;
         (bdp_packets + buffer_packets).max(2.0)

@@ -139,6 +139,14 @@ impl fmt::Display for SimTime {
     }
 }
 
+/// Ideal transfer time of `bytes` at `rate_bps` in fractional microseconds —
+/// exact float math (unlike [`serialization_ps`], which rounds up to whole
+/// picoseconds), for use as an FCT/slowdown denominator.
+#[inline]
+pub fn transfer_us_f64(bytes: u64, rate_bps: u64) -> f64 {
+    bytes as f64 * 8.0 / rate_bps as f64 * 1e6
+}
+
 /// Serialization time of `bytes` at `rate_bps`, in picoseconds (rounded up —
 /// a partial picosecond still occupies the wire).
 #[inline]

@@ -1,0 +1,22 @@
+//! M1 fixtures: wildcard arms over workspace enums.
+
+pub enum Phase {
+    Start,
+    Run,
+    Done,
+}
+
+pub fn code(p: Phase) -> u32 {
+    match p {
+        Phase::Start => 0,
+        _ => 1,
+    }
+}
+
+pub fn code_waived(p: Phase) -> u32 {
+    match p {
+        Phase::Start => 0,
+        // pnet-tidy: allow(M1) -- fixture: intentionally collapsed arms
+        _ => 1,
+    }
+}

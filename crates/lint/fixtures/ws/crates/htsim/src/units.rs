@@ -1,0 +1,14 @@
+//! U1 fixtures: raw unit constructors and inline conversion constants.
+
+pub fn raw_ctor() -> SimTime {
+    SimTime(5)
+}
+
+pub fn fct_to_us(fct_ps: u64) -> f64 {
+    fct_ps as f64 / 1e6
+}
+
+pub fn fct_to_us_waived(fct_ps: u64) -> f64 {
+    // pnet-tidy: allow(U1) -- fixture: this is the checked helper itself
+    fct_ps as f64 / 1e6
+}

@@ -1,0 +1,24 @@
+//! P1 fixtures: panic-path propagation and its two waiver flavours —
+//! at the public surface, and at the panic site (origin).
+
+fn helper_unchecked(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn head(v: &[u32]) -> u32 {
+    helper_unchecked(v)
+}
+
+// pnet-tidy: allow(P1) -- fixture: waived at the public surface
+pub fn head_waived(v: &[u32]) -> u32 {
+    helper_unchecked(v)
+}
+
+fn helper_waived(v: &[u32]) -> u32 {
+    // pnet-tidy: allow(C1, P1) -- fixture: callers guarantee non-empty
+    *v.first().unwrap()
+}
+
+pub fn quiet(v: &[u32]) -> u32 {
+    helper_waived(v)
+}

@@ -1,0 +1,2790 @@
+//! A lightweight Rust AST and recursive-descent parser over [`crate::lexer`]
+//! tokens — the second phase of `pnet-tidy`'s two-phase analysis.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Never get lost.** The parser must consume every workspace `.rs` file
+//!    without structural errors (`tests/parser_corpus.rs` pins that claim).
+//!    Unknown constructs degrade to [`ExprKind::Opaque`] / [`ItemKind::Other`]
+//!    instead of failing; parse errors are reserved for genuine breakage
+//!    (unbalanced delimiters, truncated items) and surface as `E1` findings.
+//! 2. **Capture what the semantic rules need.** Items, `fn` signatures and
+//!    bodies, `match`/`if`/`for`/`while` structure, method-call chains, paths,
+//!    literals with suffixes, patterns (deep enough to see enum-variant paths
+//!    inside tuple/struct patterns), and `use` aliases for
+//!    name-resolution-lite.
+//! 3. **Stay dependency-free.** No `syn`, no `proc-macro2`; macro invocation
+//!    bodies are kept as raw token ranges (rules do not see inside macros —
+//!    a documented limitation).
+//!
+//! Every node carries `[lo, hi]` token indices into the caller's token
+//! slice, so rules report exact line:col spans.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A structural parse failure (reported as rule `E1` by the driver).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// Parse result for one file.
+#[derive(Debug, Default)]
+pub struct Ast {
+    pub items: Vec<Item>,
+    pub errors: Vec<ParseError>,
+}
+
+/// One item, with its token span.
+#[derive(Debug)]
+pub struct Item {
+    pub lo: usize,
+    pub hi: usize,
+    pub kind: ItemKind,
+}
+
+#[derive(Debug)]
+pub enum ItemKind {
+    Fn(FnItem),
+    Struct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<String>,
+    },
+    Impl(ImplItem),
+    Trait {
+        name: String,
+        items: Vec<Item>,
+    },
+    Mod {
+        name: String,
+        items: Option<Vec<Item>>,
+    },
+    Use {
+        bindings: Vec<UseBinding>,
+    },
+    Const {
+        name: String,
+        init: Option<Expr>,
+    },
+    Static {
+        name: String,
+        init: Option<Expr>,
+    },
+    TypeAlias {
+        name: String,
+    },
+    MacroDef {
+        name: String,
+    },
+    MacroCall {
+        path: Vec<String>,
+    },
+    ExternCrate {
+        name: String,
+    },
+    Other,
+}
+
+/// `impl [Trait for] Type { items }` — names are the last path segment at
+/// angle-depth 0 (`impl fmt::Display for SimTime` ⇒ trait `Display`, type
+/// `SimTime`).
+#[derive(Debug)]
+pub struct ImplItem {
+    pub self_ty: String,
+    pub of_trait: Option<String>,
+    pub items: Vec<Item>,
+}
+
+/// One flattened `use` binding: the full path and the name it binds locally
+/// (`use a::b::{c as d}` ⇒ path `[a, b, c]`, alias `d`; globs get alias `*`).
+#[derive(Debug, Clone)]
+pub struct UseBinding {
+    pub path: Vec<String>,
+    pub alias: String,
+}
+
+/// A type reference: the identifiers that appear in it plus its token span.
+/// Types are deliberately kept as ident bags — enough for unit/float seeding
+/// without a full type grammar.
+#[derive(Debug, Clone, Default)]
+pub struct TyRef {
+    pub idents: Vec<String>,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Token index of the name (span anchor for P1 findings).
+    pub name_tok: usize,
+    pub is_pub: bool,
+    pub params: Vec<Param>,
+    pub ret: Option<TyRef>,
+    /// `None` for bodyless trait-method declarations.
+    pub body: Option<Block>,
+}
+
+#[derive(Debug)]
+pub struct Param {
+    /// Binding name when the pattern is a plain binding (`x: u32`); `self`
+    /// for receivers; `None` for destructuring patterns.
+    pub name: Option<String>,
+    pub ty: Option<TyRef>,
+}
+
+#[derive(Debug)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+#[derive(Debug)]
+pub enum Stmt {
+    Let {
+        pat: Pat,
+        ty: Option<TyRef>,
+        init: Option<Expr>,
+        /// `let ... else { ... }` diverging block.
+        els: Option<Block>,
+    },
+    Item(Item),
+    /// Expression statement (with or without a trailing `;`).
+    Expr(Expr),
+    Empty,
+}
+
+#[derive(Debug)]
+pub struct Expr {
+    pub lo: usize,
+    pub hi: usize,
+    pub kind: ExprKind,
+}
+
+#[derive(Debug)]
+pub enum ExprKind {
+    /// Literal; the token carries kind (Int/Float/Str) and text with suffix.
+    Lit,
+    /// `true`/`false`.
+    BoolLit,
+    Path(Vec<String>),
+    MethodCall {
+        recv: Box<Expr>,
+        name: String,
+        /// Token index of the method name (span anchor).
+        name_tok: usize,
+        args: Vec<Expr>,
+    },
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+    },
+    Field {
+        recv: Box<Expr>,
+        name: String,
+    },
+    Index {
+        recv: Box<Expr>,
+        index: Box<Expr>,
+    },
+    Binary {
+        op: String,
+        op_tok: usize,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Unary {
+        op: String,
+        expr: Box<Expr>,
+    },
+    Ref {
+        expr: Box<Expr>,
+    },
+    Try {
+        expr: Box<Expr>,
+    },
+    Cast {
+        expr: Box<Expr>,
+        ty: TyRef,
+    },
+    Match {
+        scrutinee: Box<Expr>,
+        arms: Vec<Arm>,
+    },
+    If {
+        cond: Box<Expr>,
+        then: Block,
+        els: Option<Box<Expr>>,
+    },
+    While {
+        cond: Box<Expr>,
+        body: Block,
+    },
+    For {
+        pat: Pat,
+        iter: Box<Expr>,
+        body: Block,
+    },
+    Loop {
+        body: Block,
+    },
+    Block(Block),
+    Closure {
+        body: Box<Expr>,
+    },
+    /// `path!(...)` / `path![...]` / `path! {...}`; the body is the raw
+    /// token range between (and excluding) the delimiters.
+    Macro {
+        path: Vec<String>,
+        body_lo: usize,
+        body_hi: usize,
+    },
+    StructLit {
+        path: Vec<String>,
+        fields: Vec<(String, Option<Expr>)>,
+        rest: Option<Box<Expr>>,
+    },
+    Tuple(Vec<Expr>),
+    Array(Vec<Expr>),
+    Range {
+        start: Option<Box<Expr>>,
+        end: Option<Box<Expr>>,
+    },
+    Return(Option<Box<Expr>>),
+    Break(Option<Box<Expr>>),
+    Continue,
+    /// `let PAT = EXPR` in `if let` / `while let` conditions.
+    CondLet {
+        pat: Pat,
+        expr: Box<Expr>,
+    },
+    Opaque,
+}
+
+#[derive(Debug)]
+pub struct Arm {
+    pub pat: Pat,
+    pub guard: Option<Expr>,
+    pub body: Expr,
+}
+
+#[derive(Debug)]
+pub struct Pat {
+    pub lo: usize,
+    pub hi: usize,
+    pub kind: PatKind,
+}
+
+#[derive(Debug)]
+pub enum PatKind {
+    Wild,
+    /// Unit path pattern (`EventKind::Arrival`, `None`).
+    Path(Vec<String>),
+    /// `Path(sub, ...)`.
+    TupleStruct(Vec<String>, Vec<Pat>),
+    /// `Path { field: pat, .. }`.
+    Struct(Vec<String>, Vec<Pat>),
+    /// Lowercase single-segment binding, optionally `name @ sub`.
+    Binding(String, Option<Box<Pat>>),
+    Lit,
+    Tuple(Vec<Pat>),
+    Slice(Vec<Pat>),
+    Ref(Box<Pat>),
+    Or(Vec<Pat>),
+    Range,
+    Rest,
+    Opaque,
+}
+
+/// Parse a token stream into an [`Ast`].
+pub fn parse(tokens: &[Token]) -> Ast {
+    let mut p = Parser {
+        t: tokens,
+        i: 0,
+        errors: Vec::new(),
+    };
+    let mut items = Vec::new();
+    p.skip_inner_attrs();
+    while !p.eof() {
+        let before = p.i;
+        items.push(p.parse_item());
+        if p.i == before {
+            // Safety valve: an item parser that consumed nothing would loop
+            // forever. Record and skip the offending token.
+            p.error("unexpected token at item position");
+            p.i += 1;
+        }
+    }
+    Ast {
+        items,
+        errors: p.errors,
+    }
+}
+
+/// Keywords that begin an item in statement position.
+fn is_item_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "fn" | "use"
+            | "struct"
+            | "enum"
+            | "impl"
+            | "trait"
+            | "mod"
+            | "static"
+            | "macro_rules"
+            | "extern"
+            | "pub"
+    )
+}
+
+struct Parser<'a> {
+    t: &'a [Token],
+    i: usize,
+    errors: Vec<ParseError>,
+}
+
+impl<'a> Parser<'a> {
+    fn eof(&self) -> bool {
+        self.i >= self.t.len()
+    }
+
+    fn tok(&self, k: usize) -> Option<&'a Token> {
+        self.t.get(self.i + k)
+    }
+
+    fn txt(&self, k: usize) -> &'a str {
+        self.tok(k).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn kind(&self, k: usize) -> Option<TokenKind> {
+        self.tok(k).map(|t| t.kind)
+    }
+
+    /// Token text for structural matching: literal tokens (string / numeric)
+    /// never match. Without this, a string literal `"*"` (whose token text is
+    /// the *contents*, `*`) would parse as a deref operator, and a `"("`
+    /// inside a macro body would desynchronise `skip_balanced`.
+    fn op_txt(&self, k: usize) -> &'a str {
+        match self.kind(k) {
+            Some(TokenKind::Punct) | Some(TokenKind::Ident) | Some(TokenKind::Lifetime) => {
+                self.txt(k)
+            }
+            _ => "",
+        }
+    }
+
+    fn at(&self, s: &str) -> bool {
+        self.op_txt(0) == s
+    }
+
+    fn bump(&mut self) -> usize {
+        let i = self.i;
+        if self.i < self.t.len() {
+            self.i += 1;
+        }
+        i
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.at(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&mut self, message: &str) {
+        let (line, col) = self
+            .tok(0)
+            .or_else(|| self.t.last())
+            .map(|t| (t.line, t.col))
+            .unwrap_or((1, 1));
+        self.errors.push(ParseError {
+            line,
+            col,
+            message: format!("{message} (near `{}`)", self.txt(0)),
+        });
+    }
+
+    fn expect(&mut self, s: &str, what: &str) -> bool {
+        if self.eat(s) {
+            true
+        } else {
+            self.error(&format!("expected `{s}` {what}"));
+            false
+        }
+    }
+
+    /// Last consumed token index (for `hi` spans).
+    fn prev(&self) -> usize {
+        self.i.saturating_sub(1)
+    }
+
+    // ------------------------------------------------------------------
+    // Trivia
+    // ------------------------------------------------------------------
+
+    /// Skip `#[...]` outer attributes.
+    fn skip_outer_attrs(&mut self) {
+        while self.at("#") && self.op_txt(1) == "[" {
+            self.bump(); // #
+            self.skip_balanced("[", "]");
+        }
+    }
+
+    /// Skip `#![...]` inner attributes.
+    fn skip_inner_attrs(&mut self) {
+        while self.at("#") && self.op_txt(1) == "!" && self.op_txt(2) == "[" {
+            self.bump(); // #
+            self.bump(); // !
+            self.skip_balanced("[", "]");
+        }
+    }
+
+    /// Skip a balanced `open ... close` region starting at `open`.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        if !self.at(open) {
+            return;
+        }
+        let mut depth = 0i32;
+        while !self.eof() {
+            let t = self.op_txt(0);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+            }
+            self.bump();
+            if depth == 0 {
+                return;
+            }
+        }
+        self.error(&format!("unbalanced `{open}` (EOF before `{close}`)"));
+    }
+
+    /// Skip a generic parameter/argument list starting at `<`. Handles the
+    /// `>>` double-close token.
+    fn skip_angles(&mut self) {
+        if !self.at("<") {
+            return;
+        }
+        let mut depth = 0i32;
+        while !self.eof() {
+            match self.op_txt(0) {
+                "<" | "<<" => depth += if self.txt(0) == "<<" { 2 } else { 1 },
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                ">=" | ">>=" => depth -= if self.txt(0) == ">>=" { 2 } else { 1 },
+                _ => {}
+            }
+            self.bump();
+            if depth <= 0 {
+                return;
+            }
+        }
+        self.error("unbalanced `<` in generics (EOF before `>`)");
+    }
+
+    /// Skip a `where` clause: everything up to a depth-0 `{` or `;`.
+    fn skip_where(&mut self) {
+        if !self.eat("where") {
+            return;
+        }
+        let mut angle = 0i32;
+        let mut depth = 0i32;
+        while !self.eof() {
+            match self.op_txt(0) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" | ";" if depth == 0 && angle <= 0 => return,
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Scan a type, collecting its identifiers. Stops at a depth-0 token in
+    /// `stops` (delimiter depths and angle depth both tracked).
+    fn scan_type(&mut self, stops: &[&str]) -> TyRef {
+        let lo = self.i;
+        let mut idents = Vec::new();
+        let mut angle = 0i32;
+        let mut depth = 0i32;
+        while !self.eof() {
+            let t = self.op_txt(0);
+            if depth == 0 && angle <= 0 && stops.contains(&t) {
+                break;
+            }
+            match t {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    if depth == 0 {
+                        break; // closing an outer delimiter: past the type
+                    }
+                    depth -= 1;
+                }
+                "{" | "}" => break, // types never contain bare braces here
+                _ => {}
+            }
+            if self.kind(0) == Some(TokenKind::Ident) {
+                idents.push(self.txt(0).to_string());
+            }
+            self.bump();
+        }
+        TyRef {
+            idents,
+            lo,
+            hi: self.prev().max(lo),
+        }
+    }
+
+    /// Scan the type after `as` in a cast: a conservative greedy scan that
+    /// stops at anything that cannot continue a type in expression position.
+    fn scan_cast_type(&mut self) -> TyRef {
+        let lo = self.i;
+        let mut idents = Vec::new();
+        loop {
+            let t = self.op_txt(0);
+            let k = self.kind(0);
+            match t {
+                "::" => {
+                    self.bump();
+                    continue;
+                }
+                "&" | "dyn" | "mut" => {
+                    self.bump();
+                    continue;
+                }
+                "<" => {
+                    self.skip_angles();
+                    continue;
+                }
+                "(" => {
+                    self.skip_balanced("(", ")");
+                    continue;
+                }
+                "[" => {
+                    self.skip_balanced("[", "]");
+                    continue;
+                }
+                _ => {}
+            }
+            match k {
+                Some(TokenKind::Ident) if t != "as" => {
+                    idents.push(t.to_string());
+                    self.bump();
+                    // An ident ends the type unless a path/generic follows.
+                    if !matches!(self.txt(0), "::" | "<") {
+                        break;
+                    }
+                }
+                Some(TokenKind::Lifetime) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        TyRef {
+            idents,
+            lo,
+            hi: self.prev().max(lo),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Items
+    // ------------------------------------------------------------------
+
+    fn parse_item(&mut self) -> Item {
+        let lo = self.i;
+        self.skip_outer_attrs();
+        self.skip_inner_attrs();
+        if self.eof() {
+            return Item {
+                lo,
+                hi: lo,
+                kind: ItemKind::Other,
+            };
+        }
+        let mut is_pub = false;
+        if self.eat("pub") {
+            is_pub = true;
+            if self.at("(") {
+                self.skip_balanced("(", ")"); // pub(crate), pub(super), pub(in ..)
+            }
+        }
+        // Fn qualifiers.
+        while (self.at("const") && self.txt(1) == "fn")
+            || (self.at("unsafe") && matches!(self.txt(1), "fn" | "impl" | "trait"))
+            || (self.at("async") && self.txt(1) == "fn")
+            || (self.at("extern") && self.kind(1) == Some(TokenKind::Str) && self.txt(2) == "fn")
+        {
+            self.bump();
+            if self.kind(0) == Some(TokenKind::Str) {
+                self.bump(); // extern "C"
+            }
+        }
+        let kind = match self.txt(0) {
+            "fn" => ItemKind::Fn(self.parse_fn(is_pub)),
+            "use" => self.parse_use(),
+            "struct" | "union" => self.parse_struct(),
+            "enum" => self.parse_enum(),
+            "impl" => self.parse_impl(),
+            "trait" => self.parse_trait(),
+            "mod" => self.parse_mod(),
+            "const" => self.parse_const_or_static(false),
+            "static" => self.parse_const_or_static(true),
+            "type" => self.parse_type_alias(),
+            "macro_rules" => self.parse_macro_def(),
+            "extern" => {
+                // `extern crate x;` or `extern "C" { ... }`.
+                self.bump();
+                if self.eat("crate") {
+                    let name = self.txt(0).to_string();
+                    self.bump();
+                    self.eat(";");
+                    ItemKind::ExternCrate { name }
+                } else {
+                    if self.kind(0) == Some(TokenKind::Str) {
+                        self.bump();
+                    }
+                    if self.at("{") {
+                        self.skip_balanced("{", "}");
+                    } else {
+                        self.eat(";");
+                    }
+                    ItemKind::Other
+                }
+            }
+            _ => {
+                // `path!( ... );` macro invocation item (e.g. `proptest! {}`).
+                if self.kind(0) == Some(TokenKind::Ident)
+                    && (self.txt(1) == "!" || (self.txt(1) == "::" && self.macro_path_ahead()))
+                {
+                    let path = self.parse_path_segments();
+                    if self.eat("!") {
+                        // Optional macro name (`macro_rules`-like invocations
+                        // with an ident before the delimiter).
+                        if self.kind(0) == Some(TokenKind::Ident) {
+                            self.bump();
+                        }
+                        match self.txt(0) {
+                            "{" => self.skip_balanced("{", "}"),
+                            "(" => {
+                                self.skip_balanced("(", ")");
+                                self.eat(";");
+                            }
+                            "[" => {
+                                self.skip_balanced("[", "]");
+                                self.eat(";");
+                            }
+                            _ => self.error("expected macro delimiter"),
+                        }
+                        ItemKind::MacroCall { path }
+                    } else {
+                        self.error("expected item");
+                        ItemKind::Other
+                    }
+                } else {
+                    self.error("expected item");
+                    self.bump();
+                    ItemKind::Other
+                }
+            }
+        };
+        Item {
+            lo,
+            hi: self.prev().max(lo),
+            kind,
+        }
+    }
+
+    /// Is `a::b::...!` ahead (macro invocation item with a path)?
+    fn macro_path_ahead(&self) -> bool {
+        let mut k = 0;
+        while self.kind(k) == Some(TokenKind::Ident) && self.txt(k + 1) == "::" {
+            k += 2;
+        }
+        self.kind(k) == Some(TokenKind::Ident) && self.txt(k + 1) == "!"
+    }
+
+    fn parse_fn(&mut self, is_pub: bool) -> FnItem {
+        self.bump(); // fn
+        let name_tok = self.i;
+        let name = if self.kind(0) == Some(TokenKind::Ident) {
+            let n = self.txt(0).to_string();
+            self.bump();
+            n
+        } else {
+            self.error("expected fn name");
+            String::new()
+        };
+        if self.at("<") {
+            self.skip_angles();
+        }
+        let mut params = Vec::new();
+        if self.expect("(", "to open fn params") {
+            while !self.eof() && !self.at(")") {
+                self.skip_outer_attrs();
+                params.push(self.parse_param());
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect(")", "to close fn params");
+        }
+        let ret = if self.eat("->") {
+            Some(self.scan_type(&["{", ";", "where"]))
+        } else {
+            None
+        };
+        self.skip_where();
+        let body = if self.at("{") {
+            Some(self.parse_block())
+        } else {
+            self.eat(";");
+            None
+        };
+        FnItem {
+            name,
+            name_tok,
+            is_pub,
+            params,
+            ret,
+            body,
+        }
+    }
+
+    fn parse_param(&mut self) -> Param {
+        // Receivers: `self`, `&self`, `&mut self`, `mut self`, `&'a self`.
+        let mut k = 0;
+        while matches!(self.txt(k), "&" | "mut") || self.kind(k) == Some(TokenKind::Lifetime) {
+            k += 1;
+        }
+        if self.txt(k) == "self" {
+            for _ in 0..=k {
+                self.bump();
+            }
+            let ty = if self.eat(":") {
+                Some(self.scan_type(&[",", ")"]))
+            } else {
+                None
+            };
+            return Param {
+                name: Some("self".to_string()),
+                ty,
+            };
+        }
+        let pat = self.parse_pat_single();
+        let name = match &pat.kind {
+            PatKind::Binding(n, _) => Some(n.clone()),
+            _ => None,
+        };
+        let ty = if self.eat(":") {
+            Some(self.scan_type(&[",", ")"]))
+        } else {
+            None
+        };
+        Param { name, ty }
+    }
+
+    fn parse_use(&mut self) -> ItemKind {
+        self.bump(); // use
+        let mut bindings = Vec::new();
+        self.parse_use_tree(&mut Vec::new(), &mut bindings);
+        self.eat(";");
+        ItemKind::Use { bindings }
+    }
+
+    fn parse_use_tree(&mut self, prefix: &mut Vec<String>, out: &mut Vec<UseBinding>) {
+        let depth_at_entry = prefix.len();
+        loop {
+            match self.txt(0) {
+                "{" => {
+                    self.bump();
+                    while !self.eof() && !self.at("}") {
+                        self.parse_use_tree(prefix, out);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.expect("}", "to close use tree");
+                    break;
+                }
+                "*" => {
+                    self.bump();
+                    out.push(UseBinding {
+                        path: prefix.clone(),
+                        alias: "*".to_string(),
+                    });
+                    break;
+                }
+                _ if self.kind(0) == Some(TokenKind::Ident) => {
+                    let seg = self.txt(0).to_string();
+                    self.bump();
+                    prefix.push(seg);
+                    if self.eat("::") {
+                        continue;
+                    }
+                    let alias = if self.eat("as") {
+                        let a = self.txt(0).to_string();
+                        self.bump();
+                        a
+                    } else {
+                        prefix.last().cloned().unwrap_or_default()
+                    };
+                    out.push(UseBinding {
+                        path: prefix.clone(),
+                        alias,
+                    });
+                    break;
+                }
+                _ => {
+                    self.error("expected use tree");
+                    break;
+                }
+            }
+        }
+        prefix.truncate(depth_at_entry);
+    }
+
+    fn parse_struct(&mut self) -> ItemKind {
+        self.bump(); // struct / union
+        let name = self.txt(0).to_string();
+        self.bump();
+        if self.at("<") {
+            self.skip_angles();
+        }
+        self.skip_where();
+        match self.txt(0) {
+            "(" => {
+                self.skip_balanced("(", ")");
+                self.skip_where();
+                self.eat(";");
+            }
+            "{" => self.skip_balanced("{", "}"),
+            _ => {
+                self.eat(";");
+            }
+        }
+        ItemKind::Struct { name }
+    }
+
+    fn parse_enum(&mut self) -> ItemKind {
+        self.bump(); // enum
+        let name = self.txt(0).to_string();
+        self.bump();
+        if self.at("<") {
+            self.skip_angles();
+        }
+        self.skip_where();
+        let mut variants = Vec::new();
+        if self.expect("{", "to open enum body") {
+            while !self.eof() && !self.at("}") {
+                self.skip_outer_attrs();
+                if self.kind(0) != Some(TokenKind::Ident) {
+                    self.error("expected enum variant");
+                    break;
+                }
+                variants.push(self.txt(0).to_string());
+                self.bump();
+                match self.txt(0) {
+                    "(" => self.skip_balanced("(", ")"),
+                    "{" => self.skip_balanced("{", "}"),
+                    _ => {}
+                }
+                if self.eat("=") {
+                    // Discriminant: skip to `,` or `}` at depth 0.
+                    let mut depth = 0i32;
+                    while !self.eof() {
+                        match self.txt(0) {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" if depth > 0 => depth -= 1,
+                            "," | "}" if depth == 0 => break,
+                            _ => {}
+                        }
+                        self.bump();
+                    }
+                }
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect("}", "to close enum body");
+        }
+        ItemKind::Enum { name, variants }
+    }
+
+    fn parse_impl(&mut self) -> ItemKind {
+        self.bump(); // impl
+        if self.at("<") {
+            self.skip_angles();
+        }
+        // Scan the (trait-or-self) type path: track the last depth-0 ident.
+        let first = self.scan_impl_ty();
+        let (of_trait, self_ty) = if self.eat("for") {
+            let st = self.scan_impl_ty();
+            (Some(first), st)
+        } else {
+            (None, first)
+        };
+        self.skip_where();
+        let mut items = Vec::new();
+        if self.expect("{", "to open impl body") {
+            while !self.eof() && !self.at("}") {
+                let before = self.i;
+                items.push(self.parse_item());
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            self.expect("}", "to close impl body");
+        }
+        ItemKind::Impl(ImplItem {
+            self_ty,
+            of_trait,
+            items,
+        })
+    }
+
+    /// Scan a type path in impl-header position; returns the last ident seen
+    /// at angle-depth 0 (the type/trait name).
+    fn scan_impl_ty(&mut self) -> String {
+        let mut name = String::new();
+        let mut angle = 0i32;
+        while !self.eof() {
+            let t = self.txt(0);
+            if angle <= 0 && matches!(t, "for" | "where" | "{") {
+                break;
+            }
+            match t {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                _ => {
+                    if angle == 0 && self.kind(0) == Some(TokenKind::Ident) && t != "dyn" {
+                        name = t.to_string();
+                    }
+                }
+            }
+            self.bump();
+        }
+        name
+    }
+
+    fn parse_trait(&mut self) -> ItemKind {
+        self.bump(); // trait
+        let name = self.txt(0).to_string();
+        self.bump();
+        if self.at("<") {
+            self.skip_angles();
+        }
+        if self.eat(":") {
+            // Supertrait bounds: skip to `{` or `where` at depth 0.
+            let mut angle = 0i32;
+            while !self.eof() {
+                match self.txt(0) {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    "{" | "where" if angle <= 0 => break,
+                    _ => {}
+                }
+                self.bump();
+            }
+        }
+        self.skip_where();
+        let mut items = Vec::new();
+        if self.expect("{", "to open trait body") {
+            while !self.eof() && !self.at("}") {
+                let before = self.i;
+                items.push(self.parse_item());
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            self.expect("}", "to close trait body");
+        }
+        ItemKind::Trait { name, items }
+    }
+
+    fn parse_mod(&mut self) -> ItemKind {
+        self.bump(); // mod
+        let name = self.txt(0).to_string();
+        self.bump();
+        if self.eat(";") {
+            return ItemKind::Mod { name, items: None };
+        }
+        let mut items = Vec::new();
+        if self.expect("{", "to open mod body") {
+            while !self.eof() && !self.at("}") {
+                let before = self.i;
+                items.push(self.parse_item());
+                if self.i == before {
+                    self.bump();
+                }
+            }
+            self.expect("}", "to close mod body");
+        }
+        ItemKind::Mod {
+            name,
+            items: Some(items),
+        }
+    }
+
+    fn parse_const_or_static(&mut self, is_static: bool) -> ItemKind {
+        self.bump(); // const / static
+        self.eat("mut");
+        let name = self.txt(0).to_string();
+        self.bump();
+        self.eat(":");
+        self.scan_type(&["=", ";"]);
+        let init = if self.eat("=") {
+            Some(self.parse_expr(false))
+        } else {
+            None
+        };
+        self.eat(";");
+        if is_static {
+            ItemKind::Static { name, init }
+        } else {
+            ItemKind::Const { name, init }
+        }
+    }
+
+    fn parse_type_alias(&mut self) -> ItemKind {
+        self.bump(); // type
+        let name = self.txt(0).to_string();
+        self.bump();
+        if self.at("<") {
+            self.skip_angles();
+        }
+        if self.eat(":") {
+            self.scan_type(&["=", ";"]); // assoc-type bounds
+        }
+        self.skip_where();
+        if self.eat("=") {
+            self.scan_type(&[";"]);
+        }
+        self.eat(";");
+        ItemKind::TypeAlias { name }
+    }
+
+    fn parse_macro_def(&mut self) -> ItemKind {
+        self.bump(); // macro_rules
+        self.eat("!");
+        let name = self.txt(0).to_string();
+        self.bump();
+        self.skip_balanced("{", "}");
+        ItemKind::MacroDef { name }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocks and statements
+    // ------------------------------------------------------------------
+
+    fn parse_block(&mut self) -> Block {
+        let lo = self.i;
+        if !self.expect("{", "to open block") {
+            return Block {
+                stmts: Vec::new(),
+                lo,
+                hi: lo,
+            };
+        }
+        self.skip_inner_attrs();
+        let mut stmts = Vec::new();
+        while !self.eof() && !self.at("}") {
+            let before = self.i;
+            stmts.push(self.parse_stmt());
+            if self.i == before {
+                self.error("unexpected token in block");
+                self.bump();
+            }
+        }
+        self.expect("}", "to close block");
+        Block {
+            stmts,
+            lo,
+            hi: self.prev().max(lo),
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Stmt {
+        self.skip_outer_attrs();
+        self.skip_inner_attrs();
+        if self.eat(";") {
+            return Stmt::Empty;
+        }
+        if self.at("let") {
+            return self.parse_let();
+        }
+        let t = self.txt(0);
+        let is_item = is_item_keyword(t)
+            || (t == "const" && self.txt(1) != "{")
+            || (t == "type" && self.kind(1) == Some(TokenKind::Ident) && self.txt(2) != ":")
+            || (t == "unsafe" && matches!(self.txt(1), "fn" | "impl" | "trait"));
+        if is_item && self.kind(0) == Some(TokenKind::Ident) {
+            return Stmt::Item(self.parse_item());
+        }
+        let e = self.parse_expr(false);
+        self.eat(";");
+        Stmt::Expr(e)
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        self.bump(); // let
+        let pat = self.parse_pat_single();
+        let ty = if self.eat(":") {
+            Some(self.scan_type(&["=", ";"]))
+        } else {
+            None
+        };
+        let init = if self.eat("=") {
+            Some(self.parse_expr(false))
+        } else {
+            None
+        };
+        let els = if self.eat("else") {
+            Some(self.parse_block())
+        } else {
+            None
+        };
+        self.eat(";");
+        Stmt::Let { pat, ty, init, els }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn parse_expr(&mut self, no_struct: bool) -> Expr {
+        self.parse_bin(0, no_struct)
+    }
+
+    /// Can the current token start an expression?
+    fn starts_expr(&self) -> bool {
+        match self.kind(0) {
+            None => false,
+            Some(TokenKind::Int) | Some(TokenKind::Float) | Some(TokenKind::Str) => true,
+            Some(TokenKind::Lifetime) => self.txt(1) == ":",
+            Some(TokenKind::Ident) => !matches!(self.txt(0), "in" | "else" | "as" | "where"),
+            Some(TokenKind::Punct) => {
+                matches!(
+                    self.txt(0),
+                    "(" | "["
+                        | "{"
+                        | "&"
+                        | "&&"
+                        | "*"
+                        | "-"
+                        | "!"
+                        | "|"
+                        | "||"
+                        | ".."
+                        | "..="
+                        | "<"
+                        | "#"
+                )
+            }
+        }
+    }
+
+    fn bin_prec(op: &str) -> Option<(u8, bool)> {
+        // (precedence, right-assoc)
+        Some(match op {
+            "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>=" => {
+                (1, true)
+            }
+            "||" => (3, false),
+            "&&" => (4, false),
+            "==" | "!=" | "<" | ">" | "<=" | ">=" => (5, false),
+            "|" => (6, false),
+            "^" => (7, false),
+            "&" => (8, false),
+            "<<" | ">>" => (9, false),
+            "+" | "-" => (10, false),
+            "*" | "/" | "%" => (11, false),
+            _ => return None,
+        })
+    }
+
+    fn parse_bin(&mut self, min_prec: u8, no_struct: bool) -> Expr {
+        let lo = self.i;
+        // Prefix ranges: `..end`, `..=end`, bare `..`.
+        let mut lhs = if self.at("..") || self.at("..=") {
+            self.bump();
+            let end = if self.starts_expr() {
+                Some(Box::new(self.parse_bin(3, no_struct)))
+            } else {
+                None
+            };
+            Expr {
+                lo,
+                hi: self.prev().max(lo),
+                kind: ExprKind::Range { start: None, end },
+            }
+        } else {
+            self.parse_unary(no_struct)
+        };
+        loop {
+            let op = self.op_txt(0).to_string();
+            if op == ".." || op == "..=" {
+                if 2 < min_prec {
+                    break;
+                }
+                self.bump();
+                let end = if self.starts_expr() {
+                    Some(Box::new(self.parse_bin(3, no_struct)))
+                } else {
+                    None
+                };
+                lhs = Expr {
+                    lo,
+                    hi: self.prev().max(lo),
+                    kind: ExprKind::Range {
+                        start: Some(Box::new(lhs)),
+                        end,
+                    },
+                };
+                continue;
+            }
+            let Some((prec, right)) = Self::bin_prec(&op) else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            let op_tok = self.bump();
+            let next_min = if right { prec } else { prec + 1 };
+            let rhs = self.parse_bin(next_min, no_struct);
+            lhs = Expr {
+                lo,
+                hi: self.prev().max(lo),
+                kind: ExprKind::Binary {
+                    op,
+                    op_tok,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        lhs
+    }
+
+    fn parse_unary(&mut self, no_struct: bool) -> Expr {
+        let lo = self.i;
+        match self.op_txt(0) {
+            "&" => {
+                self.bump();
+                self.eat("mut");
+                let e = self.parse_unary(no_struct);
+                Expr {
+                    lo,
+                    hi: e.hi.max(lo),
+                    kind: ExprKind::Ref { expr: Box::new(e) },
+                }
+            }
+            "&&" => {
+                self.bump();
+                self.eat("mut");
+                let e = self.parse_unary(no_struct);
+                let inner = Expr {
+                    lo,
+                    hi: e.hi.max(lo),
+                    kind: ExprKind::Ref { expr: Box::new(e) },
+                };
+                Expr {
+                    lo,
+                    hi: inner.hi,
+                    kind: ExprKind::Ref {
+                        expr: Box::new(inner),
+                    },
+                }
+            }
+            "*" | "-" | "!" => {
+                let op = self.txt(0).to_string();
+                self.bump();
+                let e = self.parse_unary(no_struct);
+                Expr {
+                    lo,
+                    hi: e.hi.max(lo),
+                    kind: ExprKind::Unary {
+                        op,
+                        expr: Box::new(e),
+                    },
+                }
+            }
+            _ => self.parse_postfix(no_struct),
+        }
+    }
+
+    fn parse_postfix(&mut self, no_struct: bool) -> Expr {
+        let lo = self.i;
+        let mut e = self.parse_primary(no_struct);
+        loop {
+            match self.op_txt(0) {
+                "." => {
+                    self.bump();
+                    match self.kind(0) {
+                        Some(TokenKind::Ident) => {
+                            let name = self.txt(0).to_string();
+                            let name_tok = self.bump();
+                            if self.at("::") && self.txt(1) == "<" {
+                                self.bump();
+                                self.skip_angles(); // turbofish
+                            }
+                            if self.at("(") {
+                                let args = self.parse_call_args();
+                                e = Expr {
+                                    lo,
+                                    hi: self.prev().max(lo),
+                                    kind: ExprKind::MethodCall {
+                                        recv: Box::new(e),
+                                        name,
+                                        name_tok,
+                                        args,
+                                    },
+                                };
+                            } else {
+                                e = Expr {
+                                    lo,
+                                    hi: self.prev().max(lo),
+                                    kind: ExprKind::Field {
+                                        recv: Box::new(e),
+                                        name,
+                                    },
+                                };
+                            }
+                        }
+                        Some(TokenKind::Int) | Some(TokenKind::Float) => {
+                            // Tuple field (`x.0`; `x.0.1` lexes as Float).
+                            let name = self.txt(0).to_string();
+                            self.bump();
+                            e = Expr {
+                                lo,
+                                hi: self.prev().max(lo),
+                                kind: ExprKind::Field {
+                                    recv: Box::new(e),
+                                    name,
+                                },
+                            };
+                        }
+                        _ => {
+                            self.error("expected field or method name after `.`");
+                            break;
+                        }
+                    }
+                }
+                "?" => {
+                    self.bump();
+                    e = Expr {
+                        lo,
+                        hi: self.prev().max(lo),
+                        kind: ExprKind::Try { expr: Box::new(e) },
+                    };
+                }
+                "(" => {
+                    let args = self.parse_call_args();
+                    e = Expr {
+                        lo,
+                        hi: self.prev().max(lo),
+                        kind: ExprKind::Call {
+                            callee: Box::new(e),
+                            args,
+                        },
+                    };
+                }
+                "[" => {
+                    self.bump();
+                    let idx = self.parse_expr(false);
+                    self.expect("]", "to close index");
+                    e = Expr {
+                        lo,
+                        hi: self.prev().max(lo),
+                        kind: ExprKind::Index {
+                            recv: Box::new(e),
+                            index: Box::new(idx),
+                        },
+                    };
+                }
+                "as" => {
+                    self.bump();
+                    let ty = self.scan_cast_type();
+                    e = Expr {
+                        lo,
+                        hi: self.prev().max(lo),
+                        kind: ExprKind::Cast {
+                            expr: Box::new(e),
+                            ty,
+                        },
+                    };
+                }
+                _ => break,
+            }
+        }
+        e
+    }
+
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        self.expect("(", "to open call args");
+        while !self.eof() && !self.at(")") {
+            args.push(self.parse_expr(false));
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect(")", "to close call args");
+        args
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let lo = self.i;
+        let mk = |p: &Self, kind| Expr {
+            lo,
+            hi: p.prev().max(lo),
+            kind,
+        };
+        match self.kind(0) {
+            Some(TokenKind::Int) | Some(TokenKind::Float) | Some(TokenKind::Str) => {
+                self.bump();
+                return mk(self, ExprKind::Lit);
+            }
+            Some(TokenKind::Lifetime) => {
+                // Labeled loop: `'a: loop/while/for { ... }`.
+                self.bump();
+                self.eat(":");
+                return self.parse_primary(no_struct);
+            }
+            _ => {}
+        }
+        match self.txt(0) {
+            "#" => {
+                self.skip_outer_attrs();
+                return self.parse_primary(no_struct);
+            }
+            "(" => {
+                self.bump();
+                let mut elems = Vec::new();
+                let mut saw_comma = false;
+                while !self.eof() && !self.at(")") {
+                    elems.push(self.parse_expr(false));
+                    if self.eat(",") {
+                        saw_comma = true;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(")", "to close paren");
+                if elems.len() == 1 && !saw_comma {
+                    let mut inner = elems.pop().expect("len checked");
+                    inner.lo = lo;
+                    inner.hi = self.prev().max(lo);
+                    return inner;
+                }
+                return mk(self, ExprKind::Tuple(elems));
+            }
+            "[" => {
+                self.bump();
+                let mut elems = Vec::new();
+                if !self.at("]") {
+                    let first = self.parse_expr(false);
+                    elems.push(first);
+                    if self.eat(";") {
+                        elems.push(self.parse_expr(false));
+                    } else {
+                        while self.eat(",") {
+                            if self.at("]") {
+                                break;
+                            }
+                            elems.push(self.parse_expr(false));
+                        }
+                    }
+                }
+                self.expect("]", "to close array");
+                return mk(self, ExprKind::Array(elems));
+            }
+            "{" => {
+                let b = self.parse_block();
+                return mk(self, ExprKind::Block(b));
+            }
+            "|" | "||" => return self.parse_closure(lo),
+            "<" => {
+                // Qualified path `<T as Trait>::assoc(...)`.
+                self.skip_angles();
+                let mut segs = vec!["<qualified>".to_string()];
+                while self.eat("::") {
+                    if self.at("<") {
+                        self.skip_angles();
+                        continue;
+                    }
+                    if self.kind(0) == Some(TokenKind::Ident) {
+                        segs.push(self.txt(0).to_string());
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                return mk(self, ExprKind::Path(segs));
+            }
+            "move" => {
+                self.bump();
+                if self.at("|") || self.at("||") {
+                    return self.parse_closure(lo);
+                }
+                if self.at("{") {
+                    let b = self.parse_block();
+                    return mk(self, ExprKind::Block(b));
+                }
+                self.error("expected closure or block after `move`");
+                return mk(self, ExprKind::Opaque);
+            }
+            "if" => return self.parse_if(lo),
+            "match" => return self.parse_match(lo),
+            "while" => {
+                self.bump();
+                let cond = if self.at("let") {
+                    self.parse_cond_let()
+                } else {
+                    self.parse_expr(true)
+                };
+                let body = self.parse_block();
+                return mk(
+                    self,
+                    ExprKind::While {
+                        cond: Box::new(cond),
+                        body,
+                    },
+                );
+            }
+            "for" => {
+                self.bump();
+                let pat = self.parse_pat_top(&["in"]);
+                self.expect("in", "in for loop");
+                let iter = self.parse_expr(true);
+                let body = self.parse_block();
+                return mk(
+                    self,
+                    ExprKind::For {
+                        pat,
+                        iter: Box::new(iter),
+                        body,
+                    },
+                );
+            }
+            "loop" => {
+                self.bump();
+                let body = self.parse_block();
+                return mk(self, ExprKind::Loop { body });
+            }
+            "unsafe" => {
+                self.bump();
+                let b = self.parse_block();
+                return mk(self, ExprKind::Block(b));
+            }
+            "return" => {
+                self.bump();
+                let val = if self.starts_expr() {
+                    Some(Box::new(self.parse_expr(no_struct)))
+                } else {
+                    None
+                };
+                return mk(self, ExprKind::Return(val));
+            }
+            "break" => {
+                self.bump();
+                if self.kind(0) == Some(TokenKind::Lifetime) {
+                    self.bump();
+                }
+                let val = if self.starts_expr() {
+                    Some(Box::new(self.parse_expr(no_struct)))
+                } else {
+                    None
+                };
+                return mk(self, ExprKind::Break(val));
+            }
+            "continue" => {
+                self.bump();
+                if self.kind(0) == Some(TokenKind::Lifetime) {
+                    self.bump();
+                }
+                return mk(self, ExprKind::Continue);
+            }
+            "let" => {
+                let e = self.parse_cond_let();
+                return e;
+            }
+            "true" | "false" => {
+                self.bump();
+                return mk(self, ExprKind::BoolLit);
+            }
+            _ => {}
+        }
+        if self.kind(0) == Some(TokenKind::Ident) {
+            let segs = self.parse_path_segments();
+            // Macro invocation.
+            if self.at("!") && matches!(self.op_txt(1), "(" | "[" | "{") {
+                self.bump(); // !
+                let (open, close) = match self.op_txt(0) {
+                    "(" => ("(", ")"),
+                    "[" => ("[", "]"),
+                    _ => ("{", "}"),
+                };
+                let body_lo = self.i + 1;
+                self.skip_balanced(open, close);
+                let body_hi = self.prev().saturating_sub(1).max(body_lo.saturating_sub(1));
+                return mk(
+                    self,
+                    ExprKind::Macro {
+                        path: segs,
+                        body_lo,
+                        body_hi,
+                    },
+                );
+            }
+            // Struct literal (never in a no-struct context).
+            if self.at("{") && !no_struct && self.struct_lit_ahead() {
+                self.bump(); // {
+                let mut fields = Vec::new();
+                let mut rest = None;
+                while !self.eof() && !self.at("}") {
+                    self.skip_outer_attrs(); // `#[cfg(...)]`-gated fields
+                    if self.at("..") {
+                        self.bump();
+                        rest = Some(Box::new(self.parse_expr(false)));
+                        break;
+                    }
+                    if self.kind(0) != Some(TokenKind::Ident)
+                        && self.kind(0) != Some(TokenKind::Int)
+                    {
+                        self.error("expected struct literal field");
+                        break;
+                    }
+                    let fname = self.txt(0).to_string();
+                    self.bump();
+                    let val = if self.eat(":") {
+                        Some(self.parse_expr(false))
+                    } else {
+                        None
+                    };
+                    fields.push((fname, val));
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect("}", "to close struct literal");
+                return mk(
+                    self,
+                    ExprKind::StructLit {
+                        path: segs,
+                        fields,
+                        rest,
+                    },
+                );
+            }
+            return mk(self, ExprKind::Path(segs));
+        }
+        self.error("expected expression");
+        self.bump();
+        mk(self, ExprKind::Opaque)
+    }
+
+    /// Lookahead: does `{` open a struct literal (`{ ident: ...`, `{ ident ,`,
+    /// `{ ident }`, `{ .. }`, `{ }`)?
+    fn struct_lit_ahead(&self) -> bool {
+        debug_assert!(self.at("{"));
+        if self.op_txt(1) == "}" || self.op_txt(1) == ".." {
+            return true;
+        }
+        (self.kind(1) == Some(TokenKind::Ident) || self.kind(1) == Some(TokenKind::Int))
+            && matches!(self.op_txt(2), ":" | "," | "}")
+            && self.op_txt(3) != ":" // rule out `{ path :: seg` via `::` lexing as one token — `:` `:` never splits
+    }
+
+    fn parse_closure(&mut self, lo: usize) -> Expr {
+        if self.eat("||") {
+            // Zero-parameter closure.
+        } else {
+            self.expect("|", "to open closure params");
+            while !self.eof() && !self.at("|") {
+                self.parse_pat_single();
+                if self.eat(":") {
+                    self.scan_type(&[",", "|"]);
+                }
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect("|", "to close closure params");
+        }
+        let body = if self.eat("->") {
+            self.scan_type(&["{"]);
+            let b = self.parse_block();
+            Expr {
+                lo: b.lo,
+                hi: b.hi,
+                kind: ExprKind::Block(b),
+            }
+        } else {
+            self.parse_expr(false)
+        };
+        Expr {
+            lo,
+            hi: body.hi.max(lo),
+            kind: ExprKind::Closure {
+                body: Box::new(body),
+            },
+        }
+    }
+
+    fn parse_cond_let(&mut self) -> Expr {
+        let lo = self.i;
+        self.bump(); // let
+        let pat = self.parse_pat_top(&["="]);
+        self.expect("=", "in let condition");
+        let scrut = self.parse_expr(true);
+        Expr {
+            lo,
+            hi: scrut.hi.max(lo),
+            kind: ExprKind::CondLet {
+                pat,
+                expr: Box::new(scrut),
+            },
+        }
+    }
+
+    fn parse_if(&mut self, lo: usize) -> Expr {
+        self.bump(); // if
+        let cond = if self.at("let") {
+            self.parse_cond_let()
+        } else {
+            self.parse_expr(true)
+        };
+        let then = self.parse_block();
+        let els = if self.eat("else") {
+            if self.at("if") {
+                let e_lo = self.i;
+                Some(Box::new(self.parse_if(e_lo)))
+            } else {
+                let b = self.parse_block();
+                Some(Box::new(Expr {
+                    lo: b.lo,
+                    hi: b.hi,
+                    kind: ExprKind::Block(b),
+                }))
+            }
+        } else {
+            None
+        };
+        Expr {
+            lo,
+            hi: self.prev().max(lo),
+            kind: ExprKind::If {
+                cond: Box::new(cond),
+                then,
+                els,
+            },
+        }
+    }
+
+    fn parse_match(&mut self, lo: usize) -> Expr {
+        self.bump(); // match
+        let scrutinee = self.parse_expr(true);
+        let mut arms = Vec::new();
+        if self.expect("{", "to open match body") {
+            while !self.eof() && !self.at("}") {
+                self.skip_outer_attrs();
+                self.eat("|"); // leading or-pipe
+                let pat = self.parse_pat_top(&["if", "=>"]);
+                let guard = if self.eat("if") {
+                    Some(self.parse_expr(true))
+                } else {
+                    None
+                };
+                self.expect("=>", "after match pattern");
+                let body = self.parse_expr(false);
+                self.eat(",");
+                arms.push(Arm { pat, guard, body });
+            }
+            self.expect("}", "to close match body");
+        }
+        Expr {
+            lo,
+            hi: self.prev().max(lo),
+            kind: ExprKind::Match {
+                scrutinee: Box::new(scrutinee),
+                arms,
+            },
+        }
+    }
+
+    fn parse_path_segments(&mut self) -> Vec<String> {
+        let mut segs = Vec::new();
+        if self.kind(0) == Some(TokenKind::Ident) {
+            segs.push(self.txt(0).to_string());
+            self.bump();
+        }
+        while self.at("::") {
+            if self.txt(1) == "<" {
+                self.bump(); // ::
+                self.skip_angles(); // turbofish
+                continue;
+            }
+            if self.kind(1) == Some(TokenKind::Ident) {
+                self.bump(); // ::
+                segs.push(self.txt(0).to_string());
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        segs
+    }
+
+    // ------------------------------------------------------------------
+    // Patterns
+    // ------------------------------------------------------------------
+
+    /// Parse a pattern, folding depth-0 `|` alternatives into [`PatKind::Or`].
+    /// `stops` guards the or-fold (e.g. `if`/`=>` end a match-arm pattern).
+    fn parse_pat_top(&mut self, stops: &[&str]) -> Pat {
+        let lo = self.i;
+        let first = self.parse_pat_single();
+        if !self.at("|") || stops.contains(&self.txt(0)) {
+            return first;
+        }
+        let mut alts = vec![first];
+        while self.at("|") && !stops.contains(&self.txt(0)) {
+            self.bump();
+            alts.push(self.parse_pat_single());
+        }
+        Pat {
+            lo,
+            hi: self.prev().max(lo),
+            kind: PatKind::Or(alts),
+        }
+    }
+
+    fn parse_pat_single(&mut self) -> Pat {
+        let lo = self.i;
+        let mk = |p: &Self, kind| Pat {
+            lo,
+            hi: p.prev().max(lo),
+            kind,
+        };
+        match self.op_txt(0) {
+            "_" => {
+                self.bump();
+                return mk(self, PatKind::Wild);
+            }
+            ".." => {
+                self.bump();
+                return mk(self, PatKind::Rest);
+            }
+            "&" | "&&" => {
+                let double = self.at("&&");
+                self.bump();
+                self.eat("mut");
+                let inner = self.parse_pat_single();
+                let r = Pat {
+                    lo,
+                    hi: inner.hi.max(lo),
+                    kind: PatKind::Ref(Box::new(inner)),
+                };
+                if double {
+                    return Pat {
+                        lo,
+                        hi: r.hi,
+                        kind: PatKind::Ref(Box::new(r)),
+                    };
+                }
+                return r;
+            }
+            "mut" | "ref" => {
+                self.bump();
+                return self.parse_pat_single();
+            }
+            "(" => {
+                self.bump();
+                let mut elems = Vec::new();
+                while !self.eof() && !self.at(")") {
+                    elems.push(self.parse_pat_top(&[]));
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect(")", "to close tuple pattern");
+                return mk(self, PatKind::Tuple(elems));
+            }
+            "[" => {
+                self.bump();
+                let mut elems = Vec::new();
+                while !self.eof() && !self.at("]") {
+                    elems.push(self.parse_pat_top(&[]));
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect("]", "to close slice pattern");
+                return mk(self, PatKind::Slice(elems));
+            }
+            "-" => {
+                self.bump();
+                self.bump(); // the literal
+                if self.at("..=") || self.at("..") {
+                    self.bump();
+                    self.parse_pat_range_end();
+                    return mk(self, PatKind::Range);
+                }
+                return mk(self, PatKind::Lit);
+            }
+            _ => {}
+        }
+        match self.kind(0) {
+            Some(TokenKind::Int) | Some(TokenKind::Float) | Some(TokenKind::Str) => {
+                self.bump();
+                if self.at("..=") || self.at("..") {
+                    self.bump();
+                    self.parse_pat_range_end();
+                    return mk(self, PatKind::Range);
+                }
+                return mk(self, PatKind::Lit);
+            }
+            Some(TokenKind::Ident) => {
+                let segs = self.parse_path_segments();
+                match self.op_txt(0) {
+                    "(" => {
+                        self.bump();
+                        let mut elems = Vec::new();
+                        while !self.eof() && !self.at(")") {
+                            elems.push(self.parse_pat_top(&[]));
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                        self.expect(")", "to close tuple-struct pattern");
+                        return mk(self, PatKind::TupleStruct(segs, elems));
+                    }
+                    "{" => {
+                        self.bump();
+                        let mut elems = Vec::new();
+                        while !self.eof() && !self.at("}") {
+                            if self.at("..") {
+                                self.bump();
+                                break;
+                            }
+                            self.eat("ref");
+                            self.eat("mut");
+                            if self.kind(0) != Some(TokenKind::Ident) {
+                                self.error("expected field pattern");
+                                break;
+                            }
+                            let fname = self.txt(0).to_string();
+                            self.bump();
+                            if self.eat(":") {
+                                elems.push(self.parse_pat_top(&[]));
+                            } else {
+                                let hi = self.prev();
+                                elems.push(Pat {
+                                    lo: hi,
+                                    hi,
+                                    kind: PatKind::Binding(fname, None),
+                                });
+                            }
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                        self.expect("}", "to close struct pattern");
+                        return mk(self, PatKind::Struct(segs, elems));
+                    }
+                    "..=" | ".." => {
+                        self.bump();
+                        self.parse_pat_range_end();
+                        return mk(self, PatKind::Range);
+                    }
+                    "@" => {
+                        self.bump();
+                        let sub = self.parse_pat_single();
+                        let name = segs.first().cloned().unwrap_or_default();
+                        return mk(self, PatKind::Binding(name, Some(Box::new(sub))));
+                    }
+                    _ => {}
+                }
+                if segs.len() == 1 {
+                    let name = &segs[0];
+                    let is_binding = name
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_lowercase() || c == '_');
+                    if is_binding && !matches!(name.as_str(), "None" | "Some") {
+                        return mk(self, PatKind::Binding(name.clone(), None));
+                    }
+                }
+                return mk(self, PatKind::Path(segs));
+            }
+            _ => {}
+        }
+        self.error("expected pattern");
+        self.bump();
+        mk(self, PatKind::Opaque)
+    }
+
+    fn parse_pat_range_end(&mut self) {
+        // `..=END` where END is a literal or path; consume conservatively.
+        if self.at("-") {
+            self.bump();
+        }
+        match self.kind(0) {
+            Some(TokenKind::Int) | Some(TokenKind::Float) | Some(TokenKind::Str) => {
+                self.bump();
+            }
+            Some(TokenKind::Ident) => {
+                self.parse_path_segments();
+            }
+            _ => {}
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Walkers
+// ----------------------------------------------------------------------
+
+/// Visit every expression in `items` (pre-order), including nested items.
+pub fn walk_items<'a>(items: &'a [Item], f: &mut dyn FnMut(&'a Expr)) {
+    for item in items {
+        walk_item(item, f);
+    }
+}
+
+fn walk_item<'a>(item: &'a Item, f: &mut dyn FnMut(&'a Expr)) {
+    match &item.kind {
+        ItemKind::Fn(func) => {
+            if let Some(b) = &func.body {
+                walk_block(b, f);
+            }
+        }
+        ItemKind::Impl(imp) => walk_items(&imp.items, f),
+        ItemKind::Trait { items, .. } => walk_items(items, f),
+        ItemKind::Mod {
+            items: Some(items), ..
+        } => walk_items(items, f),
+        ItemKind::Const { init: Some(e), .. } | ItemKind::Static { init: Some(e), .. } => {
+            walk_expr(e, f)
+        }
+        _ => {}
+    }
+}
+
+/// Visit every expression in a block (pre-order).
+pub fn walk_block<'a>(b: &'a Block, f: &mut dyn FnMut(&'a Expr)) {
+    for s in &b.stmts {
+        walk_stmt(s, f);
+    }
+}
+
+pub fn walk_stmt<'a>(s: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
+    match s {
+        Stmt::Let { init, els, .. } => {
+            if let Some(e) = init {
+                walk_expr(e, f);
+            }
+            if let Some(b) = els {
+                walk_block(b, f);
+            }
+        }
+        Stmt::Item(item) => walk_item(item, f),
+        Stmt::Expr(e) => walk_expr(e, f),
+        Stmt::Empty => {}
+    }
+}
+
+pub fn walk_expr<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::Field { recv, .. } => walk_expr(recv, f),
+        ExprKind::Index { recv, index } => {
+            walk_expr(recv, f);
+            walk_expr(index, f);
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Ref { expr }
+        | ExprKind::Try { expr }
+        | ExprKind::Cast { expr, .. } => walk_expr(expr, f),
+        ExprKind::Match { scrutinee, arms } => {
+            walk_expr(scrutinee, f);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    walk_expr(g, f);
+                }
+                walk_expr(&arm.body, f);
+            }
+        }
+        ExprKind::If { cond, then, els } => {
+            walk_expr(cond, f);
+            walk_block(then, f);
+            if let Some(e) = els {
+                walk_expr(e, f);
+            }
+        }
+        ExprKind::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_block(body, f);
+        }
+        ExprKind::For { iter, body, .. } => {
+            walk_expr(iter, f);
+            walk_block(body, f);
+        }
+        ExprKind::Loop { body } => walk_block(body, f),
+        ExprKind::Block(b) => walk_block(b, f),
+        ExprKind::Closure { body } => walk_expr(body, f),
+        ExprKind::StructLit { fields, rest, .. } => {
+            for (_, v) in fields {
+                if let Some(e) = v {
+                    walk_expr(e, f);
+                }
+            }
+            if let Some(r) = rest {
+                walk_expr(r, f);
+            }
+        }
+        ExprKind::Tuple(elems) | ExprKind::Array(elems) => {
+            for e in elems {
+                walk_expr(e, f);
+            }
+        }
+        ExprKind::Range { start, end } => {
+            if let Some(e) = start {
+                walk_expr(e, f);
+            }
+            if let Some(e) = end {
+                walk_expr(e, f);
+            }
+        }
+        ExprKind::Return(Some(e)) | ExprKind::Break(Some(e)) => walk_expr(e, f),
+        ExprKind::CondLet { expr, .. } => walk_expr(expr, f),
+        ExprKind::Lit
+        | ExprKind::BoolLit
+        | ExprKind::Path(_)
+        | ExprKind::Macro { .. }
+        | ExprKind::Return(None)
+        | ExprKind::Break(None)
+        | ExprKind::Continue
+        | ExprKind::Opaque => {}
+    }
+}
+
+/// Visit every pattern node in a pattern tree (pre-order).
+pub fn walk_pat<'a>(p: &'a Pat, f: &mut dyn FnMut(&'a Pat)) {
+    f(p);
+    match &p.kind {
+        PatKind::TupleStruct(_, elems)
+        | PatKind::Struct(_, elems)
+        | PatKind::Tuple(elems)
+        | PatKind::Slice(elems)
+        | PatKind::Or(elems) => {
+            for e in elems {
+                walk_pat(e, f);
+            }
+        }
+        PatKind::Ref(inner) => walk_pat(inner, f),
+        PatKind::Binding(_, Some(inner)) => walk_pat(inner, f),
+        _ => {}
+    }
+}
+
+// ----------------------------------------------------------------------
+// Debug dump (snapshot tests)
+// ----------------------------------------------------------------------
+
+/// Compact S-expression dump of an AST, for snapshot tests. Deterministic
+/// and whitespace-free so expectations stay readable inline.
+pub fn dump(ast: &Ast) -> String {
+    let mut s = String::new();
+    for (i, item) in ast.items.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        dump_item(item, &mut s);
+    }
+    s
+}
+
+fn dump_item(item: &Item, s: &mut String) {
+    match &item.kind {
+        ItemKind::Fn(f) => {
+            s.push_str("(fn ");
+            s.push_str(&f.name);
+            if f.is_pub {
+                s.push_str(" pub");
+            }
+            s.push_str(" (params");
+            for p in &f.params {
+                s.push(' ');
+                s.push_str(p.name.as_deref().unwrap_or("_"));
+                if let Some(ty) = &p.ty {
+                    s.push(':');
+                    s.push_str(&ty.idents.join("::"));
+                }
+            }
+            s.push(')');
+            if let Some(b) = &f.body {
+                s.push(' ');
+                dump_block(b, s);
+            }
+            s.push(')');
+        }
+        ItemKind::Struct { name } => {
+            s.push_str("(struct ");
+            s.push_str(name);
+            s.push(')');
+        }
+        ItemKind::Enum { name, variants } => {
+            s.push_str("(enum ");
+            s.push_str(name);
+            for v in variants {
+                s.push(' ');
+                s.push_str(v);
+            }
+            s.push(')');
+        }
+        ItemKind::Impl(imp) => {
+            s.push_str("(impl ");
+            if let Some(tr) = &imp.of_trait {
+                s.push_str(tr);
+                s.push_str(" for ");
+            }
+            s.push_str(&imp.self_ty);
+            for it in &imp.items {
+                s.push(' ');
+                dump_item(it, s);
+            }
+            s.push(')');
+        }
+        ItemKind::Trait { name, items } => {
+            s.push_str("(trait ");
+            s.push_str(name);
+            for it in items {
+                s.push(' ');
+                dump_item(it, s);
+            }
+            s.push(')');
+        }
+        ItemKind::Mod { name, items } => {
+            s.push_str("(mod ");
+            s.push_str(name);
+            if let Some(items) = items {
+                for it in items {
+                    s.push(' ');
+                    dump_item(it, s);
+                }
+            }
+            s.push(')');
+        }
+        ItemKind::Use { bindings } => {
+            s.push_str("(use");
+            for b in bindings {
+                s.push(' ');
+                s.push_str(&b.path.join("::"));
+                if b.alias != *b.path.last().unwrap_or(&String::new()) {
+                    s.push_str("=>");
+                    s.push_str(&b.alias);
+                }
+            }
+            s.push(')');
+        }
+        ItemKind::Const { name, .. } => {
+            s.push_str("(const ");
+            s.push_str(name);
+            s.push(')');
+        }
+        ItemKind::Static { name, .. } => {
+            s.push_str("(static ");
+            s.push_str(name);
+            s.push(')');
+        }
+        ItemKind::TypeAlias { name } => {
+            s.push_str("(type ");
+            s.push_str(name);
+            s.push(')');
+        }
+        ItemKind::MacroDef { name } => {
+            s.push_str("(macro-def ");
+            s.push_str(name);
+            s.push(')');
+        }
+        ItemKind::MacroCall { path } => {
+            s.push_str("(macro-item ");
+            s.push_str(&path.join("::"));
+            s.push(')');
+        }
+        ItemKind::ExternCrate { name } => {
+            s.push_str("(extern-crate ");
+            s.push_str(name);
+            s.push(')');
+        }
+        ItemKind::Other => s.push_str("(other)"),
+    }
+}
+
+fn dump_block(b: &Block, s: &mut String) {
+    s.push_str("(block");
+    for st in &b.stmts {
+        s.push(' ');
+        match st {
+            Stmt::Let { pat, init, .. } => {
+                s.push_str("(let ");
+                dump_pat(pat, s);
+                if let Some(e) = init {
+                    s.push(' ');
+                    dump_expr(e, s);
+                }
+                s.push(')');
+            }
+            Stmt::Item(it) => dump_item(it, s),
+            Stmt::Expr(e) => dump_expr(e, s),
+            Stmt::Empty => s.push_str("()"),
+        }
+    }
+    s.push(')');
+}
+
+fn dump_expr(e: &Expr, s: &mut String) {
+    match &e.kind {
+        ExprKind::Lit => s.push_str("lit"),
+        ExprKind::BoolLit => s.push_str("bool"),
+        ExprKind::Path(segs) => {
+            s.push_str(&segs.join("::"));
+        }
+        ExprKind::MethodCall {
+            recv, name, args, ..
+        } => {
+            s.push_str("(. ");
+            dump_expr(recv, s);
+            s.push(' ');
+            s.push_str(name);
+            for a in args {
+                s.push(' ');
+                dump_expr(a, s);
+            }
+            s.push(')');
+        }
+        ExprKind::Call { callee, args } => {
+            s.push_str("(call ");
+            dump_expr(callee, s);
+            for a in args {
+                s.push(' ');
+                dump_expr(a, s);
+            }
+            s.push(')');
+        }
+        ExprKind::Field { recv, name } => {
+            s.push_str("(field ");
+            dump_expr(recv, s);
+            s.push(' ');
+            s.push_str(name);
+            s.push(')');
+        }
+        ExprKind::Index { recv, index } => {
+            s.push_str("(index ");
+            dump_expr(recv, s);
+            s.push(' ');
+            dump_expr(index, s);
+            s.push(')');
+        }
+        ExprKind::Binary { op, lhs, rhs, .. } => {
+            s.push('(');
+            s.push_str(op);
+            s.push(' ');
+            dump_expr(lhs, s);
+            s.push(' ');
+            dump_expr(rhs, s);
+            s.push(')');
+        }
+        ExprKind::Unary { op, expr } => {
+            s.push('(');
+            s.push_str(op);
+            s.push(' ');
+            dump_expr(expr, s);
+            s.push(')');
+        }
+        ExprKind::Ref { expr } => {
+            s.push_str("(& ");
+            dump_expr(expr, s);
+            s.push(')');
+        }
+        ExprKind::Try { expr } => {
+            s.push_str("(? ");
+            dump_expr(expr, s);
+            s.push(')');
+        }
+        ExprKind::Cast { expr, ty } => {
+            s.push_str("(as ");
+            dump_expr(expr, s);
+            s.push(' ');
+            s.push_str(&ty.idents.join("::"));
+            s.push(')');
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            s.push_str("(match ");
+            dump_expr(scrutinee, s);
+            for arm in arms {
+                s.push_str(" (arm ");
+                dump_pat(&arm.pat, s);
+                if arm.guard.is_some() {
+                    s.push_str(" guard");
+                }
+                s.push(' ');
+                dump_expr(&arm.body, s);
+                s.push(')');
+            }
+            s.push(')');
+        }
+        ExprKind::If { cond, then, els } => {
+            s.push_str("(if ");
+            dump_expr(cond, s);
+            s.push(' ');
+            dump_block(then, s);
+            if let Some(e) = els {
+                s.push(' ');
+                dump_expr(e, s);
+            }
+            s.push(')');
+        }
+        ExprKind::While { cond, body } => {
+            s.push_str("(while ");
+            dump_expr(cond, s);
+            s.push(' ');
+            dump_block(body, s);
+            s.push(')');
+        }
+        ExprKind::For { pat, iter, body } => {
+            s.push_str("(for ");
+            dump_pat(pat, s);
+            s.push(' ');
+            dump_expr(iter, s);
+            s.push(' ');
+            dump_block(body, s);
+            s.push(')');
+        }
+        ExprKind::Loop { body } => {
+            s.push_str("(loop ");
+            dump_block(body, s);
+            s.push(')');
+        }
+        ExprKind::Block(b) => dump_block(b, s),
+        ExprKind::Closure { body } => {
+            s.push_str("(closure ");
+            dump_expr(body, s);
+            s.push(')');
+        }
+        ExprKind::Macro { path, .. } => {
+            s.push_str("(macro ");
+            s.push_str(&path.join("::"));
+            s.push(')');
+        }
+        ExprKind::StructLit { path, fields, .. } => {
+            s.push_str("(struct-lit ");
+            s.push_str(&path.join("::"));
+            for (n, _) in fields {
+                s.push(' ');
+                s.push_str(n);
+            }
+            s.push(')');
+        }
+        ExprKind::Tuple(elems) => {
+            s.push_str("(tuple");
+            for e in elems {
+                s.push(' ');
+                dump_expr(e, s);
+            }
+            s.push(')');
+        }
+        ExprKind::Array(elems) => {
+            s.push_str("(array");
+            for e in elems {
+                s.push(' ');
+                dump_expr(e, s);
+            }
+            s.push(')');
+        }
+        ExprKind::Range { start, end } => {
+            s.push_str("(range");
+            if let Some(e) = start {
+                s.push(' ');
+                dump_expr(e, s);
+            }
+            if let Some(e) = end {
+                s.push(' ');
+                dump_expr(e, s);
+            }
+            s.push(')');
+        }
+        ExprKind::Return(v) => {
+            s.push_str("(return");
+            if let Some(e) = v {
+                s.push(' ');
+                dump_expr(e, s);
+            }
+            s.push(')');
+        }
+        ExprKind::Break(v) => {
+            s.push_str("(break");
+            if let Some(e) = v {
+                s.push(' ');
+                dump_expr(e, s);
+            }
+            s.push(')');
+        }
+        ExprKind::Continue => s.push_str("(continue)"),
+        ExprKind::CondLet { pat, expr } => {
+            s.push_str("(let-cond ");
+            dump_pat(pat, s);
+            s.push(' ');
+            dump_expr(expr, s);
+            s.push(')');
+        }
+        ExprKind::Opaque => s.push_str("opaque"),
+    }
+}
+
+fn dump_pat(p: &Pat, s: &mut String) {
+    match &p.kind {
+        PatKind::Wild => s.push('_'),
+        PatKind::Path(segs) => s.push_str(&segs.join("::")),
+        PatKind::TupleStruct(segs, elems) => {
+            s.push('(');
+            s.push_str(&segs.join("::"));
+            for e in elems {
+                s.push(' ');
+                dump_pat(e, s);
+            }
+            s.push(')');
+        }
+        PatKind::Struct(segs, elems) => {
+            s.push('(');
+            s.push_str(&segs.join("::"));
+            s.push_str("{}");
+            for e in elems {
+                s.push(' ');
+                dump_pat(e, s);
+            }
+            s.push(')');
+        }
+        PatKind::Binding(name, sub) => {
+            s.push_str(name);
+            if let Some(sub) = sub {
+                s.push('@');
+                dump_pat(sub, s);
+            }
+        }
+        PatKind::Lit => s.push_str("lit"),
+        PatKind::Tuple(elems) => {
+            s.push_str("(tuple-pat");
+            for e in elems {
+                s.push(' ');
+                dump_pat(e, s);
+            }
+            s.push(')');
+        }
+        PatKind::Slice(elems) => {
+            s.push_str("(slice-pat");
+            for e in elems {
+                s.push(' ');
+                dump_pat(e, s);
+            }
+            s.push(')');
+        }
+        PatKind::Ref(inner) => {
+            s.push('&');
+            dump_pat(inner, s);
+        }
+        PatKind::Or(elems) => {
+            s.push_str("(or");
+            for e in elems {
+                s.push(' ');
+                dump_pat(e, s);
+            }
+            s.push(')');
+        }
+        PatKind::Range => s.push_str("range"),
+        PatKind::Rest => s.push_str(".."),
+        PatKind::Opaque => s.push_str("opaque-pat"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> Ast {
+        let ast = parse(&lex(src).tokens);
+        assert!(ast.errors.is_empty(), "parse errors: {:?}", ast.errors);
+        ast
+    }
+
+    #[test]
+    fn string_literal_with_operator_contents_is_not_an_operator() {
+        // Token text of a `Str` is the contents without quotes, so `"*"`
+        // must not be mistaken for a deref and `"("` must not desync
+        // balance counting inside macro bodies.
+        let ast = parse_ok(
+            "fn f(norm: f64) -> &'static str {\n    let mark = if norm >= 0.95 { \"*\" } else { \"\" };\n    println!(\"({mark})\");\n    match mark { \"*\" => \"sat\", \"-\" => \"neg\", _ => mark }\n}",
+        );
+        let d = dump(&ast);
+        assert!(d.contains("(if"), "{d}");
+        assert!(d.contains("(match"), "{d}");
+    }
+
+    #[test]
+    fn struct_literal_fields_may_carry_cfg_attrs() {
+        let ast = parse_ok(
+            "fn f() -> Simulator {\n    Simulator {\n        now: 0,\n        #[cfg(feature = \"strict-invariants\")]\n        ledger_injected: 0,\n        queue: Vec::new(),\n    }\n}",
+        );
+        let d = dump(&ast);
+        assert!(
+            d.contains("(struct-lit Simulator now ledger_injected queue)"),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn fn_with_params_and_body() {
+        let ast = parse_ok("pub fn add(a: u32, b: u32) -> u32 { a + b }");
+        assert_eq!(
+            dump(&ast),
+            "(fn add pub (params a:u32 b:u32) (block (+ a b)))"
+        );
+    }
+
+    #[test]
+    fn method_chain_and_closure() {
+        let ast =
+            parse_ok("fn f(v: &[f64]) { v.iter().min_by(|a, b| a.partial_cmp(b).unwrap()); }");
+        let d = dump(&ast);
+        assert!(d.contains("partial_cmp"), "{d}");
+        assert!(d.contains("(closure"), "{d}");
+    }
+
+    #[test]
+    fn match_with_wildcard_and_guard() {
+        let ast = parse_ok(
+            "fn f(k: EventKind) -> u32 { match k { EventKind::A => 1, EventKind::B(x) if x > 2 => 2, _ => 0 } }",
+        );
+        let d = dump(&ast);
+        assert!(d.contains("(arm EventKind::A lit)"), "{d}");
+        assert!(d.contains("guard"), "{d}");
+        assert!(d.contains("(arm _ lit)"), "{d}");
+    }
+
+    #[test]
+    fn generics_with_double_close() {
+        let ast = parse_ok(
+            "fn f() -> Vec<Vec<u32>> { let x: BTreeMap<u32, Vec<u64>> = BTreeMap::new(); x.values().map(|v| v.len()).collect::<Vec<usize>>(); Vec::new() }",
+        );
+        assert!(dump(&ast).contains("collect"));
+    }
+
+    #[test]
+    fn struct_literal_vs_block() {
+        let ast = parse_ok("fn f() { if x { g(); } let p = Point { x: 1, y: 2 }; }");
+        let d = dump(&ast);
+        assert!(d.contains("(if x"), "{d}");
+        assert!(d.contains("(struct-lit Point x y)"), "{d}");
+    }
+
+    #[test]
+    fn labeled_loops_and_let_else() {
+        let ast = parse_ok(
+            "fn f() { 'outer: while a < b { break 'outer; } let Some(x) = opt else { return; }; }",
+        );
+        let d = dump(&ast);
+        assert!(d.contains("(while"), "{d}");
+        assert!(d.contains("(break)"), "{d}");
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let ast = parse_ok("use std::collections::{BTreeMap, BTreeSet as Set};\nuse a::b::*;");
+        let d = dump(&ast);
+        assert!(d.contains("std::collections::BTreeMap"), "{d}");
+        assert!(d.contains("std::collections::BTreeSet=>Set"), "{d}");
+        assert!(d.contains("a::b=>*") || d.contains("a::b::*"), "{d}");
+    }
+
+    #[test]
+    fn impl_trait_for_type() {
+        let ast = parse_ok(
+            "impl std::fmt::Display for SimTime { fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, \"x\") } }",
+        );
+        let d = dump(&ast);
+        assert!(d.starts_with("(impl Display for SimTime"), "{d}");
+    }
+
+    #[test]
+    fn enum_variants_collected() {
+        let ast = parse_ok("pub enum E { A, B(u32), C { x: u8 }, D = 4 }");
+        assert_eq!(dump(&ast), "(enum E A B C D)");
+    }
+
+    #[test]
+    fn ranges_and_casts() {
+        let ast = parse_ok("fn f() { for i in 0..n { g(i as f64 / 1e6); } }");
+        let d = dump(&ast);
+        assert!(d.contains("(range lit n)"), "{d}");
+        assert!(d.contains("(as i f64)"), "{d}");
+    }
+
+    #[test]
+    fn macro_calls_are_opaque() {
+        let ast =
+            parse_ok("fn f() { assert_eq!(a, b); let v = vec![1, 2]; panic!(\"boom {x}\"); }");
+        let d = dump(&ast);
+        assert!(d.contains("(macro assert_eq)"), "{d}");
+        assert!(d.contains("(macro vec)"), "{d}");
+        assert!(d.contains("(macro panic)"), "{d}");
+    }
+
+    #[test]
+    fn cfg_gated_items_parse() {
+        let ast = parse_ok(
+            "#[cfg(test)]\nmod tests {\n    use super::*;\n    #[test]\n    fn t() { assert!(true); }\n}",
+        );
+        let d = dump(&ast);
+        assert!(d.contains("(mod tests"), "{d}");
+        assert!(d.contains("(fn t"), "{d}");
+    }
+}

@@ -3,13 +3,15 @@
 //! Modes:
 //! * `check` — human-readable diagnostics for every unsuppressed finding;
 //!   exit 1 if any. This is the CI gate and what `tests/tidy.rs` shells to.
-//! * `list`  — every finding (suppressed included) as a JSON array.
+//! * `list`  — every finding (suppressed included) as a JSON array, or as a
+//!   SARIF 2.1.0 log with `--format sarif` (GitHub code-scanning upload).
 //! * `stats` — per-rule counts of active / waived / allowlisted findings.
 //!
 //! Flags: `--root <dir>` (default: walk up from cwd to the `[workspace]`
-//! manifest) and `--allowlist <file>` (default: `<root>/lint-allowlist.toml`).
+//! manifest), `--allowlist <file>` (default: `<root>/lint-allowlist.toml`),
+//! and `--format json|sarif` (list mode only).
 
-use pnet_lint::rules::{rule_summary, Finding, Suppression};
+use pnet_lint::rules::{rule_summary, Finding, Suppression, RULE_IDS};
 use pnet_lint::{find_workspace_root, scan};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -19,11 +21,13 @@ fn main() -> ExitCode {
     let mut mode: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut allowlist: Option<PathBuf> = None;
+    let mut format: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--allowlist" => allowlist = args.next().map(PathBuf::from),
+            "--format" => format = args.next(),
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -39,6 +43,12 @@ fn main() -> ExitCode {
     let mode = mode.unwrap_or_else(|| "check".to_string());
     if !matches!(mode.as_str(), "check" | "list" | "stats") {
         eprintln!("pnet-tidy: unknown mode `{mode}`");
+        print_usage();
+        return ExitCode::from(2);
+    }
+    let format = format.unwrap_or_else(|| "json".to_string());
+    if !matches!(format.as_str(), "json" | "sarif") {
+        eprintln!("pnet-tidy: unknown format `{format}` (expected json or sarif)");
         print_usage();
         return ExitCode::from(2);
     }
@@ -75,7 +85,11 @@ fn main() -> ExitCode {
     match mode.as_str() {
         "check" => run_check(&report),
         "list" => {
-            println!("{}", to_json(&report.findings));
+            if format == "sarif" {
+                println!("{}", to_sarif(&report.findings));
+            } else {
+                println!("{}", to_json(&report.findings));
+            }
             ExitCode::SUCCESS
         }
         "stats" => {
@@ -88,10 +102,10 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: pnet-tidy [check|list|stats] [--root <dir>] [--allowlist <file>]\n\
+        "usage: pnet-tidy [check|list|stats] [--root <dir>] [--allowlist <file>] [--format json|sarif]\n\
          \n\
          check  exit 1 on any unwaived finding (default; the CI gate)\n\
-         list   all findings, suppressed included, as JSON\n\
+         list   all findings, suppressed included, as JSON (or SARIF 2.1.0)\n\
          stats  per-rule active/waived/allowlisted counts"
     );
 }
@@ -158,10 +172,64 @@ fn to_json(findings: &[Finding]) -> String {
             Some(Suppression::Waiver) => json_str("waiver"),
             Some(Suppression::Allowlist) => json_str("allowlist"),
         };
-        s.push_str(&format!("\"suppressed\":{sup}"));
+        s.push_str(&format!("\"suppressed\":{sup},"));
+        let origin = match &f.origin {
+            None => "null".to_string(),
+            Some((file, line)) => json_str(&format!("{file}:{line}")),
+        };
+        s.push_str(&format!("\"origin\":{origin}"));
         s.push('}');
     }
     s.push_str("\n]");
+    s
+}
+
+/// Minimal SARIF 2.1.0 log: one run, one rule descriptor per catalogue id,
+/// one result per finding. Suppressed findings carry a `suppressions` array
+/// so code scanning shows them as closed rather than open.
+fn to_sarif(findings: &[Finding]) -> String {
+    let mut s = String::from(
+        "{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [{\n    \"tool\": {\"driver\": {\"name\": \"pnet-tidy\", \"informationUri\": \"DESIGN.md\", \"rules\": [",
+    );
+    let all_rules: Vec<&str> = RULE_IDS.iter().copied().chain(["W1", "A1"]).collect();
+    for (i, rule) in all_rules.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(rule),
+            json_str(rule_summary(rule))
+        ));
+    }
+    s.push_str("\n    ]}},\n    \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]",
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(&f.file),
+            f.line,
+            f.col
+        ));
+        if let Some(sup) = f.suppressed {
+            let kind = match sup {
+                Suppression::Waiver => "inline waiver",
+                Suppression::Allowlist => "allowlist entry",
+            };
+            s.push_str(&format!(
+                ", \"suppressions\": [{{\"kind\": \"inSource\", \"justification\": {}}}]",
+                json_str(kind)
+            ));
+        }
+        s.push('}');
+    }
+    s.push_str("\n    ]\n  }]\n}");
     s
 }
 

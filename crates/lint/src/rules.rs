@@ -11,8 +11,9 @@ use std::collections::BTreeSet;
 /// A single diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id: D1, D2, D3, C1, C2 — or W1 (malformed waiver) / A1 (stale
-    /// allowlist entry), which are produced by the driver, not here.
+    /// Rule id: D1, D2, D3, C1, C2 (token-level, this module), P1, M1, U1,
+    /// F1, E1 (AST/call-graph level, [`crate::sem`]) — or W1 (malformed
+    /// waiver) / A1 (stale allowlist entry), produced by the driver.
     pub rule: &'static str,
     /// Path relative to the scanned root, forward slashes.
     pub file: String,
@@ -23,6 +24,11 @@ pub struct Finding {
     pub snippet: String,
     /// Set by the driver when a waiver or allowlist entry suppresses this.
     pub suppressed: Option<Suppression>,
+    /// For propagated findings (P1): the `(file, line)` of the root cause —
+    /// the panic site a public fn transitively reaches. A waiver naming the
+    /// rule *on the origin line* suppresses every finding propagated from
+    /// it, so one waiver at the panic site quiets the whole call tree.
+    pub origin: Option<(String, u32)>,
 }
 
 /// How a finding was suppressed.
@@ -40,6 +46,11 @@ pub fn rule_summary(rule: &str) -> &'static str {
         "D3" => "float ==/!= comparison in solver/sim code",
         "C1" => "unwrap()/expect()/panic! in library crate outside #[cfg(test)]",
         "C2" => "narrowing `as` cast in htsim",
+        "P1" => "public fn transitively reaches a panic site",
+        "M1" => "wildcard `_ =>` arm in a match over a workspace enum",
+        "U1" => "unit-unsafe arithmetic (raw constructor or inline conversion constant)",
+        "F1" => "partial_cmp-based float ordering (use total_cmp)",
+        "E1" => "parse error (file not analyzable by the semantic rules)",
         "W1" => "malformed pnet-tidy waiver comment",
         "A1" => "stale allowlist entry (matches no finding)",
         _ => "unknown rule",
@@ -47,7 +58,7 @@ pub fn rule_summary(rule: &str) -> &'static str {
 }
 
 /// All enforceable rule ids (the ones a waiver may name).
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "C1", "C2"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "C1", "C2", "P1", "M1", "U1", "F1", "E1"];
 
 fn d1_scope(p: &str) -> bool {
     [
@@ -183,6 +194,7 @@ impl FileCtx<'_> {
             message,
             snippet: self.snippet(tok.line),
             suppressed: None,
+            origin: None,
         }
     }
 }
@@ -320,7 +332,7 @@ fn bracket_delta(t: &str) -> i32 {
 /// Run this per `fn` region (see [`fn_regions`]), not per file: taint is
 /// name-based, and a float `remaining` in one function must not taint an
 /// integer `remaining` in another.
-fn float_taint(tokens: &[Token]) -> (BTreeSet<String>, BTreeSet<String>) {
+pub(crate) fn float_taint(tokens: &[Token]) -> (BTreeSet<String>, BTreeSet<String>) {
     let mut floats: BTreeSet<String> = BTreeSet::new();
     let mut ints: BTreeSet<String> = BTreeSet::new();
 
@@ -483,7 +495,7 @@ fn float_taint(tokens: &[Token]) -> (BTreeSet<String>, BTreeSet<String>) {
 /// annotations seed the taint. Bodyless `fn` declarations (traits) are
 /// skipped. Nested functions produce nested ranges; callers pick the
 /// innermost range containing a site.
-fn fn_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn fn_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     for i in 0..tokens.len() {
         if tokens[i].kind != TokenKind::Ident || tokens[i].text != "fn" {

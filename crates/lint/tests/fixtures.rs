@@ -32,9 +32,39 @@ fn brief(f: &Finding) -> (String, &'static str, u32, u32, Option<Suppression>) {
 #[test]
 fn fixture_scan_reports_exact_rule_ids_and_spans() {
     let report = scan_fixtures();
-    assert_eq!(report.files_scanned, 3, "three fixture .rs files");
+    assert_eq!(report.files_scanned, 7, "seven fixture .rs files");
     let got: Vec<_> = report.findings.iter().map(brief).collect();
     let expected = vec![
+        // core: wildcard arm over a workspace enum, active then waived.
+        (
+            "crates/core/src/lib.rs".to_string(),
+            "M1",
+            12,
+            col_of("crates/core/src/lib.rs", 12, "_"),
+            None,
+        ),
+        (
+            "crates/core/src/lib.rs".to_string(),
+            "M1",
+            20,
+            col_of("crates/core/src/lib.rs", 20, "_"),
+            Some(Suppression::Waiver),
+        ),
+        // flowsim/f1: partial_cmp-based float ordering, active then waived.
+        (
+            "crates/flowsim/src/f1.rs".to_string(),
+            "F1",
+            5,
+            col_of("crates/flowsim/src/f1.rs", 5, "partial_cmp"),
+            None,
+        ),
+        (
+            "crates/flowsim/src/f1.rs".to_string(),
+            "F1",
+            12,
+            col_of("crates/flowsim/src/f1.rs", 12, "partial_cmp"),
+            Some(Suppression::Waiver),
+        ),
         // flowsim: active float ==, waived sentinel ==, dead waiver.
         (
             "crates/flowsim/src/lib.rs".to_string(),
@@ -74,6 +104,28 @@ fn fixture_scan_reports_exact_rule_ids_and_spans() {
             col_of("crates/htsim/src/lib.rs", 16, "panic"),
             Some(Suppression::Allowlist),
         ),
+        // htsim/units: raw SimTime ctor, inline /1e6 conversion, waived twin.
+        (
+            "crates/htsim/src/units.rs".to_string(),
+            "U1",
+            4,
+            col_of("crates/htsim/src/units.rs", 4, "SimTime"),
+            None,
+        ),
+        (
+            "crates/htsim/src/units.rs".to_string(),
+            "U1",
+            8,
+            col_of("crates/htsim/src/units.rs", 8, "1e6"),
+            None,
+        ),
+        (
+            "crates/htsim/src/units.rs".to_string(),
+            "U1",
+            13,
+            col_of("crates/htsim/src/units.rs", 13, "1e6"),
+            Some(Suppression::Waiver),
+        ),
         // routing: active HashMap, waived HashSet, active wall-clock read.
         (
             "crates/routing/src/lib.rs".to_string(),
@@ -96,6 +148,44 @@ fn fixture_scan_reports_exact_rule_ids_and_spans() {
             col_of("crates/routing/src/lib.rs", 8, "Instant"),
             None,
         ),
+        // routing/p1: a private panicking helper (C1) taints `pub fn head`
+        // (P1, with origin); one variant waived at the public surface, one
+        // at the panic site itself (origin waiver also silences C1 there).
+        (
+            "crates/routing/src/p1.rs".to_string(),
+            "C1",
+            5,
+            col_of("crates/routing/src/p1.rs", 5, "unwrap"),
+            None,
+        ),
+        (
+            "crates/routing/src/p1.rs".to_string(),
+            "P1",
+            8,
+            col_of("crates/routing/src/p1.rs", 8, "head"),
+            None,
+        ),
+        (
+            "crates/routing/src/p1.rs".to_string(),
+            "P1",
+            13,
+            col_of("crates/routing/src/p1.rs", 13, "head_waived"),
+            Some(Suppression::Waiver),
+        ),
+        (
+            "crates/routing/src/p1.rs".to_string(),
+            "C1",
+            19,
+            col_of("crates/routing/src/p1.rs", 19, "unwrap"),
+            Some(Suppression::Waiver),
+        ),
+        (
+            "crates/routing/src/p1.rs".to_string(),
+            "P1",
+            22,
+            col_of("crates/routing/src/p1.rs", 22, "quiet"),
+            Some(Suppression::Waiver),
+        ),
         // The stale allowlist entry is itself a finding, anchored at its
         // `[[allow]]` header line.
         ("lint-allowlist.toml".to_string(), "A1", 7, 1, None),
@@ -109,13 +199,30 @@ fn fixture_scan_fails_the_check_gate() {
     let active: Vec<_> = report.active().map(|f| f.rule).collect();
     // Every enforceable rule trips at least once, and the two meta-rules
     // (dead waiver, stale allowlist entry) are active findings too.
-    for rule in ["D1", "D2", "D3", "C1", "C2", "W1", "A1"] {
+    for rule in [
+        "D1", "D2", "D3", "C1", "C2", "W1", "A1", "P1", "M1", "U1", "F1",
+    ] {
         assert!(
             active.contains(&rule),
             "rule {rule} missing from {active:?}"
         );
     }
-    assert_eq!(active.len(), 7);
+    assert_eq!(active.len(), 13);
+}
+
+#[test]
+fn fixture_p1_finding_carries_its_panic_origin() {
+    let report = scan_fixtures();
+    let p1 = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "P1" && f.suppressed.is_none())
+        .expect("one active P1 finding");
+    assert_eq!(
+        p1.origin,
+        Some(("crates/routing/src/p1.rs".to_string(), 5)),
+        "P1 must point at the transitive panic site"
+    );
 }
 
 #[test]
@@ -130,9 +237,15 @@ fn fixture_suppressions_carry_their_mechanism() {
     assert_eq!(
         suppressed,
         vec![
+            ("M1", Some(Suppression::Waiver)),
+            ("F1", Some(Suppression::Waiver)),
             ("D3", Some(Suppression::Waiver)),
             ("C1", Some(Suppression::Allowlist)),
+            ("U1", Some(Suppression::Waiver)),
             ("D1", Some(Suppression::Waiver)),
+            ("P1", Some(Suppression::Waiver)),
+            ("C1", Some(Suppression::Waiver)),
+            ("P1", Some(Suppression::Waiver)),
         ]
     );
 }

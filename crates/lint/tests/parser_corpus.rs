@@ -1,0 +1,152 @@
+//! Parser corpus + snapshot tests.
+//!
+//! The corpus test is the parser's ground-truth contract: every `.rs` file
+//! in this workspace must parse with zero errors, otherwise the semantic
+//! rules (P1/M1/U1/F1) silently lose coverage of that file. (`pnet-tidy
+//! check` enforces the same at lint time via rule E1 — this test catches a
+//! parser regression in `cargo test` even if the fixture suite misses it.)
+//!
+//! The snapshot tests pin the AST shape for syntax that has historically
+//! broken hand-written Rust parsers: `>>` closing nested generics, nested
+//! closures, raw strings, string literals whose contents look like
+//! operators, and cfg-gated items/fields.
+
+use pnet_lint::ast::{dump, parse};
+use pnet_lint::lexer::lex;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Same exclusions as the scanner: build outputs, vendored code, and the
+/// intentionally-broken lint fixtures.
+const EXCLUDED_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+fn workspace_root() -> PathBuf {
+    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    pnet_lint::find_workspace_root(&here).expect("workspace root above crates/lint")
+}
+
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<PathBuf> = fs::read_dir(root)
+        .expect("readable dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !EXCLUDED_DIRS.contains(&name) {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_file_parses_without_errors() {
+    let root = workspace_root();
+    let mut paths = Vec::new();
+    collect_rs_files(&root, &mut paths);
+    assert!(
+        paths.len() > 50,
+        "suspiciously small corpus ({} files) — walker broken?",
+        paths.len()
+    );
+    let mut failures = Vec::new();
+    for path in &paths {
+        let src = fs::read_to_string(path).expect("readable source");
+        let ast = parse(&lex(&src).tokens);
+        for e in &ast.errors {
+            failures.push(format!(
+                "{}:{}:{}: {}",
+                path.strip_prefix(&root).unwrap_or(path).display(),
+                e.line,
+                e.col,
+                e.message
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} parse error(s) across the workspace:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+fn snap(src: &str) -> String {
+    let ast = parse(&lex(src).tokens);
+    assert!(
+        ast.errors.is_empty(),
+        "parse errors for {src:?}: {:?}",
+        ast.errors
+    );
+    dump(&ast)
+}
+
+#[test]
+fn snapshot_nested_generics_with_double_close() {
+    let d = snap("fn f(m: BTreeMap<u32, Vec<Vec<u64>>>) -> Vec<Vec<u32>> { m.values().flatten().map(|v| v.len() as u32).collect::<Vec<Vec<u32>>>() }");
+    assert_eq!(
+        d,
+        "(fn f (params m:BTreeMap::u32::Vec::Vec::u64) (block \
+         (. (. (. (. m values) flatten) map (closure (as (. v len) u32))) collect)))"
+    );
+}
+
+#[test]
+fn snapshot_nested_closures() {
+    let d = snap("fn f() { let add = |a: u32| move |b: u32| a + b; let g = add(1); g(2); }");
+    // Two closure nodes, the inner one inside the outer one's body.
+    let outer = d.find("(closure").expect("outer closure");
+    assert!(
+        d[outer + 1..].contains("(closure"),
+        "inner closure missing: {d}"
+    );
+    assert!(d.contains("(+ a b)"), "{d}");
+}
+
+#[test]
+fn snapshot_raw_strings_and_operator_contents() {
+    // Raw strings and string literals whose contents are operator tokens
+    // must land as literals, never as operators.
+    let d = snap(
+        "fn f(s: &str) -> &str { let pat = r#\"a \"quoted\" \\ thing\"#; match s { \"*\" => pat, \"&&\" => \"..\", _ => \"\" } }",
+    );
+    assert!(d.contains("(match s"), "{d}");
+    // Three arms, all literal patterns/bodies — no unary/deref nodes.
+    assert!(!d.contains("(* "), "string contents parsed as deref: {d}");
+}
+
+#[test]
+fn snapshot_cfg_gated_items_and_fields() {
+    let d = snap(
+        "#[cfg(feature = \"strict-invariants\")]\npub fn gated() {}\n\npub fn build() -> S {\n    S {\n        a: 1,\n        #[cfg(feature = \"strict-invariants\")]\n        ledger: 0,\n        b: 2,\n    }\n}\n",
+    );
+    assert!(d.contains("(fn gated pub"), "{d}");
+    assert!(d.contains("(struct-lit S a ledger b)"), "{d}");
+}
+
+#[test]
+fn snapshot_match_over_enum_with_wildcard() {
+    let d = snap("fn f(k: Kind) -> u32 { match k { Kind::A => 1, Kind::B { x } => x, _ => 0 } }");
+    assert_eq!(
+        d,
+        "(fn f (params k:Kind) (block (match k (arm Kind::A lit) (arm (Kind::B{} x) x) (arm _ lit))))"
+    );
+}
+
+#[test]
+fn snapshot_if_let_chains_and_ranges() {
+    let d =
+        snap("fn f(v: &[u32]) { if let Some(x) = v.first() { for i in 0..*x { let _ = i; } } }");
+    assert_eq!(
+        d,
+        "(fn f (params v:u32) (block (if (let-cond (Some x) (. v first)) \
+         (block (for i (range lit (* x)) (block (let _ i)))))))"
+    );
+}

@@ -86,21 +86,18 @@ impl Jellyfish {
     pub fn generate_edges(&self) -> Vec<(usize, usize)> {
         // Retry with derived seeds until connected (virtually always the
         // first attempt: random regular graphs with d >= 3 are connected
-        // w.h.p.).
-        for attempt in 0..64u64 {
-            let seed = self
-                .seed
-                .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let edges = random_regular_graph(self.n_tors, self.degree, seed);
-            let regular = edges.len() == self.n_tors * self.degree / 2;
-            if regular && is_connected(self.n_tors, &edges) {
-                return edges;
-            }
-        }
-        panic!(
-            "failed to build a connected {}-regular graph on {} nodes",
-            self.degree, self.n_tors
-        );
+        // w.h.p., so 64 reseeded attempts make failure astronomically
+        // unlikely).
+        (0..64u64)
+            .find_map(|attempt| {
+                let seed = self
+                    .seed
+                    .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let edges = random_regular_graph(self.n_tors, self.degree, seed);
+                let regular = edges.len() == self.n_tors * self.degree / 2;
+                (regular && is_connected(self.n_tors, &edges)).then_some(edges)
+            })
+            .expect("invariant: 64 reseeded attempts always yield a connected regular graph")
     }
 }
 

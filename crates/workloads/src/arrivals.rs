@@ -17,7 +17,8 @@ impl PoissonArrivals {
         assert!(mean_gap_ps > 0.0, "mean gap must be positive");
         PoissonArrivals {
             rng: StdRng::seed_from_u64(seed),
-            exp: Exp::new(1.0 / mean_gap_ps).expect("invalid rate"),
+            exp: Exp::new(1.0 / mean_gap_ps)
+                .expect("invariant: rate is positive (mean gap asserted above)"),
         }
     }
 

@@ -26,7 +26,9 @@ impl EmpiricalCdf {
             assert!(w[0].0 < w[1].0, "sizes must increase: {w:?}");
             assert!(w[0].1 <= w[1].1, "cdf must not decrease: {w:?}");
         }
-        let last = points.last().unwrap();
+        let last = points
+            .last()
+            .expect("invariant: length >= 2 asserted above");
         assert!(
             (last.1 - 1.0).abs() < 1e-9,
             "cdf must end at 1.0, got {}",
@@ -65,7 +67,10 @@ impl EmpiricalCdf {
                 return lx.exp().round().max(1.0) as u64;
             }
         }
-        pts.last().unwrap().0.round() as u64
+        pts.last()
+            .expect("invariant: CDF point lists are non-empty (validated in new)")
+            .0
+            .round() as u64
     }
 
     /// Mean flow size implied by the piecewise log-linear CDF, estimated by
@@ -100,7 +105,11 @@ impl EmpiricalCdf {
 
     /// Largest size in the support.
     pub fn max_bytes(&self) -> u64 {
-        self.points.last().unwrap().0.round() as u64
+        self.points
+            .last()
+            .expect("invariant: CDF point lists are non-empty (validated in new)")
+            .0
+            .round() as u64
     }
 }
 

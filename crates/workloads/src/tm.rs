@@ -37,7 +37,9 @@ pub fn random_permutation(n: usize, seed: u64) -> Vec<usize> {
             for w in 0..fixed.len() - 1 {
                 perm[fixed[w]] = perm[fixed[w + 1]];
             }
-            perm[*fixed.last().unwrap()] = first;
+            perm[*fixed
+                .last()
+                .expect("invariant: this branch only runs with >= 2 fixed points")] = first;
         }
     }
     debug_assert!((0..n).all(|i| perm[i] != i));
