@@ -18,16 +18,28 @@
 //!    clock of a permutation workload with telemetry fully off vs fully on
 //!    (every trace category + 50 µs sampler), min-of-N; the FCT vectors
 //!    must be bit-identical (the observer cannot perturb the simulation).
+//! 5. **Event engine throughput** (`BENCH_htsim.json`) — the overhauled
+//!    simulator core (calendar/ladder event queue, packet slab arena,
+//!    batched same-timestamp dispatch) vs the pre-overhaul engine, kept
+//!    alive verbatim as [`pnet_htsim::reference::RefSimulator`] and re-timed
+//!    *live* on the same machine and workload: a full host permutation on a
+//!    paper-scale fabric (98 ToRs x 7 hosts = 686 hosts, matching the
+//!    paper's testbed host count) under 2-subflow LIA MPTCP. Reports
+//!    events/sec for both engines; the per-flow FCT records must be
+//!    byte-identical or the run aborts.
 //!
 //! Usage: `bench_report [--quick] [--tors 64] [--degree 8] [--planes 4]
 //!                      [--k 32] [--seed 1] [--eps 0.1] [--no-reference]
-//!                      [--repeats 5]`
+//!                      [--repeats 5] [--htsim-tors 98] [--htsim-degree 14]
+//!                      [--htsim-hosts 7] [--htsim-kb 1000]`
 //!
-//! `--quick` shrinks the instance (16 ToRs, degree 4, 2 planes, k=8) for a
-//! CI smoke run; explicit size flags still override it.
+//! `--quick` shrinks the instances (16 ToRs, degree 4, 2 planes, k=8;
+//! htsim: 16 ToRs x 2 hosts, 100 KB flows) for a CI smoke run; explicit
+//! size flags still override it.
 
 use pnet_bench::{banner, f3, Args};
 use pnet_flowsim::{commodity, mcf, Commodity};
+use pnet_htsim::reference::RefSimulator;
 use pnet_htsim::{
     run_to_completion, CcAlgo, FlowSpec, SimConfig, SimTime, Simulator, TelemetryConfig,
 };
@@ -188,6 +200,64 @@ fn timed_sim(
     (ms, fcts.into_iter().map(|(_, f)| f).collect(), n_records)
 }
 
+/// Outcome of one engine run: wall ms, events dispatched, and the full
+/// per-flow record vector (sorted by owner tag) for the identity check.
+struct EngineRun {
+    ms: f64,
+    events: u64,
+    fcts: Vec<(u64, u64, u64, u64, u64)>,
+}
+
+fn fct_vector(records: &[pnet_htsim::FlowRecord]) -> Vec<(u64, u64, u64, u64, u64)> {
+    let mut v: Vec<(u64, u64, u64, u64, u64)> = records
+        .iter()
+        .map(|r| {
+            (
+                r.owner_tag,
+                r.start.as_ps(),
+                r.finish.as_ps(),
+                r.retransmits,
+                r.timeouts,
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// One run of the overhauled engine on a prebuilt flow set.
+fn timed_new_engine(net: &Network, flows: &[FlowSpec]) -> EngineRun {
+    let t0 = Instant::now();
+    let mut sim = Simulator::new(net, SimConfig::default());
+    for spec in flows {
+        sim.start_flow(spec.clone());
+    }
+    run_to_completion(&mut sim);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    EngineRun {
+        ms,
+        events: sim.events_dispatched(),
+        fcts: fct_vector(&sim.records),
+    }
+}
+
+/// One run of the pre-overhaul engine (binary-heap queue, boxed per-packet
+/// allocation) on the same flow set.
+fn timed_reference_engine(net: &Network, flows: &[FlowSpec]) -> EngineRun {
+    let t0 = Instant::now();
+    let mut sim = RefSimulator::new(net, SimConfig::default());
+    for spec in flows {
+        sim.start_flow(spec.clone());
+    }
+    sim.run_to_completion();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    EngineRun {
+        ms,
+        events: sim.events_dispatched(),
+        fcts: fct_vector(&sim.records),
+    }
+}
+
 fn timed_mcf(
     net: &Network,
     commodities: &[Commodity],
@@ -218,6 +288,7 @@ fn main() {
     let seed: u64 = args.get("seed", 1);
     let eps: f64 = args.get("eps", 0.1);
     let run_reference = !args.has("no-reference");
+    let htsim_only = args.has("htsim-only");
 
     let threads = Parallelism::Rayon.threads();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -242,6 +313,10 @@ fn main() {
     );
 
     // --- Routing: all-pairs KSP precompute. -------------------------------
+    if htsim_only {
+        htsim_engine_section(&args, quick, seed, cores);
+        return;
+    }
     let (serial_ms, serial_dump) = timed_precompute(&net, k, Parallelism::Serial);
     let (parallel_ms, parallel_dump) = timed_precompute(&net, k, Parallelism::Rayon);
     let identical = serial_dump == parallel_dump;
@@ -405,6 +480,225 @@ fn main() {
              \"trace_records\": {trace_records},\n  \
              \"identical_fcts\": {identical_fcts}\n}}\n",
             flows.len(),
+        ),
+    );
+
+    htsim_engine_section(&args, quick, seed, cores);
+}
+
+/// Splitmix-free xorshift64: deterministic offset stream for the hold model.
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Draw a schedule offset from the simulator's own event-horizon mix: ACK
+/// serialization at 100G (3.2 ns), MTU serialization (120 ns), a ~1 µs
+/// propagation hop, and a 1% tail of 10 ms RTO-class timers.
+fn hold_offset_ps(state: &mut u64) -> u64 {
+    match xorshift(state) % 100 {
+        0 => 10_000_000_000,
+        1..=30 => 3_200,
+        31..=60 => 120_000,
+        _ => 1_050_000,
+    }
+}
+
+/// Hold-model microbenchmark of the event queue in isolation — the classic
+/// calendar-queue methodology (pop the earliest event, reschedule it at
+/// `popped + offset`, steady-state population held constant). This isolates
+/// the tentpole's direct target from the end-to-end number, which is
+/// Amdahl-limited by transport work and DRAM misses on simulator state that
+/// both engines pay identically. The baseline is a `BinaryHeap` over
+/// same-size (32-byte) nodes with the identical (time, seq) order — a
+/// *favorable* stand-in for the old engine, whose nodes were 64 bytes.
+/// Returns (calendar Mops, heap Mops).
+fn queue_hold_microbench(quick: bool) -> (f64, f64) {
+    use pnet_htsim::event::{EventKind, EventQueue};
+    const PENDING: usize = 1 << 16;
+    let holds: usize = if quick { 1_000_000 } else { 8_000_000 };
+
+    // Calendar queue, the production engine's structure.
+    let mut q = EventQueue::new();
+    let mut rng = 0x243F_6A88_85A3_08D3u64;
+    let mut t = 0u64;
+    for i in 0..PENDING {
+        q.schedule(
+            SimTime::from_ps(hold_offset_ps(&mut rng)),
+            EventKind::AppTimer {
+                app: 0,
+                tag: i as u64,
+            },
+        );
+    }
+    let mut cal_sum = 0u64;
+    let start = Instant::now();
+    for i in 0..holds {
+        let ev = q.pop().expect("hold model keeps the population constant");
+        t = ev.time.as_ps();
+        cal_sum = cal_sum.wrapping_add(t);
+        q.schedule(
+            SimTime::from_ps(t + hold_offset_ps(&mut rng)),
+            EventKind::AppTimer {
+                app: 0,
+                tag: i as u64,
+            },
+        );
+    }
+    let cal_mops = holds as f64 / start.elapsed().as_secs_f64() / 1e6;
+
+    // Binary-heap baseline over nodes of the same size and total order.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct HeapEv {
+        time: u64,
+        seq: u64,
+        payload: u64,
+    }
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapEv>> =
+        std::collections::BinaryHeap::new();
+    let mut rng = 0x243F_6A88_85A3_08D3u64;
+    let mut seq = 0u64;
+    for i in 0..PENDING {
+        heap.push(std::cmp::Reverse(HeapEv {
+            time: hold_offset_ps(&mut rng),
+            seq,
+            payload: i as u64,
+        }));
+        seq += 1;
+    }
+    let mut heap_sum = 0u64;
+    let start = Instant::now();
+    for i in 0..holds {
+        let std::cmp::Reverse(ev) = heap
+            .pop()
+            .expect("hold model keeps the population constant");
+        heap_sum = heap_sum.wrapping_add(ev.time);
+        heap.push(std::cmp::Reverse(HeapEv {
+            time: ev.time + hold_offset_ps(&mut rng),
+            seq,
+            payload: i as u64,
+        }));
+        seq += 1;
+    }
+    let heap_mops = holds as f64 / start.elapsed().as_secs_f64() / 1e6;
+
+    // Same seed, same offsets, same total order: the two structures must pop
+    // the identical timestamp sequence or one of them is not a priority
+    // queue. (`t` is read so the calendar loop cannot be optimized away.)
+    assert_eq!(
+        cal_sum, heap_sum,
+        "calendar queue and heap disagreed on pop order (last t = {t})"
+    );
+    (cal_mops, heap_mops)
+}
+
+/// Event engine: calendar/arena core vs pre-overhaul engine. A full host
+/// permutation at the paper's testbed scale (686 hosts) under 2-subflow LIA
+/// MPTCP, run to completion on both engines. Min-of-N wall clock, events/sec,
+/// and a byte-identical FCT check: the overhaul must be a pure
+/// reimplementation, not a behaviour change.
+fn htsim_engine_section(args: &Args, quick: bool, seed: u64, cores: usize) {
+    let h_tors: usize = args.get("htsim-tors", if quick { 16 } else { 98 });
+    let h_degree: usize = args.get("htsim-degree", if quick { 4 } else { 14 });
+    let h_hosts: usize = args.get("htsim-hosts", if quick { 2 } else { 7 });
+    let h_kb: u64 = args.get("htsim-kb", if quick { 100 } else { 1000 });
+    let h_repeats: usize = args.get("htsim-repeats", if quick { 1 } else { 2 });
+    let h_perms: usize = args.get("htsim-perms", if quick { 1 } else { 4 });
+    let h_planes: usize = if quick { 2 } else { 3 };
+    let h_net = assemble_homogeneous(
+        &Jellyfish::new(h_tors, h_degree, h_hosts, seed),
+        h_planes,
+        &LinkProfile::paper_default(),
+    );
+    let n_hosts = h_net.n_hosts();
+    let h_router = Router::new(&h_net, RouteAlgo::Ksp { k: 2 });
+    let h_flows: Vec<FlowSpec> = (0..h_perms)
+        .flat_map(|p| {
+            tm::random_permutation(n_hosts, seed + p as u64)
+                .into_iter()
+                .enumerate()
+                .map(move |(i, j)| (p * n_hosts + i, i, j))
+        })
+        .map(|(tag, i, j)| {
+            let (src, dst) = (HostId(i as u32), HostId(j as u32));
+            let paths =
+                h_router.k_best_across_planes(h_net.rack_of_host(src), h_net.rack_of_host(dst), 2);
+            let routes: Vec<Vec<pnet_topology::LinkId>> = paths
+                .iter()
+                .filter_map(|p| host_route(&h_net, src, dst, p))
+                .collect();
+            FlowSpec {
+                src,
+                dst,
+                size_bytes: h_kb * 1000,
+                routes,
+                cc: CcAlgo::Lia,
+                owner_tag: tag as u64,
+            }
+        })
+        .collect();
+    let mut new_run = timed_new_engine(&h_net, &h_flows);
+    let mut ref_run = timed_reference_engine(&h_net, &h_flows);
+    for _ in 1..h_repeats {
+        let r = timed_new_engine(&h_net, &h_flows);
+        new_run.ms = new_run.ms.min(r.ms);
+        let r = timed_reference_engine(&h_net, &h_flows);
+        ref_run.ms = ref_run.ms.min(r.ms);
+    }
+    let identical_fcts = new_run.fcts == ref_run.fcts;
+    let new_eps = new_run.events as f64 / (new_run.ms / 1e3);
+    let ref_eps = ref_run.events as f64 / (ref_run.ms / 1e3);
+    let engine_speedup = new_eps / ref_eps;
+    println!(
+        "htsim engine: {n_hosts}-host permutation ({} flows, {h_kb} KB LIA), \
+         min of {h_repeats}: reference {} ms ({} ev/s), overhauled {} ms ({} ev/s), \
+         events/sec speedup {}x, identical FCT records: {identical_fcts}",
+        h_flows.len(),
+        f3(ref_run.ms),
+        f3(ref_eps / 1e6),
+        f3(new_run.ms),
+        f3(new_eps / 1e6),
+        f3(engine_speedup)
+    );
+    assert!(
+        identical_fcts,
+        "event engine overhaul changed behaviour: FCT records diverged from the reference engine"
+    );
+    let (cal_mops, heap_mops) = queue_hold_microbench(quick);
+    let hold_speedup = cal_mops / heap_mops;
+    println!(
+        "htsim event queue (hold model, 64Ki pending): calendar {} Mops, \
+         binary heap {} Mops, speedup {}x",
+        f3(cal_mops),
+        f3(heap_mops),
+        f3(hold_speedup)
+    );
+    write_json(
+        "BENCH_htsim.json",
+        &format!(
+            "{{\n  \"benchmark\": \"htsim_event_engine\",\n  \
+             \"topology\": {{\"kind\": \"jellyfish\", \"n_tors\": {h_tors}, \"degree\": {h_degree}, \
+             \"hosts_per_tor\": {h_hosts}, \"planes\": {h_planes}}},\n  \
+             \"hosts\": {n_hosts},\n  \"flows\": {},\n  \"flow_kb\": {h_kb},\n  \
+             \"cc\": \"lia\",\n  \"repeats\": {h_repeats},\n  \
+             \"threads\": 1,\n  \"available_cores\": {cores},\n  \
+             \"reference_ms\": {:.3},\n  \"overhauled_ms\": {:.3},\n  \
+             \"reference_events\": {},\n  \"overhauled_events\": {},\n  \
+             \"reference_events_per_sec\": {:.0},\n  \"overhauled_events_per_sec\": {:.0},\n  \
+             \"events_per_sec_speedup\": {engine_speedup:.3},\n  \
+             \"queue_hold_calendar_mops\": {cal_mops:.3},\n  \
+             \"queue_hold_heap_mops\": {heap_mops:.3},\n  \
+             \"queue_hold_speedup\": {hold_speedup:.3},\n  \
+             \"identical_fcts\": {identical_fcts}\n}}\n",
+            h_flows.len(),
+            ref_run.ms,
+            new_run.ms,
+            ref_run.events,
+            new_run.events,
+            ref_eps,
+            new_eps,
         ),
     );
 }

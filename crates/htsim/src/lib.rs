@@ -48,12 +48,13 @@ pub mod event;
 pub mod metrics;
 pub mod packet;
 pub mod queue;
+pub mod reference;
 pub mod sim;
 pub mod tcp;
 pub mod telemetry;
 pub mod time;
 
-pub use packet::{ConnId, Packet, PacketKind, ACK_BYTES, MTU_BYTES};
+pub use packet::{ConnId, Packet, PacketArena, PacketId, PacketKind, ACK_BYTES, MTU_BYTES};
 #[cfg(feature = "strict-invariants")]
 pub use sim::ConservationLedger;
 pub use sim::{

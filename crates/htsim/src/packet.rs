@@ -5,6 +5,13 @@
 //! This mirrors the paper's end-host-routing model — the host picks the
 //! plane and path; switches merely forward along it — and keeps switch state
 //! out of the simulator entirely.
+//!
+//! Packets live in a slab arena ([`PacketArena`]) owned by the simulator.
+//! Events and link FIFOs carry a 4-byte [`PacketId`] instead of moving the
+//! packet struct by value, and freed slots are recycled through a freelist,
+//! so steady-state simulation performs zero per-packet heap allocation: a
+//! transmission writes into a recycled slot and bumps the refcount of its
+//! subflow's interned `Arc<[LinkId]>` route.
 
 use crate::time::SimTime;
 use pnet_topology::LinkId;
@@ -20,6 +27,10 @@ pub const ACK_BYTES: u32 = 40;
 /// Identifier of a connection within a simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnId(pub u32);
+
+/// Index of a live packet in its simulator's [`PacketArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketId(u32);
 
 /// What a packet carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +65,9 @@ pub enum PacketKind {
 /// A packet in flight.
 #[derive(Debug, Clone)]
 pub struct Packet {
-    /// The full source route, shared between all packets of a subflow.
-    pub route: Arc<Vec<LinkId>>,
+    /// The full source route, interned once per subflow and shared by every
+    /// packet of that subflow (a single allocation — no `Vec` indirection).
+    pub route: Arc<[LinkId]>,
     /// Index into `route` of the next link to traverse.
     pub hop: u16,
     /// Wire size in bytes.
@@ -79,13 +91,93 @@ impl Packet {
     }
 }
 
+/// Slab arena of in-flight packets with freelist reuse.
+///
+/// Lifecycle invariants:
+/// * a slot is *live* from [`PacketArena::alloc`] until exactly one matching
+///   [`PacketArena::free`] — while live, its id is held by exactly one owner
+///   (a link FIFO entry or a pending `Arrival` event);
+/// * `free` pushes the slot onto the freelist without touching its contents;
+///   the stale `Packet` (and its route `Arc`) is overwritten by the next
+///   `alloc`, so no slot ever holds a dangling reference;
+/// * `alloc` pops the freelist before growing the slab, so a simulation's
+///   slab high-water mark equals its peak in-flight packet count.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slab: Vec<Packet>,
+    free: Vec<PacketId>,
+}
+
+impl PacketArena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store `pkt`, recycling a freed slot when one exists.
+    pub fn alloc(&mut self, pkt: Packet) -> PacketId {
+        if let Some(id) = self.free.pop() {
+            self.slab[id.index()] = pkt;
+            id
+        } else {
+            let id = PacketId(
+                u32::try_from(self.slab.len())
+                    .expect("invariant: in-flight packet count stays within u32"),
+            );
+            self.slab.push(pkt);
+            id
+        }
+    }
+
+    /// Release `id`'s slot for reuse. The caller must own the only copy of
+    /// `id` (the packet was delivered or dropped); double frees would hand
+    /// one slot to two owners. The conservation ledger's in-flight balance
+    /// checks this indirectly: a double free shows up as `live()` drifting
+    /// below the pending-arrival + buffered count.
+    pub fn free(&mut self, id: PacketId) {
+        self.free.push(id);
+    }
+
+    /// Live packets (allocated and not yet freed).
+    pub fn live(&self) -> usize {
+        self.slab.len() - self.free.len()
+    }
+
+    /// Slab high-water mark: the peak number of simultaneously live packets.
+    pub fn capacity(&self) -> usize {
+        self.slab.len()
+    }
+}
+
+impl PacketId {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Index<PacketId> for PacketArena {
+    type Output = Packet;
+    #[inline]
+    fn index(&self, id: PacketId) -> &Packet {
+        &self.slab[id.index()]
+    }
+}
+
+impl std::ops::IndexMut<PacketId> for PacketArena {
+    #[inline]
+    fn index_mut(&mut self, id: PacketId) -> &mut Packet {
+        &mut self.slab[id.index()]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn pkt(route: Vec<LinkId>) -> Packet {
         Packet {
-            route: Arc::new(route),
+            route: Arc::from(route),
             hop: 0,
             size_bytes: MTU_BYTES,
             kind: PacketKind::Data {
@@ -114,5 +206,46 @@ mod tests {
         // host -> ToR -> ToR -> host: 3 links, 2 switches.
         let p = pkt(vec![LinkId(0), LinkId(2), LinkId(5)]);
         assert_eq!(p.switch_hops(), 2);
+    }
+
+    #[test]
+    fn arena_recycles_freed_slots() {
+        let mut a = PacketArena::new();
+        let id0 = a.alloc(pkt(vec![LinkId(0)]));
+        let id1 = a.alloc(pkt(vec![LinkId(1)]));
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.capacity(), 2);
+        a.free(id0);
+        assert_eq!(a.live(), 1);
+        // The freed slot is reused: no slab growth.
+        let id2 = a.alloc(pkt(vec![LinkId(2)]));
+        assert_eq!(id2, id0);
+        assert_eq!(a.capacity(), 2);
+        assert_eq!(a[id2].next_link(), Some(LinkId(2)));
+        assert_eq!(a[id1].next_link(), Some(LinkId(1)));
+    }
+
+    #[test]
+    fn arena_mutation_in_place() {
+        let mut a = PacketArena::new();
+        let id = a.alloc(pkt(vec![LinkId(0), LinkId(1)]));
+        a[id].hop += 1;
+        assert_eq!(a[id].next_link(), Some(LinkId(1)));
+    }
+
+    #[test]
+    fn arena_high_water_mark_tracks_peak_in_flight() {
+        let mut a = PacketArena::new();
+        let ids: Vec<_> = (0..10).map(|i| a.alloc(pkt(vec![LinkId(i)]))).collect();
+        for id in ids {
+            a.free(id);
+        }
+        assert_eq!(a.live(), 0);
+        // Steady-state churn below the peak never grows the slab.
+        for i in 0..100u32 {
+            let id = a.alloc(pkt(vec![LinkId(i % 7)]));
+            a.free(id);
+        }
+        assert_eq!(a.capacity(), 10);
     }
 }

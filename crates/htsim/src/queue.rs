@@ -4,8 +4,13 @@
 //! serializes packets at the link rate and then hands them to the link's
 //! propagation delay. This is the htsim component model: queue → pipe, fused
 //! here because a pipe never reorders or drops.
+//!
+//! Queues store [`PacketId`]s (plus the wire size, so service times never
+//! touch the arena), not packets: the packet itself stays in the simulator's
+//! [`crate::packet::PacketArena`] slot for its whole queue → wire → next-hop
+//! life.
 
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketId, ACK_BYTES, MTU_BYTES};
 use crate::time::{serialization_ps, SimTime};
 use std::collections::VecDeque;
 
@@ -28,7 +33,7 @@ pub struct Queue {
     pub marked: u64,
     /// Bytes currently buffered (including the packet in service).
     buffered_bytes: u64,
-    fifo: VecDeque<Packet>,
+    fifo: VecDeque<(PacketId, u32)>,
     /// True while a packet is being serialized (a departure event is
     /// outstanding).
     busy: bool,
@@ -45,6 +50,11 @@ pub struct Queue {
     /// Cumulative bytes that completed serialization on this link (the
     /// numerator of the telemetry layer's per-plane utilization samples).
     pub bytes_sent: u64,
+    /// Memoized serialization times for the two wire sizes that dominate
+    /// traffic (full data segments and bare ACKs). Valid because `rate_bps`
+    /// is fixed at construction; other sizes fall through to the exact
+    /// computation, so every answer equals `serialization_ps`.
+    ser_cache: [(u32, u64); 2],
 }
 
 /// Outcome of an enqueue attempt.
@@ -55,9 +65,10 @@ pub enum Enqueue {
     StartService,
     /// Packet accepted behind others; a departure event is already pending.
     Queued,
-    /// Buffer full: packet dropped.
+    /// Buffer full: packet dropped (the caller frees the arena slot).
     Dropped,
-    /// Link is down: packet discarded regardless of buffer occupancy.
+    /// Link is down: packet discarded regardless of buffer occupancy (the
+    /// caller frees the arena slot).
     DroppedLinkDown,
 }
 
@@ -79,11 +90,19 @@ impl Queue {
             dropped_link_down: 0,
             peak_bytes: 0,
             bytes_sent: 0,
+            ser_cache: [
+                (MTU_BYTES, serialization_ps(MTU_BYTES, rate_bps)),
+                (ACK_BYTES, serialization_ps(ACK_BYTES, rate_bps)),
+            ],
         }
     }
 
-    /// Try to accept `packet`.
-    pub fn enqueue(&mut self, mut packet: Packet) -> Enqueue {
+    /// Try to accept the packet in arena slot `id`. `packet` is that slot,
+    /// borrowed by the caller; on acceptance above the ECN threshold its CE
+    /// bit is marked in place. On `Dropped` / `DroppedLinkDown` the caller
+    /// keeps ownership of the slot (and frees it).
+    #[inline]
+    pub fn enqueue(&mut self, id: PacketId, packet: &mut Packet) -> Enqueue {
         let size = packet.size_bytes as u64;
         if !self.link_up {
             self.dropped_link_down += 1;
@@ -106,7 +125,7 @@ impl Queue {
                 }
             }
         }
-        self.fifo.push_back(packet);
+        self.fifo.push_back((id, packet.size_bytes));
         if self.busy {
             Enqueue::Queued
         } else {
@@ -117,25 +136,39 @@ impl Queue {
 
     /// Serialization time of the head-of-line packet (call when starting
     /// service).
+    #[inline]
     pub fn head_service_ps(&self) -> u64 {
-        let head = self
+        let &(_, size) = self
             .fifo
             .front()
             .expect("invariant: service only starts on a non-empty queue");
-        serialization_ps(head.size_bytes, self.rate_bps)
+        self.service_ps(size)
     }
 
-    /// Complete service of the head packet: returns it together with the
-    /// absolute arrival time at the other end of the link, and whether
-    /// another departure event must be scheduled (`Some(next_service_ps)`)
-    /// for the new head.
-    pub fn depart(&mut self, now: SimTime) -> (Packet, SimTime, Option<u64>) {
-        let packet = self
+    /// Serialization time for `size` bytes at this link's rate, via the
+    /// memo for the common wire sizes.
+    #[inline]
+    fn service_ps(&self, size: u32) -> u64 {
+        for &(s, ps) in &self.ser_cache {
+            if s == size {
+                return ps;
+            }
+        }
+        serialization_ps(size, self.rate_bps)
+    }
+
+    /// Complete service of the head packet: returns its arena id together
+    /// with the absolute arrival time at the other end of the link, and
+    /// whether another departure event must be scheduled
+    /// (`Some(next_service_ps)`) for the new head.
+    #[inline]
+    pub fn depart(&mut self, now: SimTime) -> (PacketId, SimTime, Option<u64>) {
+        let (id, size) = self
             .fifo
             .pop_front()
             .expect("invariant: departures only fire on a non-empty queue");
-        self.buffered_bytes -= packet.size_bytes as u64;
-        self.bytes_sent += packet.size_bytes as u64;
+        self.buffered_bytes -= size as u64;
+        self.bytes_sent += size as u64;
         let arrival = now + SimTime::from_ps(self.delay_ps);
         let next = if self.fifo.is_empty() {
             self.busy = false;
@@ -143,7 +176,7 @@ impl Queue {
         } else {
             Some(self.head_service_ps())
         };
-        (packet, arrival, next)
+        (id, arrival, next)
     }
 
     /// Bytes currently buffered.
@@ -160,13 +193,13 @@ impl Queue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{ConnId, PacketKind, MTU_BYTES};
+    use crate::packet::{ConnId, PacketArena, PacketKind, MTU_BYTES};
     use pnet_topology::LinkId;
     use std::sync::Arc;
 
     fn pkt(size: u32) -> Packet {
         Packet {
-            route: Arc::new(vec![LinkId(0)]),
+            route: Arc::from(vec![LinkId(0)]),
             hop: 0,
             size_bytes: size,
             kind: PacketKind::Data {
@@ -180,28 +213,42 @@ mod tests {
         }
     }
 
+    /// Allocate into `arena` and enqueue, mirroring the simulator's split
+    /// borrow of arena and queue.
+    fn push(q: &mut Queue, arena: &mut PacketArena, size: u32) -> Enqueue {
+        let id = arena.alloc(pkt(size));
+        let r = q.enqueue(id, &mut arena[id]);
+        if matches!(r, Enqueue::Dropped | Enqueue::DroppedLinkDown) {
+            arena.free(id);
+        }
+        r
+    }
+
     #[test]
     fn first_packet_starts_service() {
+        let mut a = PacketArena::new();
         let mut q = Queue::new(100_000_000_000, 1000, 10 * MTU_BYTES as u64);
-        assert_eq!(q.enqueue(pkt(1500)), Enqueue::StartService);
-        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Queued);
+        assert_eq!(push(&mut q, &mut a, 1500), Enqueue::StartService);
+        assert_eq!(push(&mut q, &mut a, 1500), Enqueue::Queued);
         assert_eq!(q.depth(), 2);
     }
 
     #[test]
     fn service_time_is_serialization() {
+        let mut a = PacketArena::new();
         let mut q = Queue::new(100_000_000_000, 1000, 10 * MTU_BYTES as u64);
-        q.enqueue(pkt(1500));
+        push(&mut q, &mut a, 1500);
         assert_eq!(q.head_service_ps(), 120_000); // 120 ns at 100G
     }
 
     #[test]
     fn departure_adds_propagation() {
+        let mut a = PacketArena::new();
         let mut q = Queue::new(100_000_000_000, 5_000_000, 10 * MTU_BYTES as u64);
-        q.enqueue(pkt(1500));
+        push(&mut q, &mut a, 1500);
         let now = SimTime::from_ps(120_000);
-        let (p, arrival, next) = q.depart(now);
-        assert_eq!(p.size_bytes, 1500);
+        let (id, arrival, next) = q.depart(now);
+        assert_eq!(a[id].size_bytes, 1500);
         assert_eq!(arrival, SimTime::from_ps(120_000 + 5_000_000));
         assert!(next.is_none());
         assert_eq!(q.depth(), 0);
@@ -209,27 +256,32 @@ mod tests {
 
     #[test]
     fn tail_drop_when_full() {
+        let mut a = PacketArena::new();
         let mut q = Queue::new(100_000_000_000, 0, 2 * 1500);
-        assert_eq!(q.enqueue(pkt(1500)), Enqueue::StartService);
-        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Queued);
-        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Dropped);
+        assert_eq!(push(&mut q, &mut a, 1500), Enqueue::StartService);
+        assert_eq!(push(&mut q, &mut a, 1500), Enqueue::Queued);
+        assert_eq!(push(&mut q, &mut a, 1500), Enqueue::Dropped);
         assert_eq!(q.dropped, 1);
         assert_eq!(q.enqueued, 2);
+        // The dropped packet's slot went back to the freelist.
+        assert_eq!(a.live(), 2);
     }
 
     #[test]
     fn small_packet_fits_after_big_drop() {
+        let mut a = PacketArena::new();
         let mut q = Queue::new(100_000_000_000, 0, 1540);
-        q.enqueue(pkt(1500));
-        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Dropped);
-        assert_eq!(q.enqueue(pkt(40)), Enqueue::Queued);
+        push(&mut q, &mut a, 1500);
+        assert_eq!(push(&mut q, &mut a, 1500), Enqueue::Dropped);
+        assert_eq!(push(&mut q, &mut a, 40), Enqueue::Queued);
     }
 
     #[test]
     fn pipeline_of_departures() {
+        let mut a = PacketArena::new();
         let mut q = Queue::new(100_000_000_000, 0, 10_000);
-        q.enqueue(pkt(1500));
-        q.enqueue(pkt(1500));
+        push(&mut q, &mut a, 1500);
+        push(&mut q, &mut a, 1500);
         let (_, _, next) = q.depart(SimTime::from_ps(120_000));
         assert_eq!(next, Some(120_000));
         let (_, _, next) = q.depart(SimTime::from_ps(240_000));
@@ -238,42 +290,45 @@ mod tests {
 
     #[test]
     fn ecn_marks_above_threshold() {
+        let mut a = PacketArena::new();
         let mut q = Queue::new(100_000_000_000, 0, 100 * 1500);
         q.ecn_threshold_bytes = Some(2 * 1500);
-        q.enqueue(pkt(1500)); // occupancy 1500 <= 3000: no mark
-        q.enqueue(pkt(1500)); // occupancy 3000 <= 3000: no mark
-        q.enqueue(pkt(1500)); // occupancy 4500 > 3000: mark
+        push(&mut q, &mut a, 1500); // occupancy 1500 <= 3000: no mark
+        push(&mut q, &mut a, 1500); // occupancy 3000 <= 3000: no mark
+        push(&mut q, &mut a, 1500); // occupancy 4500 > 3000: mark
         assert_eq!(q.marked, 1);
-        // Verify the mark landed on the third packet.
+        // Verify the mark landed on the third packet — in its arena slot.
         let (p1, _, _) = q.depart(SimTime::ZERO);
         let (p2, _, _) = q.depart(SimTime::ZERO);
         let (p3, _, _) = q.depart(SimTime::ZERO);
-        let ce = |p: &Packet| matches!(p.kind, PacketKind::Data { ce, .. } if ce);
-        assert!(!ce(&p1));
-        assert!(!ce(&p2));
-        assert!(ce(&p3));
+        let ce = |id: PacketId| matches!(a[id].kind, PacketKind::Data { ce, .. } if ce);
+        assert!(!ce(p1));
+        assert!(!ce(p2));
+        assert!(ce(p3));
     }
 
     #[test]
     fn no_marking_when_disabled() {
+        let mut a = PacketArena::new();
         let mut q = Queue::new(100_000_000_000, 0, 100 * 1500);
         for _ in 0..50 {
-            q.enqueue(pkt(1500));
+            push(&mut q, &mut a, 1500);
         }
         assert_eq!(q.marked, 0);
     }
 
     #[test]
     fn link_down_drops_counted_separately() {
+        let mut a = PacketArena::new();
         let mut q = Queue::new(100_000_000_000, 0, 2 * 1500);
-        q.enqueue(pkt(1500));
-        q.enqueue(pkt(1500));
-        assert_eq!(q.enqueue(pkt(1500)), Enqueue::Dropped); // congestion
+        push(&mut q, &mut a, 1500);
+        push(&mut q, &mut a, 1500);
+        assert_eq!(push(&mut q, &mut a, 1500), Enqueue::Dropped); // congestion
         q.link_up = false;
         // Plenty of headroom would exist after a departure, but the link is
         // dark: this is a failure drop, not drop-tail.
-        assert_eq!(q.enqueue(pkt(40)), Enqueue::DroppedLinkDown);
-        assert_eq!(q.enqueue(pkt(40)), Enqueue::DroppedLinkDown);
+        assert_eq!(push(&mut q, &mut a, 40), Enqueue::DroppedLinkDown);
+        assert_eq!(push(&mut q, &mut a, 40), Enqueue::DroppedLinkDown);
         assert_eq!(q.dropped, 1);
         assert_eq!(q.dropped_link_down, 2);
         assert_eq!(q.enqueued, 2);
@@ -281,18 +336,20 @@ mod tests {
 
     #[test]
     fn peak_tracking() {
+        let mut a = PacketArena::new();
         let mut q = Queue::new(1_000_000_000, 0, 100_000);
-        q.enqueue(pkt(1500));
-        q.enqueue(pkt(1500));
+        push(&mut q, &mut a, 1500);
+        push(&mut q, &mut a, 1500);
         q.depart(SimTime::ZERO);
         assert_eq!(q.peak_bytes, 3000);
     }
 
     #[test]
     fn bytes_sent_counts_departures_only() {
+        let mut a = PacketArena::new();
         let mut q = Queue::new(1_000_000_000, 0, 100_000);
-        q.enqueue(pkt(1500));
-        q.enqueue(pkt(40));
+        push(&mut q, &mut a, 1500);
+        push(&mut q, &mut a, 40);
         assert_eq!(q.bytes_sent, 0); // buffered, not yet on the wire
         q.depart(SimTime::ZERO);
         assert_eq!(q.bytes_sent, 1500);

@@ -1,0 +1,1006 @@
+//! The pre-overhaul packet engine, kept alive for live-timed benchmarking.
+//!
+//! This module is a frozen copy of the simulator core as it stood before the
+//! calendar-queue / packet-arena rework: a `BinaryHeap<Reverse<Event>>` event
+//! queue, `Packet`s moved *by value* through events and queue FIFOs, and an
+//! `Arc<Vec<LinkId>>` route clone per wire transmission. `bench_report` runs
+//! the same workload through this engine and the production engine in one
+//! process, asserts the flow-completion vectors are byte-identical, and
+//! reports the events/sec ratio — the same role `ksp_reference` plays for
+//! the routing overhaul.
+//!
+//! Scope: one-shot flow batches only (no [`crate::sim::Driver`], no app
+//! timers, no telemetry, no conservation ledger). Transport behaviour —
+//! NewReno, LIA coupling, DCTCP, RTO backoff and subflow death — is copied
+//! verbatim from the pre-overhaul `sim.rs`, so FCTs match the production
+//! engine bit-for-bit on any workload this surface can express. Do not
+//! "improve" this module: its value is being old.
+
+use crate::packet::{ConnId, PacketKind, ACK_BYTES, MTU_BYTES};
+use crate::sim::{FlowRecord, FlowSpec, SimConfig};
+use crate::tcp::CcAlgo;
+use crate::time::SimTime;
+use pnet_routing::reverse_route;
+use pnet_topology::{HostId, LinkId, Network};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// The pre-overhaul serialization-delay arithmetic, pinned here so the
+/// baseline stays the baseline: `crate::time::serialization_ps` has since
+/// grown a 64-bit fast path, and timing the old engine against the new
+/// helper would silently credit that shared win to the old engine too.
+/// Same result for every input (proved by the identical-FCT assertion).
+fn serialization_ps(bytes: u32, rate_bps: u64) -> u64 {
+    let bits = bytes as u64 * 8;
+    // bits / rate seconds = bits * 1e12 / rate ps
+    (bits as u128 * 1_000_000_000_000u128).div_ceil(rate_bps as u128) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Packets: by-value, with the old double-indirect route sharing.
+// ---------------------------------------------------------------------------
+
+/// A packet in flight (pre-arena representation: moved by value through the
+/// event queue and link FIFOs, route behind `Arc<Vec<_>>`).
+#[derive(Debug, Clone)]
+struct Packet {
+    route: Arc<Vec<LinkId>>,
+    hop: u16,
+    size_bytes: u32,
+    kind: PacketKind,
+}
+
+impl Packet {
+    #[inline]
+    fn next_link(&self) -> Option<LinkId> {
+        self.route.get(self.hop as usize).copied()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event queue: the original binary heap with (time, seq) ordering.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum EventKind {
+    QueueDeparture {
+        link: LinkId,
+    },
+    Arrival {
+        packet: Packet,
+    },
+    RtoTimer {
+        conn: ConnId,
+        subflow: u8,
+        token: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Default)]
+struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    dispatched: u64,
+}
+
+impl EventQueue {
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event {
+            time: at,
+            seq,
+            kind,
+        }));
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        let e = self.heap.pop().map(|Reverse(e)| e);
+        if e.is_some() {
+            self.dispatched += 1;
+        }
+        e
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-link drop-tail queue: stores packets by value.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Queue {
+    rate_bps: u64,
+    delay_ps: u64,
+    capacity_bytes: u64,
+    ecn_threshold_bytes: Option<u64>,
+    link_up: bool,
+    buffered_bytes: u64,
+    fifo: VecDeque<Packet>,
+    busy: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Enqueue {
+    StartService,
+    Queued,
+    Dropped,
+    DroppedLinkDown,
+}
+
+impl Queue {
+    fn new(rate_bps: u64, delay_ps: u64, capacity_bytes: u64) -> Self {
+        Queue {
+            rate_bps,
+            delay_ps,
+            capacity_bytes,
+            ecn_threshold_bytes: None,
+            link_up: true,
+            buffered_bytes: 0,
+            fifo: VecDeque::new(),
+            busy: false,
+        }
+    }
+
+    fn enqueue(&mut self, mut packet: Packet) -> Enqueue {
+        let size = packet.size_bytes as u64;
+        if !self.link_up {
+            return Enqueue::DroppedLinkDown;
+        }
+        if self.buffered_bytes + size > self.capacity_bytes {
+            return Enqueue::Dropped;
+        }
+        self.buffered_bytes += size;
+        if let Some(k) = self.ecn_threshold_bytes {
+            if self.buffered_bytes > k {
+                if let PacketKind::Data { ce, .. } = &mut packet.kind {
+                    *ce = true;
+                }
+            }
+        }
+        self.fifo.push_back(packet);
+        if self.busy {
+            Enqueue::Queued
+        } else {
+            self.busy = true;
+            Enqueue::StartService
+        }
+    }
+
+    fn head_service_ps(&self) -> u64 {
+        let head = self
+            .fifo
+            .front()
+            .expect("invariant: service only starts on a non-empty queue");
+        serialization_ps(head.size_bytes, self.rate_bps)
+    }
+
+    fn depart(&mut self, now: SimTime) -> (Packet, SimTime, Option<u64>) {
+        let packet = self
+            .fifo
+            .pop_front()
+            .expect("invariant: departures only fire on a non-empty queue");
+        self.buffered_bytes -= packet.size_bytes as u64;
+        let arrival = now + SimTime::from_ps(self.delay_ps);
+        let next = if self.fifo.is_empty() {
+            self.busy = false;
+            None
+        } else {
+            Some(self.head_service_ps())
+        };
+        (packet, arrival, next)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport state: verbatim pre-overhaul Subflow / Connection with
+// Arc<Vec<LinkId>> routes.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Subflow {
+    route: Arc<Vec<LinkId>>,
+    rev_route: Arc<Vec<LinkId>>,
+    cwnd: f64,
+    ssthresh: f64,
+    cwnd_cap: f64,
+    highest_sent: u64,
+    snd_una: u64,
+    resend_high: u64,
+    dupacks: u32,
+    in_recovery: bool,
+    recover: u64,
+    rtx_queue: VecDeque<u64>,
+    dead: bool,
+    srtt_ps: f64,
+    rttvar_ps: f64,
+    rtt_valid: bool,
+    rto: SimTime,
+    backoff: u32,
+    timer_token: u64,
+    timer_armed: bool,
+    dctcp_alpha: f64,
+    dctcp_acked: u64,
+    dctcp_marked: u64,
+    dctcp_window_end: u64,
+    dctcp_cut_this_window: bool,
+    rcv_next: u64,
+    ooo: BTreeSet<u64>,
+    retransmits: u64,
+    timeouts: u64,
+}
+
+impl Subflow {
+    fn new(
+        route: Arc<Vec<LinkId>>,
+        rev_route: Arc<Vec<LinkId>>,
+        cfg: &crate::tcp::TcpConfig,
+    ) -> Self {
+        Subflow {
+            route,
+            rev_route,
+            cwnd: cfg.initial_cwnd,
+            ssthresh: f64::INFINITY,
+            cwnd_cap: f64::INFINITY,
+            highest_sent: 0,
+            snd_una: 0,
+            resend_high: 0,
+            dupacks: 0,
+            in_recovery: false,
+            recover: 0,
+            rtx_queue: VecDeque::new(),
+            dead: false,
+            srtt_ps: 0.0,
+            rttvar_ps: 0.0,
+            rtt_valid: false,
+            rto: cfg.min_rto,
+            backoff: 0,
+            timer_token: 0,
+            timer_armed: false,
+            dctcp_alpha: 1.0,
+            dctcp_acked: 0,
+            dctcp_marked: 0,
+            dctcp_window_end: 0,
+            dctcp_cut_this_window: false,
+            rcv_next: 0,
+            ooo: BTreeSet::new(),
+            retransmits: 0,
+            timeouts: 0,
+        }
+    }
+
+    #[inline]
+    fn in_flight(&self) -> u64 {
+        self.resend_high - self.snd_una
+    }
+
+    #[inline]
+    fn outstanding(&self) -> u64 {
+        self.highest_sent - self.snd_una
+    }
+
+    #[inline]
+    fn window_open(&self) -> bool {
+        !self.dead && (self.in_flight() as f64) < self.cwnd.min(self.cwnd_cap).max(1.0).floor()
+    }
+
+    fn rtt_sample(&mut self, sample_ps: u64, cfg: &crate::tcp::TcpConfig) {
+        let s = sample_ps as f64;
+        if !self.rtt_valid {
+            self.srtt_ps = s;
+            self.rttvar_ps = s / 2.0;
+            self.rtt_valid = true;
+        } else {
+            self.rttvar_ps = 0.75 * self.rttvar_ps + 0.25 * (self.srtt_ps - s).abs();
+            self.srtt_ps = 0.875 * self.srtt_ps + 0.125 * s;
+        }
+        let rto_ps = (self.srtt_ps + 4.0 * self.rttvar_ps) as u64;
+        self.rto = SimTime::from_ps(rto_ps).max(cfg.min_rto).min(cfg.max_rto);
+    }
+
+    fn effective_rto(&self, cfg: &crate::tcp::TcpConfig) -> SimTime {
+        let n = self.backoff.min(10);
+        let shifted = if self.rto.as_ps() > (u64::MAX >> n) {
+            u64::MAX
+        } else {
+            self.rto.as_ps() << n
+        };
+        SimTime::from_ps(shifted).min(cfg.max_rto)
+    }
+
+    fn rtt_estimate_ps(&self, cfg: &crate::tcp::TcpConfig) -> f64 {
+        if self.rtt_valid {
+            self.srtt_ps.max(1.0)
+        } else {
+            cfg.default_rtt.as_ps() as f64
+        }
+    }
+
+    fn dctcp_on_ack(&mut self, newly: u64, ece: bool, cum: u64) -> bool {
+        const G: f64 = 1.0 / 16.0;
+        self.dctcp_acked += newly;
+        if ece {
+            self.dctcp_marked += newly;
+        }
+        let cut = ece && !self.dctcp_cut_this_window;
+        if cut {
+            self.dctcp_cut_this_window = true;
+        }
+        if cum >= self.dctcp_window_end {
+            if self.dctcp_acked > 0 {
+                let f = self.dctcp_marked as f64 / self.dctcp_acked as f64;
+                self.dctcp_alpha = (1.0 - G) * self.dctcp_alpha + G * f;
+            }
+            self.dctcp_acked = 0;
+            self.dctcp_marked = 0;
+            self.dctcp_window_end = self.highest_sent;
+            self.dctcp_cut_this_window = false;
+        }
+        cut
+    }
+
+    fn dctcp_on_dupack(&mut self, ece: bool) {
+        self.dctcp_acked += 1;
+        if ece {
+            self.dctcp_marked += 1;
+        }
+    }
+
+    fn receive_data(&mut self, seq: u64) -> u64 {
+        if seq == self.rcv_next {
+            self.rcv_next += 1;
+            while self.ooo.remove(&self.rcv_next) {
+                self.rcv_next += 1;
+            }
+        } else if seq > self.rcv_next {
+            self.ooo.insert(seq);
+        }
+        self.rcv_next
+    }
+}
+
+#[derive(Debug)]
+struct Connection {
+    src: HostId,
+    dst: HostId,
+    cc: CcAlgo,
+    size_packets: u64,
+    size_bytes: u64,
+    assigned: u64,
+    acked: u64,
+    start: SimTime,
+    finish: Option<SimTime>,
+    subflows: Vec<Subflow>,
+    rr: usize,
+    owner_tag: u64,
+}
+
+impl Connection {
+    fn retransmits(&self) -> u64 {
+        self.subflows.iter().map(|s| s.retransmits).sum()
+    }
+
+    fn timeouts(&self) -> u64 {
+        self.subflows.iter().map(|s| s.timeouts).sum()
+    }
+
+    fn lia_alpha(&self, cfg: &crate::tcp::TcpConfig) -> f64 {
+        let live = || self.subflows.iter().filter(|s| !s.dead);
+        let total: f64 = live().map(|s| s.cwnd).sum();
+        let mut max_term: f64 = 0.0;
+        let mut sum_term: f64 = 0.0;
+        for s in live() {
+            let rtt = s.rtt_estimate_ps(cfg);
+            max_term = max_term.max(s.cwnd / (rtt * rtt));
+            sum_term += s.cwnd / rtt;
+        }
+        if sum_term <= 0.0 {
+            return 1.0;
+        }
+        (total * max_term / (sum_term * sum_term)).max(f64::MIN_POSITIVE)
+    }
+
+    fn ca_increase(&self, i: usize, cfg: &crate::tcp::TcpConfig) -> f64 {
+        let sub = &self.subflows[i];
+        match self.cc {
+            CcAlgo::Reno | CcAlgo::Uncoupled | CcAlgo::Dctcp => 1.0 / sub.cwnd.max(1.0),
+            CcAlgo::Lia => {
+                let total: f64 = self
+                    .subflows
+                    .iter()
+                    .filter(|s| !s.dead)
+                    .map(|s| s.cwnd)
+                    .sum();
+                let alpha = self.lia_alpha(cfg);
+                (alpha / total.max(1.0)).min(1.0 / sub.cwnd.max(1.0))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine.
+// ---------------------------------------------------------------------------
+
+/// Pre-overhaul simulator: one-shot flow batches, no driver, no telemetry.
+pub struct RefSimulator {
+    /// Current simulation time.
+    pub now: SimTime,
+    events: EventQueue,
+    queues: Vec<Queue>,
+    conns: Vec<Connection>,
+    cfg: SimConfig,
+    /// Completion records, in completion order (same contents as the
+    /// production engine's records for the same workload).
+    pub records: Vec<FlowRecord>,
+    /// Drop-tail losses.
+    pub dropped_packets: u64,
+    last_progress: Vec<Vec<SimTime>>,
+}
+
+impl RefSimulator {
+    /// Build a reference simulator over `net`'s links. `cfg.telemetry` is
+    /// ignored: this engine predates the telemetry layer's hooks.
+    pub fn new(net: &Network, cfg: SimConfig) -> Self {
+        let queues = net
+            .links()
+            .map(|(_, l)| {
+                let mut q = Queue::new(l.capacity_bps, l.delay_ps, cfg.queue_bytes);
+                q.ecn_threshold_bytes = cfg
+                    .ecn_threshold_packets
+                    .map(|k| k as u64 * MTU_BYTES as u64);
+                q
+            })
+            .collect();
+        RefSimulator {
+            now: SimTime::ZERO,
+            events: EventQueue::default(),
+            queues,
+            conns: Vec::new(),
+            cfg,
+            records: Vec::new(),
+            dropped_packets: 0,
+            last_progress: Vec::new(),
+        }
+    }
+
+    /// Events dispatched so far (the numerator of events/sec).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events.dispatched
+    }
+
+    /// Take a link dark mid-simulation (both directions of the cable).
+    pub fn fail_link(&mut self, link: LinkId) {
+        self.queues[link.index()].link_up = false;
+        self.queues[link.reverse().index()].link_up = false;
+    }
+
+    /// Start a flow now. Returns its connection id.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> ConnId {
+        assert!(spec.src != spec.dst, "flow to self");
+        assert!(!spec.routes.is_empty(), "flow needs at least one route");
+        let id = ConnId(
+            u32::try_from(self.conns.len()).expect("invariant: connection count stays within u32"),
+        );
+        let size_packets = spec.size_bytes.div_ceil(MTU_BYTES as u64).max(1);
+        let subflows: Vec<Subflow> = spec
+            .routes
+            .iter()
+            .map(|r| {
+                assert!(!r.is_empty(), "empty route");
+                let fwd = Arc::new(r.clone());
+                let rev = Arc::new(reverse_route(r));
+                let mut sub = Subflow::new(fwd, rev, &self.cfg.tcp);
+                sub.cwnd_cap = self.window_cap(r);
+                sub
+            })
+            .collect();
+        self.last_progress.push(vec![self.now; subflows.len()]);
+        self.conns.push(Connection {
+            src: spec.src,
+            dst: spec.dst,
+            cc: spec.cc,
+            size_packets,
+            size_bytes: spec.size_bytes.max(1),
+            assigned: 0,
+            acked: 0,
+            start: self.now,
+            finish: None,
+            subflows,
+            rr: 0,
+            owner_tag: spec.owner_tag,
+        });
+        self.pump(id);
+        id
+    }
+
+    fn window_cap(&self, route: &[LinkId]) -> f64 {
+        let mut rtt_ps: u64 = 0;
+        let mut bottleneck = u64::MAX;
+        for &l in route {
+            let q = &self.queues[l.index()];
+            rtt_ps += q.delay_ps + serialization_ps(MTU_BYTES, q.rate_bps);
+            bottleneck = bottleneck.min(q.rate_bps);
+        }
+        for &l in route {
+            let q = &self.queues[l.reverse().index()];
+            rtt_ps += q.delay_ps + serialization_ps(ACK_BYTES, q.rate_bps);
+        }
+        let bdp_bits = SimTime::from_ps(rtt_ps).as_secs_f64() * bottleneck as f64;
+        let bdp_packets = (bdp_bits / 8.0 / MTU_BYTES as f64).ceil();
+        let buffer_packets = (self.cfg.queue_bytes / MTU_BYTES as u64) as f64;
+        (bdp_packets + buffer_packets).max(2.0)
+    }
+
+    fn send_packet(&mut self, pkt: Packet) {
+        let link = pkt
+            .next_link()
+            .expect("invariant: send_packet is only called with hops remaining");
+        let q = &mut self.queues[link.index()];
+        match q.enqueue(pkt) {
+            Enqueue::StartService => {
+                let ser = q.head_service_ps();
+                self.events.schedule(
+                    self.now + SimTime::from_ps(ser),
+                    EventKind::QueueDeparture { link },
+                );
+            }
+            Enqueue::Queued => {}
+            Enqueue::Dropped => self.dropped_packets += 1,
+            Enqueue::DroppedLinkDown => {}
+        }
+    }
+
+    fn on_departure(&mut self, link: LinkId) {
+        let q = &mut self.queues[link.index()];
+        let (mut pkt, arrival, next) = q.depart(self.now);
+        pkt.hop += 1;
+        self.events
+            .schedule(arrival, EventKind::Arrival { packet: pkt });
+        if let Some(ser) = next {
+            self.events.schedule(
+                self.now + SimTime::from_ps(ser),
+                EventKind::QueueDeparture { link },
+            );
+        }
+    }
+
+    fn on_arrival(&mut self, pkt: Packet) {
+        if pkt.next_link().is_some() {
+            self.send_packet(pkt);
+            return;
+        }
+        match pkt.kind {
+            PacketKind::Data {
+                conn,
+                subflow,
+                seq,
+                ts,
+                rtx,
+                ce,
+            } => self.on_data(conn, subflow, seq, ts, rtx, ce),
+            PacketKind::Ack {
+                conn,
+                subflow,
+                cum,
+                ts_echo,
+                rtx_echo,
+                ece,
+            } => self.on_ack(conn, subflow, cum, ts_echo, rtx_echo, ece),
+        }
+    }
+
+    fn on_data(&mut self, conn: ConnId, subflow: u8, seq: u64, ts: SimTime, rtx: bool, ce: bool) {
+        let c = &mut self.conns[conn.0 as usize];
+        let sub = &mut c.subflows[subflow as usize];
+        let cum = sub.receive_data(seq);
+        let ack = Packet {
+            route: Arc::clone(&sub.rev_route),
+            hop: 0,
+            size_bytes: ACK_BYTES,
+            kind: PacketKind::Ack {
+                conn,
+                subflow,
+                cum,
+                ts_echo: ts,
+                rtx_echo: rtx,
+                ece: ce,
+            },
+        };
+        self.send_packet(ack);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_ack(
+        &mut self,
+        conn: ConnId,
+        subflow: u8,
+        cum: u64,
+        ts_echo: SimTime,
+        rtx_echo: bool,
+        ece: bool,
+    ) {
+        let ci = conn.0 as usize;
+        if self.conns[ci].finish.is_some() {
+            return;
+        }
+        let si = subflow as usize;
+        if self.conns[ci].subflows[si].dead {
+            return;
+        }
+        let now = self.now;
+
+        if !rtx_echo {
+            let sample = now.saturating_sub(ts_echo).as_ps();
+            self.conns[ci].subflows[si].rtt_sample(sample, &self.cfg.tcp);
+        }
+
+        let snd_una = self.conns[ci].subflows[si].snd_una;
+        if cum > snd_una {
+            let newly = cum - snd_una;
+            {
+                let sub = &mut self.conns[ci].subflows[si];
+                sub.snd_una = cum;
+                sub.resend_high = sub.resend_high.max(cum);
+                sub.backoff = 0;
+            }
+            self.conns[ci].acked += newly;
+            self.last_progress[ci][si] = now;
+
+            let in_recovery = self.conns[ci].subflows[si].in_recovery;
+            if in_recovery {
+                let recover = self.conns[ci].subflows[si].recover;
+                if cum >= recover {
+                    let sub = &mut self.conns[ci].subflows[si];
+                    sub.cwnd = sub.ssthresh.max(1.0);
+                    sub.in_recovery = false;
+                    sub.dupacks = 0;
+                } else {
+                    let sub = &mut self.conns[ci].subflows[si];
+                    sub.rtx_queue.push_back(cum);
+                    sub.cwnd = (sub.cwnd - newly as f64 + 1.0).max(1.0);
+                }
+            } else {
+                self.conns[ci].subflows[si].dupacks = 0;
+                if self.conns[ci].cc == CcAlgo::Dctcp {
+                    let cut = self.conns[ci].subflows[si].dctcp_on_ack(newly, ece, cum);
+                    if cut {
+                        let sub = &mut self.conns[ci].subflows[si];
+                        sub.cwnd = (sub.cwnd * (1.0 - sub.dctcp_alpha / 2.0)).max(1.0);
+                        sub.ssthresh = sub.cwnd;
+                    }
+                }
+                for _ in 0..newly {
+                    let (cwnd, ssthresh) = {
+                        let s = &self.conns[ci].subflows[si];
+                        (s.cwnd, s.ssthresh)
+                    };
+                    let inc = if cwnd < ssthresh {
+                        1.0
+                    } else {
+                        self.conns[ci].ca_increase(si, &self.cfg.tcp)
+                    };
+                    self.conns[ci].subflows[si].cwnd += inc;
+                }
+            }
+        } else if cum == snd_una && self.conns[ci].subflows[si].outstanding() > 0 {
+            if self.conns[ci].cc == CcAlgo::Dctcp {
+                self.conns[ci].subflows[si].dctcp_on_dupack(ece);
+            }
+            let sub = &mut self.conns[ci].subflows[si];
+            sub.dupacks += 1;
+            if sub.dupacks == 3 && !sub.in_recovery {
+                let flight = sub.in_flight() as f64;
+                sub.ssthresh = (flight / 2.0).max(2.0);
+                sub.in_recovery = true;
+                sub.recover = sub.highest_sent;
+                sub.cwnd = sub.ssthresh + 3.0;
+                sub.rtx_queue.push_back(sub.snd_una);
+            } else if sub.in_recovery {
+                sub.cwnd += 1.0;
+            }
+        }
+
+        if self.conns[ci].acked >= self.conns[ci].size_packets {
+            self.finish_conn(conn);
+            return;
+        }
+        self.pump(conn);
+    }
+
+    fn finish_conn(&mut self, conn: ConnId) {
+        let c = &mut self.conns[conn.0 as usize];
+        c.finish = Some(self.now);
+        self.records.push(FlowRecord {
+            conn,
+            src: c.src,
+            dst: c.dst,
+            size_bytes: c.size_bytes,
+            start: c.start,
+            finish: self.now,
+            retransmits: c.retransmits(),
+            timeouts: c.timeouts(),
+            n_subflows: c.subflows.len(),
+            min_switch_hops: c
+                .subflows
+                .iter()
+                .map(|s| s.route.len().saturating_sub(1))
+                .min()
+                .unwrap_or(0),
+            owner_tag: c.owner_tag,
+        });
+    }
+
+    fn pump(&mut self, conn: ConnId) {
+        let ci = conn.0 as usize;
+        let n_subs = self.conns[ci].subflows.len();
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for off in 0..n_subs {
+                let si = (self.conns[ci].rr + off) % n_subs;
+                while let Some(seq) = self.conns[ci].subflows[si].rtx_queue.pop_front() {
+                    if seq < self.conns[ci].subflows[si].snd_una {
+                        continue;
+                    }
+                    self.transmit(conn, si, seq, true);
+                    progress = true;
+                }
+                loop {
+                    if !self.conns[ci].subflows[si].window_open() {
+                        break;
+                    }
+                    let sub = &self.conns[ci].subflows[si];
+                    if sub.resend_high < sub.highest_sent {
+                        let seq = sub.resend_high;
+                        self.conns[ci].subflows[si].resend_high += 1;
+                        self.transmit(conn, si, seq, true);
+                        progress = true;
+                    } else if self.conns[ci].assigned < self.conns[ci].size_packets {
+                        let seq = sub.highest_sent;
+                        let sub = &mut self.conns[ci].subflows[si];
+                        sub.highest_sent += 1;
+                        sub.resend_high += 1;
+                        self.conns[ci].assigned += 1;
+                        self.transmit(conn, si, seq, false);
+                        progress = true;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.conns[ci].rr = (self.conns[ci].rr + 1) % n_subs;
+        }
+        for si in 0..n_subs {
+            if self.conns[ci].subflows[si].outstanding() > 0
+                && !self.conns[ci].subflows[si].timer_armed
+            {
+                self.arm_timer(conn, si);
+            }
+        }
+    }
+
+    fn transmit(&mut self, conn: ConnId, si: usize, seq: u64, rtx: bool) {
+        let ci = conn.0 as usize;
+        let now = self.now;
+        let cc = self.conns[ci].cc;
+        let (route, size) = {
+            let sub = &mut self.conns[ci].subflows[si];
+            if rtx {
+                sub.retransmits += 1;
+            }
+            if cc == CcAlgo::Dctcp && !rtx && sub.snd_una == 0 && sub.dctcp_acked == 0 {
+                sub.dctcp_window_end = sub.highest_sent;
+            }
+            (Arc::clone(&sub.route), MTU_BYTES)
+        };
+        if !rtx {
+            self.last_progress[ci][si] = now;
+        }
+        let pkt = Packet {
+            route,
+            hop: 0,
+            size_bytes: size,
+            kind: PacketKind::Data {
+                conn,
+                subflow: u8::try_from(si).expect("invariant: subflow count stays within u8"),
+                seq,
+                ts: now,
+                rtx,
+                ce: false,
+            },
+        };
+        self.send_packet(pkt);
+    }
+
+    fn arm_timer(&mut self, conn: ConnId, si: usize) {
+        let ci = conn.0 as usize;
+        let sub = &mut self.conns[ci].subflows[si];
+        sub.timer_token += 1;
+        sub.timer_armed = true;
+        let deadline = self.now + sub.effective_rto(&self.cfg.tcp);
+        self.events.schedule(
+            deadline,
+            EventKind::RtoTimer {
+                conn,
+                subflow: u8::try_from(si).expect("invariant: subflow count stays within u8"),
+                token: sub.timer_token,
+            },
+        );
+    }
+
+    fn on_rto(&mut self, conn: ConnId, subflow: u8, token: u64) {
+        let ci = conn.0 as usize;
+        let si = subflow as usize;
+        if self.conns[ci].finish.is_some() {
+            return;
+        }
+        {
+            let sub = &self.conns[ci].subflows[si];
+            if !sub.timer_armed || sub.timer_token != token {
+                return;
+            }
+        }
+        if self.conns[ci].subflows[si].outstanding() == 0 {
+            self.conns[ci].subflows[si].timer_armed = false;
+            return;
+        }
+        let eff = self.conns[ci].subflows[si].effective_rto(&self.cfg.tcp);
+        let deadline = self.last_progress[ci][si] + eff;
+        if self.now < deadline {
+            let tok = self.conns[ci].subflows[si].timer_token;
+            self.events.schedule(
+                deadline,
+                EventKind::RtoTimer {
+                    conn,
+                    subflow,
+                    token: tok,
+                },
+            );
+            return;
+        }
+        {
+            let sub = &mut self.conns[ci].subflows[si];
+            sub.timeouts += 1;
+            let flight = sub.in_flight() as f64;
+            sub.ssthresh = (flight / 2.0).max(2.0);
+            sub.cwnd = 1.0;
+            sub.in_recovery = false;
+            sub.dupacks = 0;
+            sub.backoff += 1;
+            sub.rtx_queue.clear();
+            sub.resend_high = sub.snd_una;
+            sub.timer_armed = false;
+        }
+        let has_live_sibling = self.conns[ci]
+            .subflows
+            .iter()
+            .enumerate()
+            .any(|(j, s)| j != si && !s.dead);
+        if self.conns[ci].subflows[si].backoff >= self.cfg.tcp.dead_after_backoff
+            && has_live_sibling
+        {
+            let reclaimed = {
+                let sub = &mut self.conns[ci].subflows[si];
+                sub.dead = true;
+                let lost = sub.highest_sent - sub.snd_una;
+                sub.highest_sent = sub.snd_una;
+                sub.resend_high = sub.snd_una;
+                lost
+            };
+            self.conns[ci].assigned -= reclaimed;
+            self.pump(conn);
+            return;
+        }
+        self.last_progress[ci][si] = self.now;
+        self.pump(conn);
+        if !self.conns[ci].subflows[si].timer_armed {
+            self.arm_timer(conn, si);
+        }
+    }
+
+    /// Run until the event queue drains.
+    pub fn run_to_completion(&mut self) {
+        while let Some(ev) = self.events.pop() {
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::QueueDeparture { link } => self.on_departure(link),
+                EventKind::Arrival { packet } => self.on_arrival(packet),
+                EventKind::RtoTimer {
+                    conn,
+                    subflow,
+                    token,
+                } => self.on_rto(conn, subflow, token),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnet_routing::{host_route, RouteAlgo, Router};
+    use pnet_topology::{assemble_homogeneous, FatTree, LinkProfile, PlaneId};
+
+    /// Both engines run the same 8-flow batch; completion records must be
+    /// field-for-field identical. This is the small always-on version of the
+    /// paper-scale assertion `bench_report` makes.
+    #[test]
+    fn reference_engine_matches_production_engine() {
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let router = Router::new(&net, RouteAlgo::Ksp { k: 1 });
+        let flows: Vec<FlowSpec> = (0..8u32)
+            .map(|h| {
+                let (src, dst) = (HostId(h), HostId(15 - h));
+                let (ra, rb) = (net.rack_of_host(src), net.rack_of_host(dst));
+                let routes: Vec<_> = (0..2u16)
+                    .map(|p| {
+                        let path = router.paths_in_plane(PlaneId(p), ra, rb)[0].clone();
+                        host_route(&net, src, dst, &path)
+                            .expect("invariant: fat-tree pair is routable")
+                    })
+                    .collect();
+                FlowSpec {
+                    src,
+                    dst,
+                    size_bytes: 300_000 + 50_000 * u64::from(h % 3),
+                    routes,
+                    cc: CcAlgo::Lia,
+                    owner_tag: u64::from(h),
+                }
+            })
+            .collect();
+
+        let mut new_sim = crate::sim::Simulator::new(&net, SimConfig::default());
+        for f in &flows {
+            new_sim.start_flow(f.clone());
+        }
+        crate::sim::run_to_completion(&mut new_sim);
+
+        let mut ref_sim = RefSimulator::new(&net, SimConfig::default());
+        for f in &flows {
+            ref_sim.start_flow(f.clone());
+        }
+        ref_sim.run_to_completion();
+
+        assert_eq!(new_sim.records.len(), ref_sim.records.len());
+        let key = |r: &FlowRecord| {
+            (
+                r.owner_tag,
+                r.start.as_ps(),
+                r.finish.as_ps(),
+                r.retransmits,
+                r.timeouts,
+            )
+        };
+        let mut a: Vec<_> = new_sim.records.iter().map(key).collect();
+        let mut b: Vec<_> = ref_sim.records.iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "engines diverged on an identical workload");
+    }
+}

@@ -21,7 +21,8 @@
 use crate::packet::ConnId;
 use crate::time::SimTime;
 use pnet_topology::{HostId, LinkId};
-use std::collections::{BTreeSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 /// Congestion-control algorithm of a connection.
@@ -75,24 +76,16 @@ impl Default for TcpConfig {
 }
 
 /// One subflow: a fixed path with its own sequence space, window, and timer.
+///
+/// `repr(C)` pins the declaration order in memory: at paper scale the
+/// subflow table far exceeds L2, so every ACK faults this struct in cold.
+/// The cumulative-ACK path (advance `snd_una`, window check, congestion
+/// update, progress stamp) reads exactly the first 64 bytes — one cache
+/// line instead of the four-to-five a field-order-agnostic layout touches.
 #[derive(Debug)]
+#[repr(C)]
 pub struct Subflow {
-    /// Forward route (data direction).
-    pub route: Arc<Vec<LinkId>>,
-    /// Reverse route (ACK direction).
-    pub rev_route: Arc<Vec<LinkId>>,
-
-    // --- sender state ---
-    pub cwnd: f64,
-    pub ssthresh: f64,
-    /// Flow-control bound on the window: the path's bandwidth-delay product
-    /// plus one buffer's worth of packets (a receiver window tuned to
-    /// pipe + queue, which is how htsim experiments avoid pathological
-    /// slow-start overshoot with cumulative-ACK NewReno).
-    pub cwnd_cap: f64,
-    /// Next subflow sequence to assign (== packets this subflow has ever
-    /// sent fresh).
-    pub highest_sent: u64,
+    // --- sender state (hot ACK path: keep within the first cache line) ---
     /// First unacknowledged sequence.
     pub snd_una: u64,
     /// Everything in `snd_una..resend_high` is believed in flight. Normally
@@ -100,27 +93,41 @@ pub struct Subflow {
     /// go-back-N resends the presumed-lost window under slow start instead
     /// of stalling behind a closed window.
     pub resend_high: u64,
-    pub dupacks: u32,
-    pub in_recovery: bool,
+    /// Next subflow sequence to assign (== packets this subflow has ever
+    /// sent fresh).
+    pub highest_sent: u64,
+    pub cwnd: f64,
+    pub ssthresh: f64,
+    /// Flow-control bound on the window: the path's bandwidth-delay product
+    /// plus one buffer's worth of packets (a receiver window tuned to
+    /// pipe + queue, which is how htsim experiments avoid pathological
+    /// slow-start overshoot with cumulative-ACK NewReno).
+    pub cwnd_cap: f64,
+    /// Time of the last forward progress (fresh data out or new data acked);
+    /// the lazy RTO measures its deadline from here. Kept on the subflow so
+    /// the ACK path touches one cache line, not a separate side table.
+    pub last_progress: SimTime,
     /// Recovery ends when `snd_una` passes this point.
     pub recover: u64,
-    /// Sequences queued for retransmission.
-    pub rtx_queue: VecDeque<u64>,
+
+    // --- second line: loss handling and the timer ---
+    pub dupacks: u32,
+    pub backoff: u32,
+    pub in_recovery: bool,
     /// True once the subflow is declared dead (persistent path failure);
     /// it sends nothing further and its outstanding data was re-injected
     /// onto sibling subflows.
     pub dead: bool,
-
-    // --- RTT / RTO ---
-    pub srtt_ps: f64,
-    pub rttvar_ps: f64,
     pub rtt_valid: bool,
-    pub rto: SimTime,
-    pub backoff: u32,
+    pub timer_armed: bool,
     /// Token identifying the currently armed timer; stale timer events are
     /// dropped.
     pub timer_token: u64,
-    pub timer_armed: bool,
+    pub rto: SimTime,
+    pub srtt_ps: f64,
+    pub rttvar_ps: f64,
+    /// Sequences queued for retransmission.
+    pub rtx_queue: VecDeque<u64>,
 
     // --- DCTCP state (used only under [`CcAlgo::Dctcp`]) ---
     /// EWMA of the marked fraction (initialised to 1.0 per the paper, so an
@@ -143,17 +150,30 @@ pub struct Subflow {
 
     // --- receiver state (the peer's side of this subflow) ---
     pub rcv_next: u64,
-    pub ooo: BTreeSet<u64>,
+    /// Out-of-order sequences received past `rcv_next`, as a min-heap. May
+    /// hold duplicates (spurious retransmissions of buffered segments); the
+    /// drain loop in [`Subflow::receive_data`] discards them, so the
+    /// cumulative ACK sequence is identical to a set's. Contiguous storage:
+    /// no per-node allocation under loss, unlike a `BTreeSet`.
+    pub ooo: BinaryHeap<Reverse<u64>>,
 
     // --- statistics ---
     pub retransmits: u64,
     pub timeouts: u64,
     pub packets_sent: u64,
+
+    // --- routes (cold: cloned once per transmitted packet, never read on
+    //     the ACK fast path) ---
+    /// Forward route (data direction), interned once at flow start: every
+    /// packet of the subflow clones this single-allocation `Arc<[LinkId]>`.
+    pub route: Arc<[LinkId]>,
+    /// Reverse route (ACK direction).
+    pub rev_route: Arc<[LinkId]>,
 }
 
 impl Subflow {
     /// Fresh subflow over a route pair.
-    pub fn new(route: Arc<Vec<LinkId>>, rev_route: Arc<Vec<LinkId>>, cfg: &TcpConfig) -> Self {
+    pub fn new(route: Arc<[LinkId]>, rev_route: Arc<[LinkId]>, cfg: &TcpConfig) -> Self {
         Subflow {
             route,
             rev_route,
@@ -175,6 +195,7 @@ impl Subflow {
             backoff: 0,
             timer_token: 0,
             timer_armed: false,
+            last_progress: SimTime::ZERO,
             dctcp_alpha: 1.0,
             dctcp_acked: 0,
             dctcp_marked: 0,
@@ -182,7 +203,7 @@ impl Subflow {
             dctcp_cut_this_window: false,
             dctcp_dupack_marks: 0,
             rcv_next: 0,
-            ooo: BTreeSet::new(),
+            ooo: BinaryHeap::new(),
             retransmits: 0,
             timeouts: 0,
             packets_sent: 0,
@@ -284,11 +305,19 @@ impl Subflow {
     pub fn receive_data(&mut self, seq: u64) -> u64 {
         if seq == self.rcv_next {
             self.rcv_next += 1;
-            while self.ooo.remove(&self.rcv_next) {
-                self.rcv_next += 1;
+            while let Some(&Reverse(m)) = self.ooo.peek() {
+                if m > self.rcv_next {
+                    break;
+                }
+                // m == rcv_next extends the in-order prefix; m < rcv_next is
+                // a duplicate of an already-consumed buffered segment.
+                if m == self.rcv_next {
+                    self.rcv_next += 1;
+                }
+                self.ooo.pop();
             }
         } else if seq > self.rcv_next {
-            self.ooo.insert(seq);
+            self.ooo.push(Reverse(seq));
         }
         // seq < rcv_next: spurious retransmission, still ACK cumulatively.
         self.rcv_next
@@ -404,7 +433,7 @@ mod tests {
     use super::*;
 
     fn sub(cfg: &TcpConfig) -> Subflow {
-        Subflow::new(Arc::new(vec![LinkId(0)]), Arc::new(vec![LinkId(1)]), cfg)
+        Subflow::new(Arc::from(vec![LinkId(0)]), Arc::from(vec![LinkId(1)]), cfg)
     }
 
     fn conn_with(cc: CcAlgo, n_subs: usize, cfg: &TcpConfig) -> Connection {

@@ -152,8 +152,14 @@ pub fn transfer_us_f64(bytes: u64, rate_bps: u64) -> f64 {
 #[inline]
 pub fn serialization_ps(bytes: u32, rate_bps: u64) -> u64 {
     let bits = bytes as u64 * 8;
-    // bits / rate seconds = bits * 1e12 / rate ps
-    (bits as u128 * 1_000_000_000_000u128).div_ceil(rate_bps as u128) as u64
+    // bits / rate seconds = bits * 1e12 / rate ps. Any frame under ~2.3 MB
+    // keeps the numerator within u64, so the common case (MTU-bounded
+    // packets) avoids a 128-bit division; the wide path gives the same
+    // answer for anything larger.
+    match bits.checked_mul(1_000_000_000_000) {
+        Some(ps) => ps.div_ceil(rate_bps),
+        None => (bits as u128 * 1_000_000_000_000u128).div_ceil(rate_bps as u128) as u64,
+    }
 }
 
 #[cfg(test)]

@@ -565,7 +565,10 @@ impl<'a> Parser<'a> {
                     self.bump();
                     continue;
                 }
-                "&" | "dyn" | "mut" => {
+                // `*` and `const` only open a cast type as the raw-pointer
+                // sigil `*const`/`*mut`; a multiplication after a cast can't
+                // reach here because a completed ident ends the scan first.
+                "&" | "dyn" | "mut" | "*" | "const" => {
                     self.bump();
                     continue;
                 }

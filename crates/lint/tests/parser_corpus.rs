@@ -150,3 +150,14 @@ fn snapshot_if_let_chains_and_ranges() {
          (block (for i (range lit (* x)) (block (let _ i)))))))"
     );
 }
+
+#[test]
+fn snapshot_raw_pointer_casts_in_call_args() {
+    // `expr as *const T` / `as *mut T` inside call args: the pointer sigil
+    // must be consumed by the cast-type scan, not parsed as multiplication
+    // (which previously broke the enclosing call's argument list).
+    let d = snap("fn f(p: &u8) { g(p as *const i8, 0); let q = p as *const u8 as *mut u8; h(q); }");
+    assert!(d.contains("(call g"), "{d}");
+    assert!(d.contains("(call h"), "{d}");
+    assert!(!d.contains("error"), "{d}");
+}

@@ -122,9 +122,78 @@ fn gk_mcf_lambda_fingerprint_is_stable() {
     );
 }
 
+/// Hash every flow-completion record of a mid-size multi-plane MPTCP run,
+/// sorted by owner tag: start/finish timestamps (picosecond-exact), sizes,
+/// retransmit/timeout counts, and subflow counts all contribute. Any change
+/// to event dispatch order anywhere in the packet engine — queue swap, arena
+/// refactor, batching — moves at least one completion time and shows up here.
+fn sim_fct_fingerprint() -> u64 {
+    use pnet::htsim::{run_to_completion, CcAlgo, FlowSpec, SimConfig, Simulator};
+    use pnet::routing::host_route;
+    use pnet::topology::HostId;
+
+    let net = assemble_homogeneous(
+        &Jellyfish::new(16, 4, 2, 7),
+        3,
+        &LinkProfile::paper_default(),
+    );
+    let router = Router::with_parallelism(&net, RouteAlgo::Ksp { k: 2 }, Parallelism::Serial);
+    let mut sim = Simulator::new(&net, SimConfig::default());
+    let pairs = tm::permutation_pairs(32, 9);
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        let (src, dst) = (HostId(a as u32), HostId(b as u32));
+        let (ra, rb) = (net.rack_of_host(src), net.rack_of_host(dst));
+        // One subflow per plane: a 3-subflow MPTCP connection under LIA.
+        let routes: Vec<_> = (0..3u16)
+            .map(|p| {
+                let path = router.paths_in_plane(PlaneId(p), ra, rb)[0].clone();
+                host_route(&net, src, dst, &path).expect("invariant: permutation pair is routable")
+            })
+            .collect();
+        sim.start_flow(FlowSpec {
+            src,
+            dst,
+            size_bytes: 200_000 + 37_000 * (i as u64 % 5),
+            routes,
+            cc: CcAlgo::Lia,
+            owner_tag: i as u64,
+        });
+    }
+    run_to_completion(&mut sim);
+    let mut recs: Vec<_> = sim.records.iter().collect();
+    recs.sort_by_key(|r| r.owner_tag);
+    let mut h = Fnv::new();
+    h.u64(recs.len() as u64);
+    for r in recs {
+        h.u64(r.owner_tag);
+        h.u64(u64::from(r.src.0));
+        h.u64(u64::from(r.dst.0));
+        h.u64(r.size_bytes);
+        h.u64(r.start.as_ps());
+        h.u64(r.finish.as_ps());
+        h.u64(r.retransmits);
+        h.u64(r.timeouts);
+        h.u64(r.n_subflows as u64);
+    }
+    h.0
+}
+
+#[test]
+fn packet_sim_fct_fingerprint_is_stable() {
+    assert_eq!(
+        sim_fct_fingerprint(),
+        GOLDEN_SIM_FCT,
+        "packet-level event order changed: a 32-flow 3-plane MPTCP run no \
+         longer reproduces the pinned flow-completion records"
+    );
+}
+
 // Pinned fingerprints. Regenerate only when an *intentional* output change
 // lands, and record why in the commit message.
 const GOLDEN_JELLYFISH_KSP: u64 = 14853875402589996389;
 const GOLDEN_FAT_TREE_KSP: u64 = 11144640133350879781;
 // lambda 199901380670.61145 over 2028 phases.
 const GOLDEN_GK_LAMBDA: u64 = 2946497110374994333;
+// Pinned by the pre-calendar-queue BinaryHeap engine; the calendar/arena
+// engine must reproduce it bit-for-bit.
+const GOLDEN_SIM_FCT: u64 = 2982833380558106106;

@@ -306,3 +306,111 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Calendar event queue vs. reference binary-heap model
+// ---------------------------------------------------------------------
+
+use pnet::htsim::event::{Event, EventKind, EventQueue};
+use pnet::htsim::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The calendar/ladder queue must pop the exact sequence a binary heap
+    /// ordered by (time, insertion seq) would: same times, same identities,
+    /// for any interleaving of schedules and pops. AppTimer tags carry the
+    /// identity; they double as the model's tie-break because they are
+    /// assigned in schedule order. Offsets are relative to the time of the
+    /// most recently popped event ("now"), mirroring the simulator's
+    /// invariant that nothing is scheduled in the past, and span same-slot
+    /// (< 2^14 ps), same-window (< ~67 us), and far-future (overflow ladder)
+    /// distances.
+    #[test]
+    fn calendar_queue_matches_binary_heap_model(
+        seed in 0u64..400,
+        n_ops in 1usize..400,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+        let mut q = EventQueue::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut next_tag = 0u64;
+
+        let check_pop = |got: Option<Event>, want: Option<(u64, u64)>|
+         -> Result<Option<u64>, TestCaseError> {
+            match (got, want) {
+                (None, None) => Ok(None),
+                (Some(ev), Some((t, tag))) => {
+                    prop_assert_eq!(ev.time, SimTime::from_ps(t));
+                    let EventKind::AppTimer { tag: got_tag, .. } = ev.kind else {
+                        panic!("queue returned a non-AppTimer event");
+                    };
+                    prop_assert_eq!(got_tag, tag);
+                    Ok(Some(t))
+                }
+                (got, want) => {
+                    prop_assert!(false, "pop disagreement: got {:?}, want {:?}", got, want);
+                    Ok(None)
+                }
+            }
+        };
+
+        for _ in 0..n_ops {
+            match rng.random_range(0..10u32) {
+                // Schedule: slot-, window-, and ladder-scale offsets.
+                roll @ 0..=5 => {
+                    let offset = match roll {
+                        0 | 1 => rng.random_range(0..100_000u64),
+                        2 | 3 => rng.random_range(0..70_000_000u64),
+                        _ => rng.random_range(0..10_000_000_000u64),
+                    };
+                    let at = now + offset;
+                    q.schedule(
+                        SimTime::from_ps(at),
+                        EventKind::AppTimer { app: 0, tag: next_tag },
+                    );
+                    model.push(Reverse((at, next_tag)));
+                    next_tag += 1;
+                }
+                6..=8 => {
+                    prop_assert_eq!(
+                        q.peek_time(),
+                        model.peek().map(|Reverse((t, _))| SimTime::from_ps(*t))
+                    );
+                    let want = model.pop().map(|Reverse(e)| e);
+                    if let Some(t) = check_pop(q.pop(), want)? {
+                        now = t;
+                    }
+                }
+                // The batched-dispatch fast path: pop only events at exactly now.
+                _ => {
+                    let head_is_now =
+                        model.peek().is_some_and(|Reverse((t, _))| *t == now);
+                    let want = if head_is_now {
+                        model.pop().map(|Reverse(e)| e)
+                    } else {
+                        None
+                    };
+                    check_pop(q.pop_if_at(SimTime::from_ps(now)), want)?;
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+
+        // Drain both to the end: the tails must agree too.
+        while let Some(want) = model.pop().map(|Reverse(e)| e) {
+            if let Some(t) = check_pop(q.pop(), Some(want))? {
+                now = t;
+            }
+        }
+        let _ = now;
+        prop_assert!(q.pop().is_none());
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.dispatched(), next_tag);
+    }
+}
