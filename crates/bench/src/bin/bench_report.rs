@@ -18,7 +18,18 @@
 //!    clock of a permutation workload with telemetry fully off vs fully on
 //!    (every trace category + 50 µs sampler), min-of-N; the FCT vectors
 //!    must be bit-identical (the observer cannot perturb the simulation).
-//! 5. **Event engine throughput** (`BENCH_htsim.json`) — the overhauled
+//! 5. **Reconvergence under churn** (`BENCH_reconverge.json`, via
+//!    `--reconverge-only`) — failure-burst scenarios (single-cable flaps,
+//!    1% / 4% random-fraction bursts with restores) replayed one event at a
+//!    time against a live router + GK solution. Each event times the
+//!    incremental path (`Router::refresh` delta repair + warm-started GK
+//!    re-solve) against the full path (rebuild every plane graph, recompute
+//!    the all-pairs table from scratch, cold GK solve); sampled events
+//!    assert route-table fingerprint identity and warm-λ tolerance
+//!    in-process. Runs the 64-ToR preset and the paper-scale 98-ToR preset
+//!    at 1 thread, and requires a >= 10x median single-event speedup on the
+//!    64-ToR preset.
+//! 6. **Event engine throughput** (`BENCH_htsim.json`) — the overhauled
 //!    simulator core (calendar/ladder event queue, packet slab arena,
 //!    batched same-timestamp dispatch) vs the pre-overhaul engine, kept
 //!    alive verbatim as [`pnet_htsim::reference::RefSimulator`] and re-timed
@@ -31,7 +42,8 @@
 //! Usage: `bench_report [--quick] [--tors 64] [--degree 8] [--planes 4]
 //!                      [--k 32] [--seed 1] [--eps 0.1] [--no-reference]
 //!                      [--repeats 5] [--htsim-tors 98] [--htsim-degree 14]
-//!                      [--htsim-hosts 7] [--htsim-kb 1000]`
+//!                      [--htsim-hosts 7] [--htsim-kb 1000]
+//!                      [--htsim-only] [--reconverge-only]`
 //!
 //! `--quick` shrinks the instances (16 ToRs, degree 4, 2 planes, k=8;
 //! htsim: 16 ToRs x 2 hosts, 100 KB flows) for a CI smoke run; explicit
@@ -94,7 +106,7 @@ fn timed_reference(net: &Network, k: usize) -> (f64, Vec<Vec<Path>>) {
             if a == b {
                 continue;
             }
-            for pg in planes {
+            for pg in planes.iter() {
                 let mut paths = yen::ksp_reference(pg, RackId(a as u32), RackId(b as u32), k);
                 sort_paths(&mut paths);
                 dump.push(paths);
@@ -125,7 +137,7 @@ fn staged_precompute(net: &Network, k: usize) -> StageBreakdown {
     let n = router.n_racks();
 
     let t0 = Instant::now();
-    for pg in planes {
+    for pg in planes.iter() {
         for src in 0..n {
             std::hint::black_box(yen::ksp_all_destinations(pg, RackId(src as u32), 1));
         }
@@ -134,7 +146,7 @@ fn staged_precompute(net: &Network, k: usize) -> StageBreakdown {
 
     let t0 = Instant::now();
     let mut results: Vec<(u16, u32, Vec<Vec<Path>>)> = Vec::new();
-    for pg in planes {
+    for pg in planes.iter() {
         for src in 0..n {
             results.push((
                 pg.plane.0,
@@ -292,6 +304,11 @@ fn main() {
 
     let threads = Parallelism::Rayon.threads();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    if args.has("reconverge-only") {
+        reconverge_section(&args, quick, seed, eps, cores);
+        return;
+    }
 
     banner(
         "KSP precompute and GK MCF solve: overhauled vs reference, serial vs parallel",
@@ -699,6 +716,353 @@ fn htsim_engine_section(args: &Args, quick: bool, seed: u64, cores: usize) {
             new_run.events,
             ref_eps,
             new_eps,
+        ),
+    );
+}
+
+/// Middle value of a sample (mean of the two middles for even sizes).
+fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of an empty sample");
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+/// Full-recompute measurements taken at a sampled churn event: the live
+/// router's incremental result is raced against a from-scratch rebuild and
+/// the chained warm GK solution against a cold solve on the same link state.
+struct SampledEvent {
+    full_route_ms: f64,
+    cold_mcf_ms: f64,
+    warm_mcf_ms: f64,
+    cold_phases: usize,
+    warm_phases: usize,
+    lambda_rel_err: f64,
+    /// (full route + cold GK) / (incremental repair + warm GK).
+    speedup: f64,
+}
+
+/// One churn event's measurements: every event times the incremental repair;
+/// sampled events additionally carry the full-recompute race.
+struct ChurnEventMeasure {
+    incr_route_ms: f64,
+    entries_repaired: u64,
+    sampled: Option<SampledEvent>,
+}
+
+/// Outcome of replaying one churn scenario against a live router + GK state.
+struct ScenarioResult {
+    name: &'static str,
+    events: Vec<ChurnEventMeasure>,
+}
+
+impl ScenarioResult {
+    fn sampled(&self) -> impl Iterator<Item = &SampledEvent> {
+        self.events.iter().filter_map(|e| e.sampled.as_ref())
+    }
+
+    fn speedups(&self) -> Vec<f64> {
+        self.sampled().map(|s| s.speedup).collect()
+    }
+
+    fn json(&self) -> String {
+        let incr: Vec<f64> = self.events.iter().map(|e| e.incr_route_ms).collect();
+        let repaired: Vec<f64> = self
+            .events
+            .iter()
+            .map(|e| e.entries_repaired as f64)
+            .collect();
+        let full: Vec<f64> = self.sampled().map(|s| s.full_route_ms).collect();
+        let cold: Vec<f64> = self.sampled().map(|s| s.cold_mcf_ms).collect();
+        let warm: Vec<f64> = self.sampled().map(|s| s.warm_mcf_ms).collect();
+        let cold_ph: Vec<f64> = self.sampled().map(|s| s.cold_phases as f64).collect();
+        let warm_ph: Vec<f64> = self.sampled().map(|s| s.warm_phases as f64).collect();
+        let speedups = self.speedups();
+        let max_err = self
+            .sampled()
+            .map(|s| s.lambda_rel_err)
+            .fold(0.0f64, f64::max);
+        let repaired_list = self
+            .events
+            .iter()
+            .map(|e| e.entries_repaired.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let incr_list = incr
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"name\": \"{}\", \"events\": {}, \"sampled_events\": {},\n      \
+             \"entries_repaired\": [{repaired_list}],\n      \
+             \"incremental_route_ms\": [{incr_list}],\n      \
+             \"entries_repaired_median\": {:.1}, \"entries_repaired_max\": {},\n      \
+             \"incremental_route_ms_median\": {:.3}, \"full_route_ms_median\": {:.3},\n      \
+             \"warm_mcf_ms_median\": {:.3}, \"cold_mcf_ms_median\": {:.3},\n      \
+             \"warm_phases_median\": {:.1}, \"cold_phases_median\": {:.1},\n      \
+             \"event_speedup_median\": {:.3}, \"event_speedup_min\": {:.3},\n      \
+             \"warm_lambda_max_rel_err\": {max_err:.6}, \"equivalent\": true}}",
+            self.name,
+            self.events.len(),
+            speedups.len(),
+            median(&repaired),
+            repaired.iter().fold(0.0f64, |a, &b| a.max(b)) as u64,
+            median(&incr),
+            median(&full),
+            median(&warm),
+            median(&cold),
+            median(&warm_ph),
+            median(&cold_ph),
+            median(&speedups),
+            speedups.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+        )
+    }
+}
+
+/// Replay one churn schedule event by event. The live router absorbs each
+/// event through `Router::refresh` (timed); at sampled events a from-scratch
+/// router (plane-graph rebuild + all-pairs precompute) races it, the table
+/// fingerprints are asserted identical, and a cold GK solve races a warm
+/// re-solve chained from the previous solution (λ asserted within
+/// [`mcf::WARM_LAMBDA_TOLERANCE`]). Sampling strides keep the full-recompute
+/// cost bounded while the incremental path is timed at every event; the last
+/// event is always sampled so the end state is verified.
+fn run_churn_scenario(
+    name: &'static str,
+    base: &Network,
+    schedule: &pnet_topology::ChurnSchedule,
+    k: usize,
+    eps: f64,
+    commodities: &[Commodity],
+    max_samples: usize,
+) -> ScenarioResult {
+    let mut net = base.clone();
+    let router = Router::with_parallelism(&net, RouteAlgo::Ksp { k }, Parallelism::Serial);
+    router.precompute_all_pairs_with(Parallelism::Serial);
+    let (_, mut last_sol) = timed_mcf(&net, commodities, eps, Parallelism::Serial);
+
+    let n_events = schedule.events.len();
+    let stride = n_events.div_ceil(max_samples).max(1);
+    let mut events = Vec::with_capacity(n_events);
+    for (i, &ev) in schedule.events.iter().enumerate() {
+        ev.apply(&mut net);
+
+        let t0 = Instant::now();
+        let stats = router.refresh(&net);
+        let incr_route_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            !stats.full_rebuild,
+            "{name}: churn event {i} fell back to a full rebuild"
+        );
+
+        let sampled = if i % stride == 0 || i + 1 == n_events {
+            let t0 = Instant::now();
+            let fresh = Router::with_parallelism(&net, RouteAlgo::Ksp { k }, Parallelism::Serial);
+            fresh.precompute_all_pairs_with(Parallelism::Serial);
+            let full_route_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                router.table_fingerprint(),
+                fresh.table_fingerprint(),
+                "{name}: incremental table diverged from rebuild at event {i}"
+            );
+
+            let (cold_mcf_ms, cold) = timed_mcf(&net, commodities, eps, Parallelism::Serial);
+            let t0 = Instant::now();
+            let warm = mcf::solve_warm_with_options(
+                &net,
+                commodities,
+                &mcf::PathMode::AnyPath,
+                eps,
+                mcf::McfOptions {
+                    parallelism: Parallelism::Serial,
+                    ..Default::default()
+                },
+                &last_sol,
+            );
+            let warm_mcf_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let lambda_rel_err = ((warm.lambda - cold.lambda) / cold.lambda).abs();
+            assert!(
+                lambda_rel_err <= mcf::WARM_LAMBDA_TOLERANCE,
+                "{name}: warm lambda {} vs cold {} off by {lambda_rel_err:.4} at event {i}",
+                warm.lambda,
+                cold.lambda
+            );
+            let speedup = (full_route_ms + cold_mcf_ms) / (incr_route_ms + warm_mcf_ms);
+            eprintln!(
+                "    [{name} ev{i}] full route {} + cold {} ({} ph) vs incr {} \
+                 ({} repaired) + warm {} ({} ph): {}x, rel err {:.4}",
+                f3(full_route_ms),
+                f3(cold_mcf_ms),
+                cold.phases,
+                f3(incr_route_ms),
+                stats.entries_repaired,
+                f3(warm_mcf_ms),
+                warm.phases,
+                f3(speedup),
+                lambda_rel_err
+            );
+            let s = SampledEvent {
+                full_route_ms,
+                cold_mcf_ms,
+                warm_mcf_ms,
+                cold_phases: cold.phases,
+                warm_phases: warm.phases,
+                lambda_rel_err,
+                speedup,
+            };
+            last_sol = warm;
+            Some(s)
+        } else {
+            None
+        };
+        events.push(ChurnEventMeasure {
+            incr_route_ms,
+            entries_repaired: stats.entries_repaired as u64,
+            sampled,
+        });
+    }
+    ScenarioResult { name, events }
+}
+
+/// Reconvergence-under-churn benchmark (`--reconverge-only`): per-event
+/// incremental repair + warm GK vs full recompute, with in-process
+/// equivalence checks, written to `BENCH_reconverge.json`.
+fn reconverge_section(_args: &Args, quick: bool, seed: u64, eps: f64, cores: usize) {
+    // (label, tors, degree, planes, k, full-recompute samples per scenario)
+    let presets: &[(&str, usize, usize, usize, usize, usize)] = if quick {
+        &[("16tor_quick", 16, 4, 2, 8, 3)]
+    } else {
+        &[
+            ("64tor", 64, 8, 4, 32, 6),
+            ("98tor_paper", 98, 14, 4, 32, 4),
+        ]
+    };
+    banner(
+        "Reconvergence under link churn: incremental repair + warm GK vs full recompute",
+        &format!(
+            "presets: {}; 1 worker thread on {cores} core(s){}",
+            presets.iter().map(|p| p.0).collect::<Vec<_>>().join(", "),
+            if quick {
+                "; --quick smoke instance"
+            } else {
+                ""
+            }
+        ),
+    );
+
+    let speedup_target = 10.0;
+    let mut preset_jsons = Vec::new();
+    let mut target_median: Option<f64> = None;
+    for &(label, tors, degree, planes, k, max_samples) in presets {
+        let net = assemble_homogeneous(
+            &Jellyfish::new(tors, degree, 1, seed),
+            planes,
+            &LinkProfile::paper_default(),
+        );
+        let commodities: Vec<Commodity> =
+            commodity::permutation(&tm::random_permutation(tors, seed));
+        let entries = tors * (tors - 1) * planes;
+        println!(
+            "[{label}] {planes}-plane jellyfish, {tors} racks, degree {degree}, \
+             k={k}: {entries} route entries, {} commodities",
+            commodities.len()
+        );
+
+        let scenarios = [
+            (
+                "single_cable",
+                pnet_topology::ChurnSchedule::single_cable_cycles(
+                    &net,
+                    if quick { 2 } else { 4 },
+                    seed.wrapping_mul(1000) + 17,
+                ),
+            ),
+            (
+                "burst_restore_1pct",
+                pnet_topology::ChurnSchedule::burst_then_restore(
+                    &net,
+                    0.01,
+                    seed.wrapping_mul(1000) + 29,
+                ),
+            ),
+            (
+                "burst_restore_4pct",
+                pnet_topology::ChurnSchedule::burst_then_restore(
+                    &net,
+                    0.04,
+                    seed.wrapping_mul(1000) + 43,
+                ),
+            ),
+        ];
+        let mut results = Vec::new();
+        for (name, schedule) in &scenarios {
+            let r = run_churn_scenario(name, &net, schedule, k, eps, &commodities, max_samples);
+            let speedups = r.speedups();
+            println!(
+                "[{label}] {name}: {} events ({} sampled), incr route median {} ms, \
+                 event speedup median {}x (min {}x)",
+                r.events.len(),
+                speedups.len(),
+                f3(median(
+                    &r.events.iter().map(|e| e.incr_route_ms).collect::<Vec<_>>()
+                )),
+                f3(median(&speedups)),
+                f3(speedups.iter().fold(f64::INFINITY, |a, &b| a.min(b))),
+            );
+            results.push(r);
+        }
+        let all_speedups: Vec<f64> = results.iter().flat_map(|r| r.speedups()).collect();
+        let preset_median = median(&all_speedups);
+        println!(
+            "[{label}] median single-event reconvergence speedup: {}x",
+            f3(preset_median)
+        );
+        if label == "64tor" {
+            target_median = Some(preset_median);
+            assert!(
+                preset_median >= speedup_target,
+                "64tor median reconvergence speedup {preset_median:.2}x \
+                 below the {speedup_target}x target"
+            );
+        }
+        let scenario_jsons = results
+            .iter()
+            .map(|r| r.json())
+            .collect::<Vec<_>>()
+            .join(",\n      ");
+        preset_jsons.push(format!(
+            "{{\"label\": \"{label}\",\n    \
+             \"topology\": {{\"kind\": \"jellyfish\", \"n_tors\": {tors}, \
+             \"degree\": {degree}, \"planes\": {planes}}},\n    \
+             \"k\": {k}, \"route_table_entries\": {entries}, \"commodities\": {},\n    \
+             \"scenarios\": [\n      {scenario_jsons}\n    ],\n    \
+             \"median_event_speedup\": {preset_median:.3}}}",
+            commodities.len()
+        ));
+    }
+
+    let target_json =
+        target_median.map_or("null".to_string(), |m| format!("{}", m >= speedup_target));
+    write_json(
+        "BENCH_reconverge.json",
+        &format!(
+            "{{\n  \"benchmark\": \"incremental_reconvergence\",\n  \
+             \"eps\": {eps},\n  \"threads\": 1,\n  \"available_cores\": {cores},\n  \
+             \"warm_phase_budget\": {:.1},\n  \"warm_lambda_tolerance\": {},\n  \
+             \"speedup_target\": {speedup_target},\n  \
+             \"speedup_target_preset\": \"64tor\",\n  \
+             \"target_met\": {target_json},\n  \
+             \"equivalence_checked_in_process\": true,\n  \
+             \"presets\": [\n  {}\n  ]\n}}\n",
+            mcf::WARM_PHASE_BUDGET,
+            mcf::WARM_LAMBDA_TOLERANCE,
+            preset_jsons.join(",\n  "),
         ),
     );
 }

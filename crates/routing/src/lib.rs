@@ -28,6 +28,7 @@ pub mod ecmp;
 pub mod exec;
 pub mod path;
 pub mod plane_graph;
+pub mod repair;
 pub mod router;
 pub mod scratch;
 pub mod yen;
@@ -37,6 +38,7 @@ pub use ecmp::{flow_hash, hash_plane, hash_select};
 pub use exec::Parallelism;
 pub use path::{host_route, reverse_route, rotate_ties, sort_paths, Path};
 pub use plane_graph::PlaneGraph;
+pub use repair::DeltaStats;
 pub use router::{RouteAlgo, Router};
 pub use scratch::RouteScratch;
 pub use yen::{ksp, ksp_all_destinations, ksp_destinations, ksp_reference};

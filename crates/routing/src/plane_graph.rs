@@ -188,6 +188,13 @@ impl PlaneGraph {
     pub fn link_bound(&self) -> usize {
         self.link_bound as usize
     }
+
+    /// Every directed fabric link in the plane graph, in packed CSR order
+    /// (each duplex cable appears once per direction). Used to diff link
+    /// membership against a mutated [`Network`].
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.packed.iter().map(|&(_, l)| l)
+    }
 }
 
 #[cfg(test)]

@@ -46,18 +46,33 @@ pub fn fabric_cables(net: &Network, plane: Option<PlaneId>) -> Vec<LinkId> {
         .collect()
 }
 
-/// Fail a fraction of fabric cables, chosen uniformly at random across the
-/// whole network ("link failures are random across the network", section
-/// 5.4). Returns the failed cables. Deterministic in `seed`.
-pub fn fail_random_fraction(net: &mut Network, fraction: f64, seed: u64) -> Vec<LinkId> {
+/// Integer-exact count for "fail `fraction` of `len` cables": round-half-up
+/// of `len * fraction`, computed in integer arithmetic on a parts-per-billion
+/// quantization of the fraction. The former `(len as f64 * fraction).round()
+/// as usize` left the count hostage to float noise around `.5` products
+/// (e.g. a 450-cable fabric at 1% could fail 4 or 5 depending on how the
+/// product rounded); here every (len, fraction) pair maps to exactly one
+/// count, and any fraction specified to at most 9 decimal places is
+/// represented exactly.
+pub fn fraction_count(len: usize, fraction: f64) -> usize {
     assert!(
         (0.0..=1.0).contains(&fraction),
         "fraction must be in [0, 1]"
     );
+    let ppb = (fraction * 1e9).round() as u64;
+    let count = (len as u128 * u128::from(ppb) + 500_000_000) / 1_000_000_000;
+    usize::try_from(count).expect("invariant: a fraction of len cables never exceeds len")
+}
+
+/// Fail a fraction of fabric cables, chosen uniformly at random across the
+/// whole network ("link failures are random across the network", section
+/// 5.4). Returns the failed cables. Deterministic in `seed`; the failed
+/// count is the integer-exact [`fraction_count`].
+pub fn fail_random_fraction(net: &mut Network, fraction: f64, seed: u64) -> Vec<LinkId> {
     let mut cables = fabric_cables(net, None);
     let mut rng = StdRng::seed_from_u64(seed);
     cables.shuffle(&mut rng);
-    let n_fail = ((cables.len() as f64) * fraction).round() as usize;
+    let n_fail = fraction_count(cables.len(), fraction);
     let failed: Vec<LinkId> = cables.into_iter().take(n_fail).collect();
     for &c in &failed {
         fail_cable(net, c);
@@ -118,8 +133,30 @@ mod tests {
         let mut n = net();
         let total = fabric_cables(&n, None).len();
         let failed = fail_random_fraction(&mut n, 0.25, 42);
-        assert_eq!(failed.len(), (total as f64 * 0.25).round() as usize);
+        assert_eq!(failed.len(), fraction_count(total, 0.25));
+        assert_eq!(failed.len(), total / 4);
         assert!((failed_fraction(&n) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn fraction_count_is_integer_exact() {
+        // Round-half-up at exact .5 products, independent of float noise:
+        // 450 * 0.01 = 4.5 -> 5, 448 * 0.01 = 4.48 -> 4.
+        assert_eq!(fraction_count(450, 0.01), 5);
+        assert_eq!(fraction_count(448, 0.01), 4);
+        assert_eq!(fraction_count(50, 0.01), 1); // 0.5 rounds up
+        assert_eq!(fraction_count(49, 0.01), 0); // 0.49 rounds down
+                                                 // Boundary fractions are exact.
+        assert_eq!(fraction_count(1000, 0.0), 0);
+        assert_eq!(fraction_count(1000, 1.0), 1000);
+        // Monotone in len for a fixed fraction (no float plateau glitches).
+        let mut prev = 0;
+        for len in 0..10_000 {
+            let c = fraction_count(len, 0.04);
+            assert!(c >= prev, "count regressed at len {len}");
+            assert!(c <= len);
+            prev = c;
+        }
     }
 
     #[test]

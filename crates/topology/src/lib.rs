@@ -32,6 +32,7 @@
 //! ```
 
 pub mod builder;
+pub mod churn;
 pub mod components;
 pub mod deployment;
 pub mod failures;
@@ -44,6 +45,7 @@ pub mod profile;
 pub mod xpander;
 
 pub use builder::{assemble, assemble_homogeneous, assemble_with_profiles, PlaneBuilder};
+pub use churn::{ChurnEvent, ChurnSchedule, LinkDelta};
 pub use fattree::{FatTree, FatTreeShape};
 pub use graph::{gbps, micros_ps, nanos_ps, Link, Network, Node, NodeKind};
 pub use ids::{HostId, LinkId, NodeId, PlaneId, RackId};

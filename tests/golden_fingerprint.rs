@@ -122,6 +122,40 @@ fn gk_mcf_lambda_fingerprint_is_stable() {
     );
 }
 
+#[test]
+fn post_churn_ksp_table_fingerprint_is_stable() {
+    // A seeded churn walk absorbed through the incremental delta path must
+    // land on a pinned table fingerprint — and that fingerprint must equal a
+    // from-scratch rebuild on the final link state, tying the pin to the
+    // cold-precompute semantics rather than to the repair code itself.
+    use pnet::topology::ChurnSchedule;
+    let mut net = assemble_homogeneous(
+        &Jellyfish::new(16, 4, 1, 7),
+        2,
+        &LinkProfile::paper_default(),
+    );
+    let router = Router::with_parallelism(&net, RouteAlgo::Ksp { k: 8 }, Parallelism::Serial);
+    router.precompute_all_pairs_with(Parallelism::Serial);
+    for &ev in &ChurnSchedule::random_walk(&net, 12, 0.2, 21).events {
+        ev.apply(&mut net);
+        let stats = router.refresh(&net);
+        assert!(!stats.full_rebuild, "cable churn must take the delta path");
+    }
+    let fresh = Router::with_parallelism(&net, RouteAlgo::Ksp { k: 8 }, Parallelism::Serial);
+    fresh.precompute_all_pairs_with(Parallelism::Serial);
+    assert_eq!(
+        router.table_fingerprint(),
+        fresh.table_fingerprint(),
+        "incremental repair diverged from a from-scratch rebuild"
+    );
+    assert_eq!(
+        router.table_fingerprint(),
+        GOLDEN_POST_CHURN_KSP,
+        "post-churn route table changed on seeded Jellyfish(16, 4, seed 7) x2 \
+         planes, k=8, random_walk(12 events, 0.2, seed 21)"
+    );
+}
+
 /// Hash every flow-completion record of a mid-size multi-plane MPTCP run,
 /// sorted by owner tag: start/finish timestamps (picosecond-exact), sizes,
 /// retransmit/timeout counts, and subflow counts all contribute. Any change
@@ -191,6 +225,9 @@ fn packet_sim_fct_fingerprint_is_stable() {
 // Pinned fingerprints. Regenerate only when an *intentional* output change
 // lands, and record why in the commit message.
 const GOLDEN_JELLYFISH_KSP: u64 = 14853875402589996389;
+// Incremental-repair end state of a 12-event churn walk; must also equal a
+// from-scratch rebuild (asserted in the same test).
+const GOLDEN_POST_CHURN_KSP: u64 = 3576556970543380266;
 const GOLDEN_FAT_TREE_KSP: u64 = 11144640133350879781;
 // lambda 199901380670.61145 over 2028 phases.
 const GOLDEN_GK_LAMBDA: u64 = 2946497110374994333;

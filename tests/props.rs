@@ -5,10 +5,10 @@ use proptest::prelude::*;
 
 use pnet::flowsim::{commodity, mcf, Commodity};
 use pnet::htsim::{run_to_completion, CcAlgo, FlowSpec, SimConfig, Simulator};
-use pnet::routing::{self, bfs, ksp, PlaneGraph, RouteAlgo, Router};
+use pnet::routing::{self, bfs, ksp, Parallelism, PlaneGraph, RouteAlgo, Router};
 use pnet::topology::{
-    assemble_homogeneous, failures, FatTree, HostId, Jellyfish, LinkProfile, Network, PlaneId,
-    RackId, Xpander,
+    assemble_homogeneous, failures, ChurnSchedule, FatTree, HostId, Jellyfish, LinkProfile,
+    Network, PlaneId, RackId, Xpander,
 };
 use pnet::workloads::sizes::EmpiricalCdf;
 
@@ -79,7 +79,9 @@ proptest! {
             &FatTree::three_tier(4), 2, &LinkProfile::paper_default());
         let total = failures::fabric_cables(&net, None).len();
         let failed = failures::fail_random_fraction(&mut net, frac, seed);
-        prop_assert_eq!(failed.len(), (total as f64 * frac).round() as usize);
+        prop_assert_eq!(failed.len(), failures::fraction_count(total, frac));
+        // The integer-exact count stays within half a cable of len * frac.
+        prop_assert!((failed.len() as f64 - total as f64 * frac).abs() <= 0.5 + 1e-6);
         failures::restore_all(&mut net);
         prop_assert_eq!(failures::failed_fraction(&net), 0.0);
     }
@@ -159,6 +161,33 @@ proptest! {
         }
     }
 
+    /// Incremental delta repair is *equivalent* to rebuilding: after any
+    /// seeded random walk of cable down/up events, the live router's table
+    /// fingerprint must be byte-identical to a from-scratch router built on
+    /// the final link state — same path sets, same order, same tie-breaks.
+    #[test]
+    fn churn_refresh_matches_full_rebuild(
+        seed in 0u64..60,
+        n_events in 1usize..16,
+        churn_seed in 0u64..60,
+    ) {
+        let mut net = small_jellyfish(seed);
+        let router =
+            Router::with_parallelism(&net, RouteAlgo::Ksp { k: 4 }, Parallelism::Serial);
+        router.precompute_all_pairs_with(Parallelism::Serial);
+        let sched = ChurnSchedule::random_walk(&net, n_events, 0.25, churn_seed);
+        prop_assume!(!sched.events.is_empty());
+        for &ev in &sched.events {
+            ev.apply(&mut net);
+            let stats = router.refresh(&net);
+            prop_assert!(!stats.full_rebuild, "cable churn must take the delta path");
+        }
+        let fresh =
+            Router::with_parallelism(&net, RouteAlgo::Ksp { k: 4 }, Parallelism::Serial);
+        fresh.precompute_all_pairs_with(Parallelism::Serial);
+        prop_assert_eq!(router.table_fingerprint(), fresh.table_fingerprint());
+    }
+
     #[test]
     fn host_routes_chain_endpoints(seed in 0u64..50, a in 0u32..12, b in 0u32..12) {
         prop_assume!(a != b);
@@ -214,6 +243,32 @@ proptest! {
         // Rates consistent with lambda.
         for (r, cm) in sol.rates.iter().zip(&c) {
             prop_assert!(*r >= sol.lambda * cm.demand * 0.999999);
+        }
+    }
+
+    /// Warm-started GK after a churn walk lands within the pinned λ
+    /// tolerance of a cold re-solve on the same link state, and stays a
+    /// feasible primal (the congestion rescale guarantees that
+    /// unconditionally, but pin it anyway).
+    #[test]
+    fn warm_gk_matches_cold_after_churn(seed in 0u64..20, churn_seed in 0u64..20) {
+        let mut net = small_jellyfish(seed);
+        let c = commodity::all_to_all(6);
+        let base = mcf::solve(&net, &c, &mcf::PathMode::AnyPath, 0.1);
+        ChurnSchedule::random_walk(&net, 6, 0.15, churn_seed).apply_all(&mut net);
+        // AnyPath needs some plane to connect every commodity pair.
+        prop_assume!(net.planes().any(|p| net.plane_connects_all_hosts(p)));
+        let cold = mcf::solve(&net, &c, &mcf::PathMode::AnyPath, 0.1);
+        let warm = mcf::solve_warm(&net, &c, &mcf::PathMode::AnyPath, 0.1, &base);
+        prop_assert!(
+            (warm.lambda - cold.lambda).abs() <= mcf::WARM_LAMBDA_TOLERANCE * cold.lambda,
+            "warm λ {} vs cold λ {} exceeds the pinned tolerance",
+            warm.lambda, cold.lambda
+        );
+        prop_assert!(warm.phases < cold.phases, "warm start saved no phases");
+        let caps = mcf::link_capacities(&net);
+        for (f, cap) in warm.link_flow.iter().zip(&caps) {
+            prop_assert!(*f <= cap * 1.000001 + 1.0, "warm primal infeasible");
         }
     }
 
