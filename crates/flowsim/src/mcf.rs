@@ -409,7 +409,7 @@ fn gk_core(
                 .iter()
                 .map(|&i| net.rack_of_host(commodities[i].dst))
                 .collect();
-            t.sort_unstable_by_key(|r| r.0);
+            t.sort_unstable();
             t.dedup();
             t
         })
@@ -631,7 +631,7 @@ fn shortest_routes_unit(
                         .filter(|c| c.src.0 == s)
                         .map(|c| net.rack_of_host(c.dst))
                         .collect();
-                    t.sort_unstable_by_key(|r| r.0);
+                    t.sort_unstable();
                     t.dedup();
                     t
                 })

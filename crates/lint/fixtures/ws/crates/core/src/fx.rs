@@ -1,0 +1,41 @@
+//! Effect-lattice fixtures: one fn per lattice point, plus transitive
+//! propagation and the local-closure precision case. No rule findings —
+//! these exist for the `effects` dump snapshot.
+
+pub struct Queue {
+    items: Vec<u32>,
+}
+
+impl Queue {
+    pub fn push_item(&mut self, x: u32) {
+        self.items.push(x);
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+pub fn drain_into(q: &mut Queue, out: &mut Vec<u32>) {
+    while let Some(x) = q.items.pop() {
+        out.push(x);
+    }
+}
+
+pub fn tally(cell: &std::cell::RefCell<u32>) -> u32 {
+    *cell.borrow_mut() += 1;
+    cell.take()
+}
+
+pub fn apply_twice(f: impl Fn(u32) -> u32, x: u32) -> u32 {
+    f(f(x))
+}
+
+pub fn feed(q: &mut Queue) {
+    Queue::push_item(q, 1);
+}
+
+pub fn local_closure_stays_first_order(x: u32) -> u32 {
+    let double = |v: u32| v * 2;
+    double(x)
+}

@@ -1,0 +1,32 @@
+//! O1 fixtures: float reductions over parallel-produced collections — an
+//! active out-of-order consumption, one waived, one allowlisted, and the
+//! blessed in-order form that must stay finding-free.
+
+pub struct Par;
+
+impl Par {
+    pub fn map_indexed(self, n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+}
+
+pub fn skewed(n: usize) -> f64 {
+    let xs = Par.map_indexed(n, |i| [0.5, 1.5][i % 2]);
+    xs.iter().rev().fold(0.0, |acc, x| acc + x)
+}
+
+pub fn skewed_waived(n: usize) -> f64 {
+    let xs = Par.map_indexed(n, |i| [0.5, 1.5][i % 2]);
+    // pnet-tidy: allow(O1) -- fixture: summands proven order-free
+    xs.iter().rev().fold(0.0, |acc, x| acc + x)
+}
+
+pub fn skewed_allowlisted(n: usize) -> f64 {
+    let ys = Par.map_indexed(n, |i| [2.5, 0.25][i % 2]);
+    ys.iter().rev().fold(0.0, |acc, x| acc + x)
+}
+
+pub fn ordered(n: usize) -> f64 {
+    let xs = Par.map_indexed(n, |i| [0.5, 1.5][i % 2]);
+    xs.iter().fold(0.0, |acc, x| acc + x)
+}

@@ -1,0 +1,22 @@
+//! T1 fixtures: telemetry observation-purity — an active violation, one
+//! waived at the effect origin, and one allowlisted.
+
+pub fn export_now(t_ps: u64) -> u64 {
+    println!("t={t_ps}");
+    t_ps
+}
+
+pub fn export_waived(t_ps: u64) -> u64 {
+    // pnet-tidy: allow(T1) -- fixture: sanctioned stdout exporter
+    println!("t={t_ps}");
+    t_ps
+}
+
+pub fn export_allowlisted(t_ps: u64) -> u64 {
+    eprintln!("t={t_ps}");
+    t_ps
+}
+
+pub fn pure_formatter(t_ps: u64) -> String {
+    format!("t={t_ps}")
+}

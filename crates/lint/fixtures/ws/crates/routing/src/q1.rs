@@ -1,0 +1,28 @@
+//! Q1 fixtures: unstable sorts — active, waived, and allowlisted `_by_key`
+//! forms, plus the two provably-safe shapes that must stay finding-free.
+
+pub fn ranked(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    v.sort_unstable_by_key(|p| p.0);
+    v
+}
+
+pub fn ranked_waived(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    // pnet-tidy: allow(Q1) -- fixture: first components unique by construction
+    v.sort_unstable_by_key(|p| p.0);
+    v
+}
+
+pub fn ranked_allowlisted(mut w: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    w.sort_unstable_by_key(|p| p.1);
+    w
+}
+
+pub fn whole_element(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    v.sort_unstable();
+    v
+}
+
+pub fn tie_broken(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    v.sort_unstable_by(|a, b| a.cmp(b));
+    v
+}

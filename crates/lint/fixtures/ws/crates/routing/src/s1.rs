@@ -1,0 +1,40 @@
+//! S1 fixtures: parallel-closure capture discipline — an active violation,
+//! one waived at the capture site, one allowlisted, and a clean per-index
+//! closure that must stay finding-free.
+
+pub struct Par;
+
+impl Par {
+    pub fn map_indexed(self, n: usize, f: impl Fn(usize) -> usize) -> Vec<usize> {
+        (0..n).map(f).collect()
+    }
+}
+
+pub fn racy(n: usize) -> Vec<usize> {
+    let mut hits = 0;
+    Par.map_indexed(n, |i| {
+        hits += 1;
+        i + hits
+    })
+}
+
+pub fn racy_waived(n: usize) -> Vec<usize> {
+    let mut hits = 0;
+    Par.map_indexed(n, |i| {
+        // pnet-tidy: allow(S1) -- fixture: order-free counter, never read back
+        hits += 1;
+        i + hits
+    })
+}
+
+pub fn racy_allowlisted(n: usize) -> Vec<usize> {
+    let mut total = 0;
+    Par.map_indexed(n, |i| {
+        total += i;
+        total
+    })
+}
+
+pub fn clean(n: usize, scale: usize) -> Vec<usize> {
+    Par.map_indexed(n, |i| i * scale)
+}

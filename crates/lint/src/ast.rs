@@ -136,6 +136,10 @@ pub struct Param {
     /// for receivers; `None` for destructuring patterns.
     pub name: Option<String>,
     pub ty: Option<TyRef>,
+    /// `true` for a `&mut self` (or `mut self`) receiver — the one mutability
+    /// fact a [`TyRef`] ident bag cannot carry (non-receiver params record
+    /// their `mut` inside `ty.idents`). Effect inference reads this.
+    pub ref_mut: bool,
 }
 
 #[derive(Debug)]
@@ -204,6 +208,9 @@ pub enum ExprKind {
         expr: Box<Expr>,
     },
     Ref {
+        /// `&mut` (vs `&`) — a mutable borrow of a captured place is exactly
+        /// what the parallel-safety rule has to see.
+        is_mut: bool,
         expr: Box<Expr>,
     },
     Try {
@@ -236,6 +243,9 @@ pub enum ExprKind {
     },
     Block(Block),
     Closure {
+        /// Parameter patterns (`|i|`, `|(a, b)|`, `|mut x: u32|`). Effect and
+        /// capture analysis needs them to tell closure-locals from captures.
+        params: Vec<Pat>,
         body: Box<Expr>,
     },
     /// `path!(...)` / `path![...]` / `path! {...}`; the body is the raw
@@ -775,7 +785,11 @@ impl<'a> Parser<'a> {
     fn parse_param(&mut self) -> Param {
         // Receivers: `self`, `&self`, `&mut self`, `mut self`, `&'a self`.
         let mut k = 0;
+        let mut recv_mut = false;
         while matches!(self.txt(k), "&" | "mut") || self.kind(k) == Some(TokenKind::Lifetime) {
+            if self.txt(k) == "mut" {
+                recv_mut = true;
+            }
             k += 1;
         }
         if self.txt(k) == "self" {
@@ -790,6 +804,7 @@ impl<'a> Parser<'a> {
             return Param {
                 name: Some("self".to_string()),
                 ty,
+                ref_mut: recv_mut,
             };
         }
         let pat = self.parse_pat_single();
@@ -802,7 +817,11 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        Param { name, ty }
+        Param {
+            name,
+            ty,
+            ref_mut: false,
+        }
     }
 
     fn parse_use(&mut self) -> ItemKind {
@@ -1294,27 +1313,34 @@ impl<'a> Parser<'a> {
         match self.op_txt(0) {
             "&" => {
                 self.bump();
-                self.eat("mut");
+                let is_mut = self.eat("mut");
                 let e = self.parse_unary(no_struct);
                 Expr {
                     lo,
                     hi: e.hi.max(lo),
-                    kind: ExprKind::Ref { expr: Box::new(e) },
+                    kind: ExprKind::Ref {
+                        is_mut,
+                        expr: Box::new(e),
+                    },
                 }
             }
             "&&" => {
                 self.bump();
-                self.eat("mut");
+                let is_mut = self.eat("mut");
                 let e = self.parse_unary(no_struct);
                 let inner = Expr {
                     lo,
                     hi: e.hi.max(lo),
-                    kind: ExprKind::Ref { expr: Box::new(e) },
+                    kind: ExprKind::Ref {
+                        is_mut,
+                        expr: Box::new(e),
+                    },
                 };
                 Expr {
                     lo,
                     hi: inner.hi,
                     kind: ExprKind::Ref {
+                        is_mut: false,
                         expr: Box::new(inner),
                     },
                 }
@@ -1720,12 +1746,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_closure(&mut self, lo: usize) -> Expr {
+        let mut params = Vec::new();
         if self.eat("||") {
             // Zero-parameter closure.
         } else {
             self.expect("|", "to open closure params");
             while !self.eof() && !self.at("|") {
-                self.parse_pat_single();
+                params.push(self.parse_pat_single());
                 if self.eat(":") {
                     self.scan_type(&[",", "|"]);
                 }
@@ -1750,6 +1777,7 @@ impl<'a> Parser<'a> {
             lo,
             hi: body.hi.max(lo),
             kind: ExprKind::Closure {
+                params,
                 body: Box::new(body),
             },
         }
@@ -2143,7 +2171,7 @@ pub fn walk_expr<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
             walk_expr(rhs, f);
         }
         ExprKind::Unary { expr, .. }
-        | ExprKind::Ref { expr }
+        | ExprKind::Ref { expr, .. }
         | ExprKind::Try { expr }
         | ExprKind::Cast { expr, .. } => walk_expr(expr, f),
         ExprKind::Match { scrutinee, arms } => {
@@ -2172,7 +2200,7 @@ pub fn walk_expr<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
         }
         ExprKind::Loop { body } => walk_block(body, f),
         ExprKind::Block(b) => walk_block(b, f),
-        ExprKind::Closure { body } => walk_expr(body, f),
+        ExprKind::Closure { body, .. } => walk_expr(body, f),
         ExprKind::StructLit { fields, rest, .. } => {
             for (_, v) in fields {
                 if let Some(e) = v {
@@ -2443,8 +2471,8 @@ fn dump_expr(e: &Expr, s: &mut String) {
             dump_expr(expr, s);
             s.push(')');
         }
-        ExprKind::Ref { expr } => {
-            s.push_str("(& ");
+        ExprKind::Ref { is_mut, expr } => {
+            s.push_str(if *is_mut { "(&mut " } else { "(& " });
             dump_expr(expr, s);
             s.push(')');
         }
@@ -2508,8 +2536,15 @@ fn dump_expr(e: &Expr, s: &mut String) {
             s.push(')');
         }
         ExprKind::Block(b) => dump_block(b, s),
-        ExprKind::Closure { body } => {
-            s.push_str("(closure ");
+        ExprKind::Closure { params, body } => {
+            s.push_str("(closure [");
+            for (i, p) in params.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                dump_pat(p, s);
+            }
+            s.push_str("] ");
             dump_expr(body, s);
             s.push(')');
         }

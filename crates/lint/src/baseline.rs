@@ -1,0 +1,436 @@
+//! Baseline diff mode: `pnet-tidy check --baseline <sarif>` fails only on
+//! findings *not present* in a previously captured SARIF log.
+//!
+//! This is how a new rule lands before its triage completes: commit the rule,
+//! snapshot the current findings with `pnet-tidy list --format sarif`, gate
+//! CI against that snapshot, and burn the baseline down finding by finding.
+//! Baseline entries are matched as a (ruleId, uri, message text) multiset —
+//! deliberately *not* by line number, so unrelated edits that shift code
+//! don't resurrect baselined findings (messages that embed `file:line`
+//! origins still shift when the origin moves, which is the conservative
+//! direction: a moved effect site deserves a fresh look).
+//!
+//! The parser below is a minimal recursive-descent JSON reader — enough for
+//! SARIF logs we (or GitHub code scanning) produce, with no dependencies,
+//! matching the rest of the linter.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// One baselined finding identity.
+pub type BaselineKey = (String, String, String); // (rule, file, message)
+
+/// Parse a SARIF 2.1.0 log and return the identity keys of every
+/// *unsuppressed* result (suppressed results are already out of the gate;
+/// keeping them in the baseline would let them silently reactivate).
+pub fn parse_sarif_baseline(src: &str) -> Result<Vec<BaselineKey>, String> {
+    let v = Json::parse(src)?;
+    let mut out = Vec::new();
+    let runs = v.get("runs").and_then(Json::as_array).ok_or("no runs[]")?;
+    for run in runs {
+        let Some(results) = run.get("results").and_then(Json::as_array) else {
+            continue;
+        };
+        for r in results {
+            if r.get("suppressions")
+                .and_then(Json::as_array)
+                .is_some_and(|s| !s.is_empty())
+            {
+                continue;
+            }
+            let rule = r
+                .get("ruleId")
+                .and_then(Json::as_str)
+                .ok_or("result without ruleId")?;
+            let msg = r
+                .get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Json::as_str)
+                .unwrap_or_default();
+            let uri = r
+                .get("locations")
+                .and_then(Json::as_array)
+                .and_then(|l| l.first())
+                .and_then(|l| l.get("physicalLocation"))
+                .and_then(|p| p.get("artifactLocation"))
+                .and_then(|a| a.get("uri"))
+                .and_then(Json::as_str)
+                .unwrap_or_default();
+            out.push((rule.to_string(), uri.to_string(), msg.to_string()));
+        }
+    }
+    Ok(out)
+}
+
+/// Split `findings` into (new, baselined): each baseline key absorbs at most
+/// as many findings as it occurs in the baseline (multiset semantics).
+pub fn split_against_baseline<'a>(
+    findings: &[&'a Finding],
+    baseline: &[BaselineKey],
+) -> (Vec<&'a Finding>, usize) {
+    let mut budget: BTreeMap<&BaselineKey, usize> = BTreeMap::new();
+    for k in baseline {
+        *budget.entry(k).or_default() += 1;
+    }
+    let mut fresh = Vec::new();
+    let mut absorbed = 0usize;
+    for f in findings {
+        let key = (f.rule.to_string(), f.file.clone(), f.message.clone());
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                absorbed += 1;
+            }
+            _ => fresh.push(*f),
+        }
+    }
+    (fresh, absorbed)
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are kept as raw text — the baseline reader
+/// never does arithmetic on them.
+#[derive(Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut p = Parser { bytes, at: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.at));
+        }
+        Ok(v)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.at,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other, self.at)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.at))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.at += 1;
+        }
+        if self.at == start {
+            return Err(format!("empty number at byte {start}"));
+        }
+        Ok(Json::Num(
+            String::from_utf8_lossy(&self.bytes[start..self.at]).into_owned(),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs don't occur in our own output;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(out));
+                }
+                other => return Err(format!("expected , or ] found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(out));
+                }
+                other => return Err(format!("expected , or }} found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, message: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            message: message.to_string(),
+            snippet: String::new(),
+            suppressed: None,
+            origin: None,
+        }
+    }
+
+    const SARIF: &str = r#"{
+      "version": "2.1.0",
+      "runs": [{
+        "tool": {"driver": {"name": "pnet-tidy", "rules": []}},
+        "results": [
+          {"ruleId": "Q1", "level": "error",
+           "message": {"text": "sort_unstable_by_key: no tie-break"},
+           "locations": [{"physicalLocation": {"artifactLocation": {"uri": "crates/flowsim/src/mcf.rs"},
+                          "region": {"startLine": 412, "startColumn": 11}}}]},
+          {"ruleId": "Q1", "level": "error",
+           "message": {"text": "sort_unstable_by_key: no tie-break"},
+           "locations": [{"physicalLocation": {"artifactLocation": {"uri": "crates/flowsim/src/mcf.rs"},
+                          "region": {"startLine": 634, "startColumn": 11}}}]},
+          {"ruleId": "T1", "level": "error",
+           "message": {"text": "waived thing"},
+           "locations": [{"physicalLocation": {"artifactLocation": {"uri": "crates/htsim/src/telemetry.rs"},
+                          "region": {"startLine": 9, "startColumn": 1}}}],
+           "suppressions": [{"kind": "inSource", "justification": "inline waiver"}]}
+        ]
+      }]
+    }"#;
+
+    #[test]
+    fn parses_sarif_and_skips_suppressed_results() {
+        let keys = parse_sarif_baseline(SARIF).expect("valid sarif");
+        // The suppressed T1 must not enter the baseline.
+        assert_eq!(keys.len(), 2);
+        assert!(keys
+            .iter()
+            .all(|(r, f, _)| r == "Q1" && f.ends_with("mcf.rs")));
+    }
+
+    #[test]
+    fn multiset_diff_absorbs_each_key_once_per_occurrence() {
+        let keys = parse_sarif_baseline(SARIF).expect("valid sarif");
+        let a = finding(
+            "Q1",
+            "crates/flowsim/src/mcf.rs",
+            "sort_unstable_by_key: no tie-break",
+        );
+        let b = finding(
+            "Q1",
+            "crates/flowsim/src/mcf.rs",
+            "sort_unstable_by_key: no tie-break",
+        );
+        let c = finding(
+            "Q1",
+            "crates/flowsim/src/mcf.rs",
+            "sort_unstable_by_key: no tie-break",
+        );
+        let d = finding("O1", "crates/routing/src/exec.rs", "unordered float fold");
+        let all = [&a, &b, &c, &d];
+        let (fresh, absorbed) = split_against_baseline(&all, &keys);
+        // Two baseline slots absorb two of the three identical Q1s; the
+        // third Q1 and the novel O1 stay fresh.
+        assert_eq!(absorbed, 2);
+        assert_eq!(fresh.len(), 2);
+        assert!(fresh.iter().any(|f| f.rule == "O1"));
+        assert!(fresh.iter().any(|f| f.rule == "Q1"));
+    }
+
+    #[test]
+    fn empty_baseline_keeps_everything_fresh() {
+        let a = finding("Q1", "x.rs", "m");
+        let (fresh, absorbed) = split_against_baseline(&[&a], &[]);
+        assert_eq!((fresh.len(), absorbed), (1, 0));
+    }
+
+    #[test]
+    fn line_shifts_do_not_resurrect_baselined_findings() {
+        // Same rule/file/message at a different line is still baselined —
+        // identity excludes the line on purpose.
+        let keys = parse_sarif_baseline(SARIF).expect("valid sarif");
+        let mut moved = finding(
+            "Q1",
+            "crates/flowsim/src/mcf.rs",
+            "sort_unstable_by_key: no tie-break",
+        );
+        moved.line = 999;
+        let (fresh, absorbed) = split_against_baseline(&[&moved], &keys);
+        assert_eq!((fresh.len(), absorbed), (0, 1));
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = Json::parse(r#"{"a": ["x\n\"y\"", {"b": -1.5e3}, null, true]}"#).expect("parses");
+        let arr = v.get("a").and_then(Json::as_array).expect("array");
+        assert_eq!(arr[0].as_str(), Some("x\n\"y\""));
+        assert_eq!(arr[1].get("b"), Some(&Json::Num("-1.5e3".to_string())));
+        assert_eq!(arr[2], Json::Null);
+        assert_eq!(arr[3], Json::Bool(true));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+}

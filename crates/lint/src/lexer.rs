@@ -154,6 +154,20 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             let next = cur.peek(0);
+            // Byte-char literal: `b'{'` — consume the tail like a char
+            // literal so the `b` never escapes as a stray ident into
+            // pattern/expr position (match arms like `Some(b',')`).
+            if text == "b" && next == Some('\'') {
+                cur.bump(); // opening '
+                let content = lex_char_tail(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: content,
+                    line,
+                    col,
+                });
+                continue;
+            }
             let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb")
                 && (next == Some('"') || (text != "b" && next == Some('#')));
             if is_str_prefix {
@@ -232,22 +246,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             // Char literal.
             cur.bump(); // opening '
-            let mut content = String::new();
-            while let Some(ch) = cur.peek(0) {
-                if ch == '\\' {
-                    content.push(ch);
-                    cur.bump();
-                    if let Some(esc) = cur.bump() {
-                        content.push(esc);
-                    }
-                } else if ch == '\'' {
-                    cur.bump();
-                    break;
-                } else {
-                    content.push(ch);
-                    cur.bump();
-                }
-            }
+            let content = lex_char_tail(&mut cur);
             out.tokens.push(Token {
                 kind: TokenKind::Str,
                 text: content,
@@ -290,6 +289,28 @@ pub fn lex(src: &str) -> Lexed {
 
 /// Consume a string literal starting at the cursor (at `"` for cooked, at
 /// `#`/`"` after an `r`/`br` prefix for raw). Returns the contents.
+/// Consume the body and closing quote of a (byte-)char literal whose opening
+/// `'` has already been bumped. Escapes keep their backslash verbatim.
+fn lex_char_tail(cur: &mut Cursor) -> String {
+    let mut content = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            content.push(ch);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                content.push(esc);
+            }
+        } else if ch == '\'' {
+            cur.bump();
+            break;
+        } else {
+            content.push(ch);
+            cur.bump();
+        }
+    }
+    content
+}
+
 fn lex_string_tail(cur: &mut Cursor, raw: bool) -> Option<String> {
     let mut hashes = 0usize;
     if raw {
@@ -443,6 +464,21 @@ mod tests {
             .tokens
             .iter()
             .any(|t| t.kind == TokenKind::Str && t.text.contains("un\"wrap")));
+    }
+
+    /// Regression: `b'{'` used to lex as Ident(`b`) + a stray char literal,
+    /// which desynced the parser in match patterns (`Some(b',') => ..`) and
+    /// spewed E1 parse errors over any byte-level parser in the workspace.
+    #[test]
+    fn byte_char_literals_lex_as_one_token() {
+        let t = kinds(r"match c { Some(b'{') => x, Some(b'\n') => y, _ => z }");
+        assert!(t.contains(&(TokenKind::Str, "{".into())));
+        assert!(t.contains(&(TokenKind::Str, r"\n".into())));
+        assert!(!t.contains(&(TokenKind::Ident, "b".into())));
+        // Byte *strings* still lex through the string-prefix path.
+        let t = kinds(r##"let s = b"ok"; let r = br#"raw"#;"##);
+        assert!(t.contains(&(TokenKind::Str, "ok".into())));
+        assert!(t.contains(&(TokenKind::Str, "raw".into())));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 
 pub mod allowlist;
 pub mod ast;
+pub mod baseline;
+mod effects;
 pub mod lexer;
 pub mod rules;
 pub mod sem;
@@ -151,6 +153,41 @@ pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
 /// [`lint_sources`]; semantic rules see a one-file workspace).
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     lint_sources(&[(rel_path.to_string(), src.to_string())])
+}
+
+/// Render every workspace function's inferred effect signature as one
+/// S-expression per line (the `pnet-tidy effects` mode and the snapshot-test
+/// surface for the inference itself).
+pub fn effects_dump(files: &[(String, String)]) -> String {
+    let lexed: Vec<lexer::Lexed> = files.iter().map(|(_, src)| lexer::lex(src)).collect();
+    let asts: Vec<ast::Ast> = lexed.iter().map(|l| ast::parse(&l.tokens)).collect();
+    let masks: Vec<Vec<bool>> = lexed.iter().map(|l| test_mask(&l.tokens)).collect();
+    let lines: Vec<Vec<&str>> = files.iter().map(|(_, src)| src.lines().collect()).collect();
+    let sem_files: Vec<SemFile> = files
+        .iter()
+        .enumerate()
+        .map(|(i, (rel, _))| SemFile {
+            rel_path: rel,
+            tokens: &lexed[i].tokens,
+            in_test: &masks[i],
+            lines: &lines[i],
+            ast: &asts[i],
+        })
+        .collect();
+    let ws = sem::build_workspace(&sem_files);
+    let fx = effects::infer(&ws, &sem_files);
+    effects::dump(&ws, &sem_files, &fx)
+}
+
+/// [`effects_dump`] over a workspace tree on disk (same file walk as
+/// [`scan`]).
+pub fn effects_dump_root(root: &Path) -> io::Result<String> {
+    let paths = collect_rs_files(root)?;
+    let mut files: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        files.push((rel_str(root, path), fs::read_to_string(path)?));
+    }
+    Ok(effects_dump(&files))
 }
 
 /// Recursively collect `.rs` files under `root`, as sorted root-relative

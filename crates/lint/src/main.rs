@@ -3,16 +3,22 @@
 //! Modes:
 //! * `check` — human-readable diagnostics for every unsuppressed finding;
 //!   exit 1 if any. This is the CI gate and what `tests/tidy.rs` shells to.
+//!   With `--baseline <sarif>`, only findings *not* in the baseline fail the
+//!   gate (rule-rollout mode: land the rule, burn the baseline down).
 //! * `list`  — every finding (suppressed included) as a JSON array, or as a
 //!   SARIF 2.1.0 log with `--format sarif` (GitHub code-scanning upload).
 //! * `stats` — per-rule counts of active / waived / allowlisted findings.
+//! * `effects` — every workspace fn's inferred effect signature, one
+//!   S-expression per line (the T1/S1 substrate; see DESIGN.md).
 //!
 //! Flags: `--root <dir>` (default: walk up from cwd to the `[workspace]`
 //! manifest), `--allowlist <file>` (default: `<root>/lint-allowlist.toml`),
-//! and `--format json|sarif` (list mode only).
+//! `--format json|sarif` (list mode only), `--baseline <sarif>` (check mode
+//! only).
 
+use pnet_lint::baseline::{parse_sarif_baseline, split_against_baseline};
 use pnet_lint::rules::{rule_summary, Finding, Suppression, RULE_IDS};
-use pnet_lint::{find_workspace_root, scan};
+use pnet_lint::{effects_dump_root, find_workspace_root, scan};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,12 +28,14 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut allowlist: Option<PathBuf> = None;
     let mut format: Option<String> = None;
+    let mut baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--allowlist" => allowlist = args.next().map(PathBuf::from),
             "--format" => format = args.next(),
+            "--baseline" => baseline = args.next().map(PathBuf::from),
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -41,7 +49,7 @@ fn main() -> ExitCode {
         }
     }
     let mode = mode.unwrap_or_else(|| "check".to_string());
-    if !matches!(mode.as_str(), "check" | "list" | "stats") {
+    if !matches!(mode.as_str(), "check" | "list" | "stats" | "effects") {
         eprintln!("pnet-tidy: unknown mode `{mode}`");
         print_usage();
         return ExitCode::from(2);
@@ -75,6 +83,18 @@ fn main() -> ExitCode {
         }
     };
     let allowlist = allowlist.unwrap_or_else(|| root.join("lint-allowlist.toml"));
+    if mode == "effects" {
+        return match effects_dump_root(&root) {
+            Ok(s) => {
+                print!("{s}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("pnet-tidy: effects dump failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let report = match scan(&root, &allowlist) {
         Ok(r) => r,
         Err(e) => {
@@ -83,7 +103,7 @@ fn main() -> ExitCode {
         }
     };
     match mode.as_str() {
-        "check" => run_check(&report),
+        "check" => run_check(&report, baseline.as_deref()),
         "list" => {
             if format == "sarif" {
                 println!("{}", to_sarif(&report.findings));
@@ -102,32 +122,59 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: pnet-tidy [check|list|stats] [--root <dir>] [--allowlist <file>] [--format json|sarif]\n\
+        "usage: pnet-tidy [check|list|stats|effects] [--root <dir>] [--allowlist <file>] \
+         [--format json|sarif] [--baseline <sarif>]\n\
          \n\
-         check  exit 1 on any unwaived finding (default; the CI gate)\n\
-         list   all findings, suppressed included, as JSON (or SARIF 2.1.0)\n\
-         stats  per-rule active/waived/allowlisted counts"
+         check    exit 1 on any unwaived finding (default; the CI gate);\n\
+         \x20        --baseline <sarif> fails only on findings not in the baseline\n\
+         list     all findings, suppressed included, as JSON (or SARIF 2.1.0)\n\
+         stats    per-rule active/waived/allowlisted counts\n\
+         effects  inferred effect signature per workspace fn (S-expressions)"
     );
 }
 
-fn run_check(report: &pnet_lint::ScanReport) -> ExitCode {
+fn run_check(report: &pnet_lint::ScanReport, baseline: Option<&std::path::Path>) -> ExitCode {
     let active: Vec<&Finding> = report.active().collect();
+    let (active, absorbed) = match baseline {
+        None => (active, 0),
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("pnet-tidy: cannot read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match parse_sarif_baseline(&src) {
+                Ok(keys) => split_against_baseline(&active, &keys),
+                Err(e) => {
+                    eprintln!("pnet-tidy: bad baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
     for f in &active {
         println!(
             "{}:{}:{}: [{}] {}\n    {}",
             f.file, f.line, f.col, f.rule, f.message, f.snippet
         );
     }
-    let suppressed = report.findings.len() - active.len();
+    let suppressed = report.findings.len() - report.active().count();
+    let baselined = if absorbed > 0 {
+        format!(", {absorbed} baselined")
+    } else {
+        String::new()
+    };
     if active.is_empty() {
         println!(
-            "pnet-tidy: clean — {} files scanned, {} suppressed finding(s)",
+            "pnet-tidy: clean — {} files scanned, {} suppressed finding(s){baselined}",
             report.files_scanned, suppressed
         );
         ExitCode::SUCCESS
     } else {
         println!(
-            "pnet-tidy: {} finding(s) in {} files scanned ({} suppressed)",
+            "pnet-tidy: {} finding(s) in {} files scanned ({} suppressed{baselined})",
             active.len(),
             report.files_scanned,
             suppressed

@@ -51,6 +51,10 @@ pub fn rule_summary(rule: &str) -> &'static str {
         "U1" => "unit-unsafe arithmetic (raw constructor or inline conversion constant)",
         "F1" => "partial_cmp-based float ordering (use total_cmp)",
         "E1" => "parse error (file not analyzable by the semantic rules)",
+        "T1" => "telemetry fn not observation-pure w.r.t. simulator state",
+        "S1" => "parallel closure captures/mutates shared state or calls effectful code",
+        "O1" => "float reduction over parallel-produced data not provably index-ordered",
+        "Q1" => "unstable sort without a provably total, duplicate-free key",
         "W1" => "malformed pnet-tidy waiver comment",
         "A1" => "stale allowlist entry (matches no finding)",
         _ => "unknown rule",
@@ -58,7 +62,9 @@ pub fn rule_summary(rule: &str) -> &'static str {
 }
 
 /// All enforceable rule ids (the ones a waiver may name).
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "C1", "C2", "P1", "M1", "U1", "F1", "E1"];
+pub const RULE_IDS: &[&str] = &[
+    "D1", "D2", "D3", "C1", "C2", "P1", "M1", "U1", "F1", "E1", "T1", "S1", "O1", "Q1",
+];
 
 fn d1_scope(p: &str) -> bool {
     [

@@ -43,7 +43,7 @@ pub struct SemFile<'a> {
 }
 
 impl SemFile<'_> {
-    fn finding(&self, rule: &'static str, tok: usize, message: String) -> Finding {
+    pub(crate) fn finding(&self, rule: &'static str, tok: usize, message: String) -> Finding {
         let t = &self.tokens[tok.min(self.tokens.len().saturating_sub(1))];
         Finding {
             rule,
@@ -64,7 +64,7 @@ impl SemFile<'_> {
 
 /// Crate key of a workspace-relative path: `crates/<x>/...` → `x`, anything
 /// else (root `src/`, `tests/`, `examples/`) → the root package.
-fn crate_key(p: &str) -> &str {
+pub(crate) fn crate_key(p: &str) -> &str {
     p.strip_prefix("crates/")
         .and_then(|rest| rest.split('/').next())
         .unwrap_or("pnet")
@@ -73,13 +73,22 @@ fn crate_key(p: &str) -> &str {
 /// Is this file part of a crate's library source (as opposed to an example,
 /// integration test, bench, or bin target)? Only library fns join the call
 /// graph: the others are leaves no library code can call back into.
-fn lib_file(p: &str) -> bool {
+pub(crate) fn lib_file(p: &str) -> bool {
     !p.contains("/examples/")
         && !p.starts_with("examples/")
         && !p.contains("/tests/")
         && !p.starts_with("tests/")
         && !p.contains("/benches/")
         && !p.contains("/src/bin/")
+}
+
+/// May this file's fns appear as *callees* in the call graph? The linter and
+/// the bench harness sit at the top of the dependency DAG — no sim/solver
+/// crate links against them — so their methods must never satisfy by-name
+/// resolution for sim code (`Json::parse`, `Parser::peek`, `Args::get`, ...
+/// alias ubiquitous method names and would fabricate panic/effect chains).
+pub(crate) fn graph_callee_file(p: &str) -> bool {
+    lib_file(p) && !p.starts_with("crates/lint/") && !p.starts_with("crates/bench/")
 }
 
 /// The library crates whose public surface P1 guards (same set C1 scans).
@@ -116,36 +125,77 @@ fn u1_scope(p: &str) -> bool {
 }
 
 /// One function definition in the workspace.
-struct FnDef<'a> {
-    file: usize,
-    crate_key: &'a str,
-    name: &'a str,
-    name_tok: usize,
-    is_pub: bool,
+pub(crate) struct FnDef<'a> {
+    pub(crate) file: usize,
+    pub(crate) crate_key: &'a str,
+    pub(crate) name: &'a str,
+    pub(crate) name_tok: usize,
+    pub(crate) is_pub: bool,
     /// `Some(Type)` for `impl Type { .. }` methods and trait default
     /// methods (keyed by the trait name).
-    self_ty: Option<&'a str>,
-    body: Option<&'a Block>,
-    in_test: bool,
+    pub(crate) self_ty: Option<&'a str>,
+    pub(crate) params: &'a [ast::Param],
+    pub(crate) body: Option<&'a Block>,
+    pub(crate) in_test: bool,
+}
+
+impl FnDef<'_> {
+    /// `Type::name` for methods, bare `name` for free fns — display form.
+    pub(crate) fn qual_name(&self) -> String {
+        match self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.to_string(),
+        }
+    }
 }
 
 /// What a function body does, as far as the call graph cares.
 #[derive(Default)]
-struct FnFacts {
+pub(crate) struct FnFacts {
     /// Token index of the first direct panic source, if any.
-    panic_tok: Option<usize>,
-    /// Resolved callee fn indices (deduped, sorted — deterministic BFS).
-    callees: Vec<usize>,
+    pub(crate) panic_tok: Option<usize>,
+    /// All resolved callee fn indices (deduped, sorted — deterministic BFS).
+    pub(crate) callees: Vec<usize>,
+    /// Subset of `callees` resolved *exactly*: path calls (`free_fn(..)`,
+    /// `Type::method(..)`, `Self::method(..)`). Effect inference propagates
+    /// mutated-type sets only across these edges.
+    pub(crate) path_callees: Vec<usize>,
 }
 
-/// Run the semantic rules over the whole workspace.
-pub fn check_workspace(files: &[SemFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
+/// The workspace symbol tables plus the resolved call graph — built once and
+/// shared by the semantic rules (P1/M1/U1/F1) and by effect inference
+/// ([`crate::effects`]).
+pub(crate) struct Workspace<'a> {
+    pub(crate) fns: Vec<FnDef<'a>>,
+    pub(crate) enums: BTreeMap<&'a str, BTreeSet<&'a str>>,
+    /// Per-file `use` aliases: local name -> full path.
+    pub(crate) aliases: Vec<BTreeMap<&'a str, &'a [String]>>,
+    pub(crate) free_fns: BTreeMap<(&'a str, &'a str), Vec<usize>>,
+    pub(crate) methods: BTreeMap<&'a str, Vec<usize>>,
+    pub(crate) typed_methods: BTreeMap<(&'a str, &'a str), Vec<usize>>,
+    pub(crate) facts: Vec<FnFacts>,
+}
 
+impl<'a> Workspace<'a> {
+    /// Resolve a path-call `a::b::f(..)` seen in `caller` to candidate fn
+    /// indices (the same name-resolution-lite the call graph uses).
+    pub(crate) fn resolve_path(&self, segs: &[String], caller: &FnDef, out: &mut BTreeSet<usize>) {
+        resolve_path_call(
+            segs,
+            caller,
+            &self.aliases[caller.file],
+            &self.free_fns,
+            &self.typed_methods,
+            out,
+        );
+    }
+}
+
+/// Build the symbol tables and the per-fn call-graph facts.
+pub(crate) fn build_workspace<'a>(files: &'a [SemFile<'a>]) -> Workspace<'a> {
     // ---- symbol tables -------------------------------------------------
     let mut fns: Vec<FnDef> = Vec::new();
     let mut enums: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
-    // Per-file `use` aliases: local name -> full path.
     let mut aliases: Vec<BTreeMap<&str, &[String]>> = Vec::new();
     for (fi, f) in files.iter().enumerate() {
         let mut file_aliases: BTreeMap<&str, &[String]> = BTreeMap::new();
@@ -170,8 +220,9 @@ pub fn check_workspace(files: &[SemFile]) -> Vec<Finding> {
         // Only library source participates in the call graph: a panicking
         // `fn launch` in an example or test binary is not reachable from
         // library code and must not taint a library `pub fn` via the
-        // name-based method over-approximation.
-        if !lib_file(files[d.file].rel_path) {
+        // name-based method over-approximation. Dev-tool crates (lint,
+        // bench) are likewise unreachable from sim code.
+        if !graph_callee_file(files[d.file].rel_path) {
             continue;
         }
         match d.self_ty {
@@ -193,6 +244,7 @@ pub fn check_workspace(files: &[SemFile]) -> Vec<Finding> {
             let f = &files[d.file];
             let mut facts = FnFacts::default();
             let mut callees: BTreeSet<usize> = BTreeSet::new();
+            let mut path_callees: BTreeSet<usize> = BTreeSet::new();
             ast::walk_block(body, &mut |e| match &e.kind {
                 ExprKind::MethodCall {
                     name,
@@ -218,7 +270,7 @@ pub fn check_workspace(files: &[SemFile]) -> Vec<Finding> {
                             &aliases[d.file],
                             &free_fns,
                             &typed_methods,
-                            &mut callees,
+                            &mut path_callees,
                         );
                     }
                 }
@@ -230,10 +282,34 @@ pub fn check_workspace(files: &[SemFile]) -> Vec<Finding> {
                 }
                 _ => {}
             });
+            callees.extend(path_callees.iter().copied());
             facts.callees = callees.into_iter().collect();
+            facts.path_callees = path_callees.into_iter().collect();
             facts
         })
         .collect();
+
+    Workspace {
+        fns,
+        enums,
+        aliases,
+        free_fns,
+        methods,
+        typed_methods,
+        facts,
+    }
+}
+
+/// Run the semantic rules over the whole workspace.
+pub fn check_workspace(files: &[SemFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let ws = build_workspace(files);
+    let Workspace {
+        ref fns,
+        ref enums,
+        ref facts,
+        ..
+    } = ws;
 
     // ---- P1: panic-path propagation ------------------------------------
     // `reach[i]`: for fn i, the (via, source_fn) pair of the shortest chain
@@ -243,7 +319,7 @@ pub fn check_workspace(files: &[SemFile]) -> Vec<Finding> {
         if !d.is_pub || d.in_test || !p1_scope(files[d.file].rel_path) {
             continue;
         }
-        let Some((chain, src)) = shortest_panic_chain(i, &facts) else {
+        let Some((chain, src)) = shortest_panic_chain(i, facts) else {
             continue;
         };
         let sf = &fns[src];
@@ -270,20 +346,23 @@ pub fn check_workspace(files: &[SemFile]) -> Vec<Finding> {
     }
 
     // ---- M1 / U1 / F1: per-file walks ----------------------------------
-    for d in &fns {
+    for d in fns {
         let f = &files[d.file];
         let Some(body) = d.body else { continue };
         if d.in_test {
             continue;
         }
         if m1_scope(f.rel_path) {
-            rule_m1(f, body, &enums, &mut out);
+            rule_m1(f, body, enums, &mut out);
         }
         if u1_scope(f.rel_path) {
             rule_u1(f, body, &mut out);
         }
         rule_f1(f, body, &mut out);
     }
+
+    // ---- T1 / S1 / O1 / Q1: effect-inference rules ---------------------
+    out.extend(crate::effects::check(&ws, files));
 
     out.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
@@ -355,6 +434,23 @@ fn collect_items<'a>(
     for item in items {
         match &item.kind {
             ItemKind::Fn(func) => {
+                // Fn-body `use` statements (the idiom for one-off imports,
+                // `use pnet_routing::flow_hash;`) register their aliases
+                // file-wide: slightly over-scoped, but without them a bare
+                // `flow_hash(..)` reads as a call through unknown code.
+                if let Some(body) = &func.body {
+                    for st in &body.stmts {
+                        if let Stmt::Item(it) = st {
+                            if let ItemKind::Use { bindings } = &it.kind {
+                                for UseBinding { path, alias } in bindings {
+                                    if alias != "*" && !path.is_empty() {
+                                        aliases.insert(alias, path);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
                 fns.push(FnDef {
                     file,
                     crate_key: ck,
@@ -362,6 +458,7 @@ fn collect_items<'a>(
                     name_tok: func.name_tok,
                     is_pub: func.is_pub,
                     self_ty,
+                    params: &func.params,
                     body: func.body.as_ref(),
                     in_test: in_test.get(func.name_tok) == Some(&true),
                 });

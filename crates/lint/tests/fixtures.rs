@@ -32,7 +32,7 @@ fn brief(f: &Finding) -> (String, &'static str, u32, u32, Option<Suppression>) {
 #[test]
 fn fixture_scan_reports_exact_rule_ids_and_spans() {
     let report = scan_fixtures();
-    assert_eq!(report.files_scanned, 7, "seven fixture .rs files");
+    assert_eq!(report.files_scanned, 12, "twelve fixture .rs files");
     let got: Vec<_> = report.findings.iter().map(brief).collect();
     let expected = vec![
         // core: wildcard arm over a workspace enum, active then waived.
@@ -81,6 +81,29 @@ fn fixture_scan_reports_exact_rule_ids_and_spans() {
             Some(Suppression::Waiver),
         ),
         ("crates/flowsim/src/lib.rs".to_string(), "W1", 12, 1, None),
+        // flowsim/o1: float fold through `.rev()` over a map_indexed
+        // binding — active, waived, allowlisted. (`ordered` is clean.)
+        (
+            "crates/flowsim/src/o1.rs".to_string(),
+            "O1",
+            15,
+            col_of("crates/flowsim/src/o1.rs", 15, "rev"),
+            None,
+        ),
+        (
+            "crates/flowsim/src/o1.rs".to_string(),
+            "O1",
+            21,
+            col_of("crates/flowsim/src/o1.rs", 21, "rev"),
+            Some(Suppression::Waiver),
+        ),
+        (
+            "crates/flowsim/src/o1.rs".to_string(),
+            "O1",
+            26,
+            col_of("crates/flowsim/src/o1.rs", 26, "rev"),
+            Some(Suppression::Allowlist),
+        ),
         // htsim: active unwrap, active narrowing cast, allowlisted panic.
         // (The `expect("invariant: ...")` on line 8 is sanctioned: no finding.)
         (
@@ -102,6 +125,29 @@ fn fixture_scan_reports_exact_rule_ids_and_spans() {
             "C1",
             16,
             col_of("crates/htsim/src/lib.rs", 16, "panic"),
+            Some(Suppression::Allowlist),
+        ),
+        // htsim/telemetry: observation-impure exporters (T1 anchors at the
+        // fn name; the waiver sits at the effect origin inside the body).
+        (
+            "crates/htsim/src/telemetry.rs".to_string(),
+            "T1",
+            4,
+            col_of("crates/htsim/src/telemetry.rs", 4, "export_now"),
+            None,
+        ),
+        (
+            "crates/htsim/src/telemetry.rs".to_string(),
+            "T1",
+            9,
+            col_of("crates/htsim/src/telemetry.rs", 9, "export_waived"),
+            Some(Suppression::Waiver),
+        ),
+        (
+            "crates/htsim/src/telemetry.rs".to_string(),
+            "T1",
+            15,
+            col_of("crates/htsim/src/telemetry.rs", 15, "export_allowlisted"),
             Some(Suppression::Allowlist),
         ),
         // htsim/units: raw SimTime ctor, inline /1e6 conversion, waived twin.
@@ -186,9 +232,55 @@ fn fixture_scan_reports_exact_rule_ids_and_spans() {
             col_of("crates/routing/src/p1.rs", 22, "quiet"),
             Some(Suppression::Waiver),
         ),
+        // routing/q1: duplicate-prone sort keys — active, waived,
+        // allowlisted. (Whole-element and tie-broken sorts are clean.)
+        (
+            "crates/routing/src/q1.rs".to_string(),
+            "Q1",
+            5,
+            col_of("crates/routing/src/q1.rs", 5, "sort_unstable_by_key"),
+            None,
+        ),
+        (
+            "crates/routing/src/q1.rs".to_string(),
+            "Q1",
+            11,
+            col_of("crates/routing/src/q1.rs", 11, "sort_unstable_by_key"),
+            Some(Suppression::Waiver),
+        ),
+        (
+            "crates/routing/src/q1.rs".to_string(),
+            "Q1",
+            16,
+            col_of("crates/routing/src/q1.rs", 16, "sort_unstable_by_key"),
+            Some(Suppression::Allowlist),
+        ),
+        // routing/s1: captured-state mutation inside a `map_indexed`
+        // closure — active, waived, allowlisted. (`clean` is clean.)
+        (
+            "crates/routing/src/s1.rs".to_string(),
+            "S1",
+            16,
+            col_of("crates/routing/src/s1.rs", 16, "+="),
+            None,
+        ),
+        (
+            "crates/routing/src/s1.rs".to_string(),
+            "S1",
+            25,
+            col_of("crates/routing/src/s1.rs", 25, "+="),
+            Some(Suppression::Waiver),
+        ),
+        (
+            "crates/routing/src/s1.rs".to_string(),
+            "S1",
+            33,
+            col_of("crates/routing/src/s1.rs", 33, "+="),
+            Some(Suppression::Allowlist),
+        ),
         // The stale allowlist entry is itself a finding, anchored at its
         // `[[allow]]` header line.
-        ("lint-allowlist.toml".to_string(), "A1", 7, 1, None),
+        ("lint-allowlist.toml".to_string(), "A1", 31, 1, None),
     ];
     assert_eq!(got, expected);
 }
@@ -200,14 +292,14 @@ fn fixture_scan_fails_the_check_gate() {
     // Every enforceable rule trips at least once, and the two meta-rules
     // (dead waiver, stale allowlist entry) are active findings too.
     for rule in [
-        "D1", "D2", "D3", "C1", "C2", "W1", "A1", "P1", "M1", "U1", "F1",
+        "D1", "D2", "D3", "C1", "C2", "W1", "A1", "P1", "M1", "U1", "F1", "T1", "S1", "O1", "Q1",
     ] {
         assert!(
             active.contains(&rule),
             "rule {rule} missing from {active:?}"
         );
     }
-    assert_eq!(active.len(), 13);
+    assert_eq!(active.len(), 17);
 }
 
 #[test]
@@ -240,12 +332,43 @@ fn fixture_suppressions_carry_their_mechanism() {
             ("M1", Some(Suppression::Waiver)),
             ("F1", Some(Suppression::Waiver)),
             ("D3", Some(Suppression::Waiver)),
+            ("O1", Some(Suppression::Waiver)),
+            ("O1", Some(Suppression::Allowlist)),
             ("C1", Some(Suppression::Allowlist)),
+            ("T1", Some(Suppression::Waiver)),
+            ("T1", Some(Suppression::Allowlist)),
             ("U1", Some(Suppression::Waiver)),
             ("D1", Some(Suppression::Waiver)),
             ("P1", Some(Suppression::Waiver)),
             ("C1", Some(Suppression::Waiver)),
             ("P1", Some(Suppression::Waiver)),
+            ("Q1", Some(Suppression::Waiver)),
+            ("Q1", Some(Suppression::Allowlist)),
+            ("S1", Some(Suppression::Waiver)),
+            ("S1", Some(Suppression::Allowlist)),
+        ]
+    );
+}
+
+/// T1 anchors at the telemetry fn's name but carries the concrete effect
+/// site as its origin — that is what lets a single waiver at the effect
+/// line (`export_waived`'s `println!`) silence the fn-level finding.
+#[test]
+fn fixture_t1_findings_carry_their_effect_origins() {
+    let report = scan_fixtures();
+    let t1: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "T1")
+        .map(|f| (f.suppressed, f.origin.clone()))
+        .collect();
+    let tel = "crates/htsim/src/telemetry.rs".to_string();
+    assert_eq!(
+        t1,
+        vec![
+            (None, Some((tel.clone(), 5))),
+            (Some(Suppression::Waiver), Some((tel.clone(), 11))),
+            (Some(Suppression::Allowlist), Some((tel, 16))),
         ]
     );
 }

@@ -94,7 +94,7 @@ fn snapshot_nested_generics_with_double_close() {
     assert_eq!(
         d,
         "(fn f (params m:BTreeMap::u32::Vec::Vec::u64) (block \
-         (. (. (. (. m values) flatten) map (closure (as (. v len) u32))) collect)))"
+         (. (. (. (. m values) flatten) map (closure [v] (as (. v len) u32))) collect)))"
     );
 }
 

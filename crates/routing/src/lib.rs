@@ -35,7 +35,7 @@ pub mod yen;
 
 pub use disjoint::{are_edge_disjoint, edge_disjoint_paths};
 pub use ecmp::{flow_hash, hash_plane, hash_select};
-pub use exec::Parallelism;
+pub use exec::{ordered_fold_f64, ordered_sum_f64, Parallelism};
 pub use path::{host_route, reverse_route, rotate_ties, sort_paths, Path};
 pub use plane_graph::PlaneGraph;
 pub use repair::DeltaStats;

@@ -435,7 +435,7 @@ impl Router {
                 .iter()
                 .map(|l| pnet_topology::LinkId(l.0 & !1))
                 .collect();
-            v.sort_unstable_by_key(|l| l.0);
+            v.sort_unstable();
             v.dedup();
             v
         };

@@ -117,6 +117,30 @@ impl std::fmt::Display for RackId {
 mod tests {
     use super::*;
 
+    /// mcf.rs and router.rs sort `Vec<RackId>` / `Vec<LinkId>` with plain
+    /// `sort_unstable()` (the Q1-clean form). That is only equivalent to the
+    /// old `sort_unstable_by_key(|x| x.0)` because the derived `Ord` on these
+    /// newtypes IS the inner-u32 order and duplicates are indistinguishable
+    /// whole elements. Pin the equivalence so a future field addition (which
+    /// would make the unstable sort reorder-prone again) fails loudly here.
+    #[test]
+    fn newtype_sort_unstable_matches_inner_key_sort() {
+        let raw = [7u32, 3, 7, 0, 3, 9, 1, 7, 0];
+        let mut by_whole: Vec<RackId> = raw.iter().map(|&x| RackId(x)).collect();
+        let mut by_key: Vec<RackId> = by_whole.clone();
+        by_whole.sort_unstable();
+        by_key.sort_unstable_by_key(|r| r.0);
+        assert_eq!(by_whole, by_key);
+        let mut lw: Vec<LinkId> = raw.iter().map(|&x| LinkId(x)).collect();
+        let mut lk: Vec<LinkId> = lw.clone();
+        lw.sort_unstable();
+        lk.sort_unstable_by_key(|l| l.0);
+        assert_eq!(lw, lk);
+        // dedup after the whole-element sort leaves exactly the distinct keys
+        lw.dedup();
+        assert_eq!(lw, [0, 1, 3, 7, 9].map(LinkId).to_vec());
+    }
+
     #[test]
     fn reverse_flips_low_bit() {
         assert_eq!(LinkId(0).reverse(), LinkId(1));
