@@ -29,7 +29,16 @@
 //!    in-process. Runs the 64-ToR preset and the paper-scale 98-ToR preset
 //!    at 1 thread, and requires a >= 10x median single-event speedup on the
 //!    64-ToR preset.
-//! 6. **Event engine throughput** (`BENCH_htsim.json`) — the overhauled
+//! 6. **Planner service saturation** (`BENCH_planner.json`, via
+//!    `--planner-only`) — queries/sec and p50/p99 latency of the
+//!    throughput-planner service answering admission what-ifs over one
+//!    pinned fabric generation: a serial cold pass (every query a fresh GK
+//!    solve), a serial warm pass (every query a memo hit, asserted
+//!    fingerprint-identical to its cold solve), and a multi-threaded cold
+//!    pass on a fresh planner racing concurrent readers against live
+//!    `publish_delta` churn — the pinned generation's answers must be
+//!    bitwise stable across the publishes.
+//! 7. **Event engine throughput** (`BENCH_htsim.json`) — the overhauled
 //!    simulator core (calendar/ladder event queue, packet slab arena,
 //!    batched same-timestamp dispatch) vs the pre-overhaul engine, kept
 //!    alive verbatim as [`pnet_htsim::reference::RefSimulator`] and re-timed
@@ -43,7 +52,9 @@
 //!                      [--k 32] [--seed 1] [--eps 0.1] [--no-reference]
 //!                      [--repeats 5] [--htsim-tors 98] [--htsim-degree 14]
 //!                      [--htsim-hosts 7] [--htsim-kb 1000]
-//!                      [--htsim-only] [--reconverge-only]`
+//!                      [--htsim-only] [--reconverge-only] [--planner-only]
+//!                      [--planner-tors 48] [--planner-queries 160]
+//!                      [--planner-threads N]`
 //!
 //! `--quick` shrinks the instances (16 ToRs, degree 4, 2 planes, k=8;
 //! htsim: 16 ToRs x 2 hosts, 100 KB flows) for a CI smoke run; explicit
@@ -55,9 +66,11 @@ use pnet_htsim::reference::RefSimulator;
 use pnet_htsim::{
     run_to_completion, CcAlgo, FlowSpec, SimConfig, SimTime, Simulator, TelemetryConfig,
 };
+use pnet_planner::{solution_fingerprint, Planner, PlannerConfig};
 use pnet_routing::{host_route, sort_paths, yen, Parallelism, Path, RouteAlgo, Router};
 use pnet_topology::{
-    assemble_homogeneous, HostId, Jellyfish, LinkProfile, Network, PlaneId, RackId,
+    assemble_homogeneous, failures, HostId, Jellyfish, LinkDelta, LinkProfile, Network, PlaneId,
+    RackId,
 };
 use pnet_workloads::tm;
 use std::time::Instant;
@@ -307,6 +320,11 @@ fn main() {
 
     if args.has("reconverge-only") {
         reconverge_section(&args, quick, seed, eps, cores);
+        return;
+    }
+
+    if args.has("planner-only") {
+        planner_section(&args, quick, seed, eps, cores);
         return;
     }
 
@@ -928,6 +946,219 @@ fn run_churn_scenario(
         });
     }
     ScenarioResult { name, events }
+}
+
+/// `p`-th quantile of a sample by nearest-rank on the sorted values.
+fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of an empty sample");
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    let idx = ((s.len() as f64 - 1.0) * p).round() as usize;
+    s[idx]
+}
+
+/// Run every traffic matrix as an admission query against a pinned
+/// generation, returning per-query wall latencies (ms) and the full
+/// solution fingerprint per matrix (the byte-identity ledger for the
+/// warm-pass check).
+fn planner_query_pass(
+    planner: &Planner,
+    generation: &pnet_planner::Generation,
+    tms: &[Vec<pnet_flowsim::Commodity>],
+    k: usize,
+) -> (Vec<f64>, Vec<u64>) {
+    let mut latencies = Vec::with_capacity(tms.len());
+    let mut fingerprints = Vec::with_capacity(tms.len());
+    for tm in tms {
+        let t0 = Instant::now();
+        let sol = planner
+            .solve_ksp_at(generation, tm, k)
+            .expect("benchmark matrices are solvable");
+        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        fingerprints.push(solution_fingerprint(&sol));
+    }
+    (latencies, fingerprints)
+}
+
+/// Planner service saturation (`--planner-only`): cold vs warm queries/sec
+/// and latency quantiles over one pinned generation, then a multi-threaded
+/// cold pass racing live `publish_delta` churn. Three identities are
+/// asserted in-process (also under `--quick`): every warm answer is
+/// fingerprint-identical to its cold solve, every concurrent answer is
+/// fingerprint-identical to the serial pass, and the pinned generation's
+/// topology fingerprint never moves while publishes land.
+fn planner_section(args: &Args, quick: bool, seed: u64, eps: f64, cores: usize) {
+    let tors: usize = args.get("planner-tors", if quick { 16 } else { 48 });
+    let degree: usize = args.get("planner-degree", if quick { 4 } else { 8 });
+    let planes: usize = args.get("planner-planes", if quick { 2 } else { 4 });
+    let k: usize = args.get("planner-k", if quick { 4 } else { 8 });
+    let n_queries: usize = args.get("planner-queries", if quick { 24 } else { 160 });
+    let n_threads: usize = args.get("planner-threads", cores.min(8)).max(1);
+    banner(
+        "Planner service saturation: concurrent what-if queries over pinned generations",
+        &format!(
+            "{planes}-plane jellyfish, {tors} racks, degree {degree}, K={k}; \
+             {n_queries} admission queries, {n_threads} reader thread(s) on \
+             {cores} core(s){}",
+            if quick {
+                "; --quick smoke instance"
+            } else {
+                ""
+            }
+        ),
+    );
+
+    let net = assemble_homogeneous(
+        &Jellyfish::new(tors, degree, 1, seed),
+        planes,
+        &LinkProfile::paper_default(),
+    );
+    let cfg = PlannerConfig {
+        k,
+        eps,
+        parallelism: Parallelism::Serial,
+        ..PlannerConfig::default()
+    };
+    let tms: Vec<Vec<pnet_flowsim::Commodity>> = (0..n_queries)
+        .map(|i| commodity::permutation(&tm::random_permutation(tors, seed + i as u64)))
+        .collect();
+
+    // Serial cold pass: every query pays a full GK solve.
+    let serial = Planner::with_config(net.clone(), cfg);
+    let gen0 = serial.latest();
+    let t0 = Instant::now();
+    let (cold_lat, cold_fps) = planner_query_pass(&serial, &gen0, &tms, k);
+    let cold_wall_s = t0.elapsed().as_secs_f64();
+    let cold_qps = n_queries as f64 / cold_wall_s;
+    let stats = serial.memo_stats();
+    assert_eq!(
+        stats.misses as usize, n_queries,
+        "every cold query must run a fresh solve"
+    );
+
+    // Serial warm pass: the identical queries again, all memo hits, each
+    // asserted bitwise identical to the cold solve it replaces.
+    let t0 = Instant::now();
+    let (warm_lat, warm_fps) = planner_query_pass(&serial, &gen0, &tms, k);
+    let warm_wall_s = t0.elapsed().as_secs_f64();
+    let warm_qps = n_queries as f64 / warm_wall_s;
+    let stats = serial.memo_stats();
+    assert_eq!(
+        stats.hits as usize, n_queries,
+        "every warm query must be served from the memo"
+    );
+    let memo_identical = cold_fps == warm_fps;
+    assert!(
+        memo_identical,
+        "a memoized solution diverged from its cold solve"
+    );
+    println!(
+        "planner serial: cold {} q/s (p50 {} ms, p99 {} ms), warm {} q/s \
+         (p50 {} ms, p99 {} ms), warm speedup {}x, hits bitwise identical: \
+         {memo_identical}",
+        f3(cold_qps),
+        f3(percentile(&cold_lat, 0.50)),
+        f3(percentile(&cold_lat, 0.99)),
+        f3(warm_qps),
+        f3(percentile(&warm_lat, 0.50)),
+        f3(percentile(&warm_lat, 0.99)),
+        f3(warm_qps / cold_qps)
+    );
+
+    // Concurrent cold pass on a fresh planner: reader threads split the
+    // query stream over a pinned generation while the main thread publishes
+    // link churn. The pinned snapshot must answer identically throughout.
+    let concurrent = std::sync::Arc::new(Planner::with_config(net, cfg));
+    let pinned = concurrent.latest();
+    let pinned_fp = pinned.topology_fingerprint();
+    let cable = failures::fabric_cables(pinned.network(), None)[0];
+    let chunks: Vec<&[Vec<pnet_flowsim::Commodity>]> =
+        tms.chunks(n_queries.div_ceil(n_threads)).collect();
+    let n_publishes = 2 * chunks.len();
+    let t0 = Instant::now();
+    let (conc_lat, conc_fps_chunks): (Vec<Vec<f64>>, Vec<Vec<u64>>) = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let planner = std::sync::Arc::clone(&concurrent);
+                let pinned = std::sync::Arc::clone(&pinned);
+                scope.spawn(move || planner_query_pass(&planner, &pinned, chunk, k))
+            })
+            .collect();
+        for _ in 0..chunks.len() {
+            for delta in [
+                LinkDelta {
+                    down: vec![cable],
+                    up: Vec::new(),
+                },
+                LinkDelta {
+                    down: Vec::new(),
+                    up: vec![cable],
+                },
+            ] {
+                concurrent
+                    .publish_delta(&delta)
+                    .expect("benchmark cable churn is valid");
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("planner reader thread panicked"))
+            .unzip()
+    });
+    let conc_wall_s = t0.elapsed().as_secs_f64();
+    let conc_lat: Vec<f64> = conc_lat.into_iter().flatten().collect();
+    let conc_fps: Vec<u64> = conc_fps_chunks.into_iter().flatten().collect();
+    let conc_qps = n_queries as f64 / conc_wall_s;
+    let pinned_stable = pinned.topology_fingerprint() == pinned_fp && conc_fps == cold_fps;
+    assert!(
+        pinned_stable,
+        "a pinned generation's answers moved while publishes landed"
+    );
+    assert_eq!(
+        concurrent.n_generations(),
+        1 + n_publishes,
+        "every publish must append a generation"
+    );
+    println!(
+        "planner concurrent: {} q/s across {n_threads} thread(s) \
+         ({} publishes mid-flight), p50 {} ms, p99 {} ms, \
+         vs serial cold {}x, pinned generation stable: {pinned_stable}",
+        f3(conc_qps),
+        n_publishes,
+        f3(percentile(&conc_lat, 0.50)),
+        f3(percentile(&conc_lat, 0.99)),
+        f3(conc_qps / cold_qps)
+    );
+
+    write_json(
+        "BENCH_planner.json",
+        &format!(
+            "{{\n  \"benchmark\": \"planner_whatif_service\",\n  \
+             \"topology\": {{\"kind\": \"jellyfish\", \"n_tors\": {tors}, \"degree\": {degree}, \"planes\": {planes}}},\n  \
+             \"k\": {k},\n  \"eps\": {eps},\n  \"queries\": {n_queries},\n  \
+             \"threads\": {n_threads},\n  \"available_cores\": {cores},\n  \
+             \"serial_cold_qps\": {cold_qps:.3},\n  \
+             \"serial_cold_p50_ms\": {:.3},\n  \"serial_cold_p99_ms\": {:.3},\n  \
+             \"serial_warm_qps\": {warm_qps:.3},\n  \
+             \"serial_warm_p50_ms\": {:.3},\n  \"serial_warm_p99_ms\": {:.3},\n  \
+             \"warm_speedup\": {:.3},\n  \
+             \"concurrent_qps\": {conc_qps:.3},\n  \
+             \"concurrent_p50_ms\": {:.3},\n  \"concurrent_p99_ms\": {:.3},\n  \
+             \"concurrent_vs_serial_cold\": {:.3},\n  \
+             \"publishes_during_concurrent\": {n_publishes},\n  \
+             \"memo_hit_bitwise_identical\": {memo_identical},\n  \
+             \"pinned_generation_stable\": {pinned_stable}\n}}\n",
+            percentile(&cold_lat, 0.50),
+            percentile(&cold_lat, 0.99),
+            percentile(&warm_lat, 0.50),
+            percentile(&warm_lat, 0.99),
+            warm_qps / cold_qps,
+            percentile(&conc_lat, 0.50),
+            percentile(&conc_lat, 0.99),
+            conc_qps / cold_qps,
+        ),
+    );
 }
 
 /// Reconvergence-under-churn benchmark (`--reconverge-only`): per-event

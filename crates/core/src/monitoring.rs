@@ -170,6 +170,36 @@ pub fn plane_utilization_series(records: &[TraceRecord]) -> Vec<Vec<PlaneUtiliza
     series
 }
 
+/// Time-weighted mean utilization of one plane's series over the window
+/// `(from, to]`. Each sample's utilization covers the stretch since the
+/// previous sample (clamped to the window), so the mean is
+/// `sum(utilization_i * dt_i) / (to - from)`.
+///
+/// A zero-width or inverted window has no duration to average over — the
+/// division would be the same class of bug as the zero-duration-flow
+/// infinity goodput — so it is defined as 0 instead.
+pub fn mean_plane_utilization(points: &[PlaneUtilizationPoint], from: SimTime, to: SimTime) -> f64 {
+    if to <= from {
+        return 0.0;
+    }
+    let width = (to.as_ps() - from.as_ps()) as f64;
+    let mut weighted = 0.0;
+    let mut prev = from;
+    for pt in points {
+        if pt.t <= from {
+            prev = pt.t.max(from);
+            continue;
+        }
+        if pt.t > to {
+            break;
+        }
+        let dt = (pt.t.as_ps() - prev.max(from).as_ps()) as f64;
+        weighted += pt.utilization * dt;
+        prev = pt.t;
+    }
+    weighted / width
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +385,36 @@ mod tests {
         // The series totals agree with the aggregate report's bytes_sent.
         let report = PlaneReport::collect(&pnet.net, &sim);
         assert!(report.planes[2].bytes_sent >= total_bytes(2));
+    }
+
+    /// Regression: the windowed mean divides by the window width; a
+    /// zero-width (or inverted) window must yield 0, not NaN/infinity —
+    /// same family as the zero-duration-flow goodput bug.
+    #[test]
+    fn zero_width_window_mean_utilization_is_zero() {
+        let points = [
+            PlaneUtilizationPoint {
+                t: SimTime::from_us(5),
+                bytes_delta: 100,
+                utilization: 0.5,
+            },
+            PlaneUtilizationPoint {
+                t: SimTime::from_us(10),
+                bytes_delta: 100,
+                utilization: 1.0,
+            },
+        ];
+        let z = mean_plane_utilization(&points, SimTime::from_us(5), SimTime::from_us(5));
+        assert!(z == 0.0, "zero-width window must be 0, got {z}");
+        let inv = mean_plane_utilization(&points, SimTime::from_us(10), SimTime::from_us(5));
+        assert!(inv == 0.0, "inverted window must be 0, got {inv}");
+        assert!(mean_plane_utilization(&[], SimTime::ZERO, SimTime::from_us(1)) == 0.0);
+        // A real window time-weights each sample by the stretch it covers.
+        let m = mean_plane_utilization(&points, SimTime::ZERO, SimTime::from_us(10));
+        assert!((m - 0.75).abs() < 1e-12, "time-weighted mean wrong: {m}");
+        // Samples outside the window don't contribute.
+        let tail = mean_plane_utilization(&points, SimTime::from_us(5), SimTime::from_us(10));
+        assert!((tail - 1.0).abs() < 1e-12, "windowed tail wrong: {tail}");
     }
 
     #[test]

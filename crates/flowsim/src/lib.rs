@@ -31,4 +31,4 @@ pub mod mcf;
 pub mod throughput;
 
 pub use commodity::Commodity;
-pub use mcf::{link_capacities, McfSolution, PathMode};
+pub use mcf::{link_capacities, McfError, McfSolution, PathMode};

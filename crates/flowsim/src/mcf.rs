@@ -63,6 +63,106 @@ pub fn link_capacities(net: &Network) -> Vec<f64> {
         .collect()
 }
 
+/// Typed rejection for the checked (`try_`) solver entry points. Services
+/// that answer queries built from untrusted or computed inputs (the planner's
+/// what-if path) must receive an error value, not a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum McfError {
+    /// `eps` outside the open interval (0, 0.5). The Fleischer start value
+    /// `δ = (m/(1−ε))^(−1/ε)` degenerates outside it: ε = 0 divides by zero
+    /// in the exponent, ε ≥ 1 sends the exponent through −1 where δ stops
+    /// shrinking and the (1−ε) factor flips sign, and a NaN ε poisons every
+    /// downstream comparison. Also raised for non-finite ε.
+    InvalidEps { eps: f64 },
+    /// The commodity set is empty — λ would be unconstrained.
+    NoCommodities,
+    /// Commodity `index` has a non-finite or non-positive demand.
+    InvalidDemand { index: usize },
+    /// `Explicit` mode: the path table length differs from the commodity
+    /// count.
+    PathTableMismatch { paths: usize, commodities: usize },
+    /// Commodity `index` has no usable route: an empty `Explicit` path set,
+    /// or (AnyPath) no plane connects its endpoints under the current link
+    /// state.
+    UnroutableCommodity { index: usize },
+    /// No commodity could be seeded with positive congestion — every route
+    /// is empty or uncapacitated, so there is nothing to solve.
+    NoFeasibleFlow,
+    /// Warm start: the previous solution's length profile belongs to a
+    /// different network arena (link count mismatch).
+    WarmArenaMismatch { expected: usize, got: usize },
+    /// Warm start: the previous solution's λ is not positive.
+    NonPositiveWarmLambda,
+}
+
+impl std::fmt::Display for McfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            McfError::InvalidEps { eps } => write!(
+                f,
+                "eps out of range: {eps} not in (0, 0.5); \
+                 delta = (m/(1-eps))^(-1/eps) would be NaN or garbage"
+            ),
+            McfError::NoCommodities => write!(f, "no commodities"),
+            McfError::InvalidDemand { index } => {
+                write!(
+                    f,
+                    "commodity {index} has a non-finite or non-positive demand"
+                )
+            }
+            McfError::PathTableMismatch { paths, commodities } => write!(
+                f,
+                "explicit path table has {paths} entries for {commodities} commodities"
+            ),
+            McfError::UnroutableCommodity { index } => {
+                write!(f, "commodity {index} has no allowed path")
+            }
+            McfError::NoFeasibleFlow => {
+                write!(f, "all commodities have empty routes; nothing to solve")
+            }
+            McfError::WarmArenaMismatch { expected, got } => write!(
+                f,
+                "warm start from a different network arena ({got} lengths for {expected} links)"
+            ),
+            McfError::NonPositiveWarmLambda => {
+                write!(f, "warm start needs a positive previous λ")
+            }
+        }
+    }
+}
+
+impl std::error::Error for McfError {}
+
+/// Shared input validation of the checked entry points: everything the
+/// panicking solvers assert about their arguments, as a value.
+fn validate_inputs(commodities: &[Commodity], mode: &PathMode, eps: f64) -> Result<(), McfError> {
+    if !(eps > 0.0 && eps < 0.5) {
+        return Err(McfError::InvalidEps { eps });
+    }
+    if commodities.is_empty() {
+        return Err(McfError::NoCommodities);
+    }
+    for (i, c) in commodities.iter().enumerate() {
+        if !(c.demand > 0.0 && c.demand.is_finite()) {
+            return Err(McfError::InvalidDemand { index: i });
+        }
+    }
+    if let PathMode::Explicit(paths) = mode {
+        if paths.len() != commodities.len() {
+            return Err(McfError::PathTableMismatch {
+                paths: paths.len(),
+                commodities: commodities.len(),
+            });
+        }
+        for (i, p) in paths.iter().enumerate() {
+            if p.is_empty() {
+                return Err(McfError::UnroutableCommodity { index: i });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Solver options.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct McfOptions {
@@ -97,14 +197,34 @@ pub fn solve_with_options(
     eps: f64,
     opts: McfOptions,
 ) -> McfSolution {
-    assert!(!commodities.is_empty(), "no commodities");
-    assert!(eps > 0.0 && eps < 0.5, "eps out of range");
-    if let PathMode::Explicit(paths) = mode {
-        assert_eq!(paths.len(), commodities.len());
-        for (i, p) in paths.iter().enumerate() {
-            assert!(!p.is_empty(), "commodity {i} has no allowed path");
-        }
+    let checked = try_solve_with_options(net, commodities, mode, eps, opts);
+    if let Err(e) = &checked {
+        assert!(checked.is_ok(), "{e}");
     }
+    checked.expect("invariant: asserted Ok above")
+}
+
+/// [`solve`] returning a typed error instead of panicking on bad inputs —
+/// the entry point for services whose queries are not pre-validated.
+pub fn try_solve(
+    net: &Network,
+    commodities: &[Commodity],
+    mode: &PathMode,
+    eps: f64,
+) -> Result<McfSolution, McfError> {
+    try_solve_with_options(net, commodities, mode, eps, McfOptions::default())
+}
+
+/// [`solve_with_options`] returning a typed [`McfError`] instead of
+/// panicking on bad inputs.
+pub fn try_solve_with_options(
+    net: &Network,
+    commodities: &[Commodity],
+    mode: &PathMode,
+    eps: f64,
+    opts: McfOptions,
+) -> Result<McfSolution, McfError> {
+    validate_inputs(commodities, mode, eps)?;
 
     let mut caps = link_capacities(net);
     if opts.host_links_free {
@@ -136,10 +256,9 @@ pub fn solve_with_options(
         .filter(|&(_, &c)| c > 0.0)
         .map(|(&f, &c)| f / c)
         .fold(0.0f64, f64::max);
-    assert!(
-        seed_congestion > 0.0,
-        "all commodities have empty routes; nothing to solve"
-    );
+    if seed_congestion.is_nan() || seed_congestion <= 0.0 {
+        return Err(McfError::NoFeasibleFlow);
+    }
     let lambda_lb = 1.0 / seed_congestion;
     let scale = lambda_lb; // demands multiplied by this => OPT' in [1, ...]
 
@@ -150,7 +269,7 @@ pub fn solve_with_options(
         .map(|&c| if c > 0.0 { delta / c } else { f64::INFINITY })
         .collect();
     let d_sum: f64 = m * delta; // Σ cₑ·ℓₑ over usable links
-    gk_core(
+    Ok(gk_core(
         net,
         commodities,
         mode,
@@ -162,7 +281,7 @@ pub fn solve_with_options(
         length,
         d_sum,
         false,
-    )
+    ))
 }
 
 /// Relative λ tolerance the warm-started solver is held to against a cold
@@ -233,14 +352,38 @@ pub fn solve_warm_with_options(
     opts: McfOptions,
     warm: &McfSolution,
 ) -> McfSolution {
-    assert!(!commodities.is_empty(), "no commodities");
-    assert!(eps > 0.0 && eps < 0.5, "eps out of range");
-    assert!(warm.lambda > 0.0, "warm start needs a positive previous λ");
-    if let PathMode::Explicit(paths) = mode {
-        assert_eq!(paths.len(), commodities.len());
-        for (i, p) in paths.iter().enumerate() {
-            assert!(!p.is_empty(), "commodity {i} has no allowed path");
-        }
+    let checked = try_solve_warm_with_options(net, commodities, mode, eps, opts, warm);
+    if let Err(e) = &checked {
+        assert!(checked.is_ok(), "{e}");
+    }
+    checked.expect("invariant: asserted Ok above")
+}
+
+/// [`solve_warm`] returning a typed [`McfError`] instead of panicking on
+/// bad inputs or a mismatched warm profile.
+pub fn try_solve_warm(
+    net: &Network,
+    commodities: &[Commodity],
+    mode: &PathMode,
+    eps: f64,
+    warm: &McfSolution,
+) -> Result<McfSolution, McfError> {
+    try_solve_warm_with_options(net, commodities, mode, eps, McfOptions::default(), warm)
+}
+
+/// [`solve_warm_with_options`] returning a typed [`McfError`] instead of
+/// panicking.
+pub fn try_solve_warm_with_options(
+    net: &Network,
+    commodities: &[Commodity],
+    mode: &PathMode,
+    eps: f64,
+    opts: McfOptions,
+    warm: &McfSolution,
+) -> Result<McfSolution, McfError> {
+    validate_inputs(commodities, mode, eps)?;
+    if warm.lambda.is_nan() || warm.lambda <= 0.0 {
+        return Err(McfError::NonPositiveWarmLambda);
     }
 
     let mut caps = link_capacities(net);
@@ -251,11 +394,13 @@ pub fn solve_warm_with_options(
             }
         }
     }
-    assert_eq!(
-        warm.length.len(),
-        caps.len(),
-        "warm start from a different network arena"
-    );
+    // pnet-tidy: allow(D3) -- usize arena-length comparison, not a float read
+    if warm.length.len() != caps.len() {
+        return Err(McfError::WarmArenaMismatch {
+            expected: caps.len(),
+            got: warm.length.len(),
+        });
+    }
     let m = caps.iter().filter(|&&c| c > 0.0 && c.is_finite()).count() as f64;
     let oracle = AnyPathOracle::new(net);
 
@@ -281,10 +426,9 @@ pub fn solve_warm_with_options(
         .filter(|&(_, &c)| c > 0.0)
         .map(|(&f, &c)| f / c)
         .fold(0.0f64, f64::max);
-    assert!(
-        seed_congestion > 0.0,
-        "all commodities have empty routes; nothing to solve"
-    );
+    if seed_congestion.is_nan() || seed_congestion <= 0.0 {
+        return Err(McfError::NoFeasibleFlow);
+    }
     let scale = 1.0 / seed_congestion;
 
     // The cold run walks the total length mass Σ cₑ·ℓₑ from m·δ up to 1; the
@@ -347,7 +491,7 @@ pub fn solve_warm_with_options(
         })
         .collect();
 
-    gk_core(
+    Ok(gk_core(
         net,
         commodities,
         mode,
@@ -359,7 +503,7 @@ pub fn solve_warm_with_options(
         length,
         d_sum,
         true,
-    )
+    ))
 }
 
 /// The shared Fleischer phase loop + congestion rescale: everything after
@@ -1232,6 +1376,82 @@ mod tests {
     use pnet_topology::{assemble_homogeneous, gbps, FatTree, Jellyfish, LinkProfile};
 
     const EPS: f64 = 0.05;
+
+    /// Regression (PR 9): `eps` outside (0, 0.5) must surface as a typed
+    /// error, never as a NaN δ = (m/(1−ε))^(−1/ε) silently corrupting the
+    /// phase loop. Pre-fix the only guard was an `assert!` panic and no
+    /// checked entry point existed.
+    #[test]
+    fn bad_eps_is_a_typed_error() {
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let c = vec![Commodity::unit(HostId(0), HostId(15))];
+        for eps in [0.0, -0.1, 0.5, 1.0, 2.0, f64::NAN, f64::INFINITY] {
+            let got = try_solve(&net, &c, &PathMode::AnyPath, eps);
+            assert!(
+                matches!(got, Err(McfError::InvalidEps { .. })),
+                "eps {eps} must be rejected, got {got:?}"
+            );
+            // The degenerate δ the guard exists for: outside (0, 0.5) the
+            // Fleischer start value is NaN, 0, or ≥ 1 — all garbage.
+            let m = 10.0f64;
+            let delta = (m / (1.0 - eps)).powf(-1.0 / eps);
+            assert!(
+                !(delta > 0.0 && delta < 1.0) || eps >= 0.5,
+                "delta {delta} for eps {eps} would have been accepted"
+            );
+        }
+        // Warm variant enforces the same contract.
+        let warm = solve(&net, &c, &PathMode::AnyPath, EPS);
+        let got = try_solve_warm(&net, &c, &PathMode::AnyPath, 1.0, &warm);
+        assert!(matches!(got, Err(McfError::InvalidEps { .. })));
+        // In-range eps still solves.
+        let ok = try_solve(&net, &c, &PathMode::AnyPath, EPS);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        let net = assemble_homogeneous(&FatTree::three_tier(4), 1, &LinkProfile::paper_default());
+        let c = vec![Commodity::unit(HostId(0), HostId(15))];
+        assert!(matches!(
+            try_solve(&net, &[], &PathMode::AnyPath, EPS),
+            Err(McfError::NoCommodities)
+        ));
+        let mut bad = c.clone();
+        bad[0].demand = f64::NAN;
+        assert!(matches!(
+            try_solve(&net, &bad, &PathMode::AnyPath, EPS),
+            Err(McfError::InvalidDemand { index: 0 })
+        ));
+        assert!(matches!(
+            try_solve(&net, &c, &PathMode::Explicit(vec![Vec::new()]), EPS),
+            Err(McfError::UnroutableCommodity { index: 0 })
+        ));
+        assert!(matches!(
+            try_solve(&net, &c, &PathMode::Explicit(Vec::new()), EPS),
+            Err(McfError::PathTableMismatch {
+                paths: 0,
+                commodities: 1
+            })
+        ));
+        let warm = solve(&net, &c, &PathMode::AnyPath, EPS);
+        let mut stale = warm.clone();
+        stale.length.pop();
+        assert!(matches!(
+            try_solve_warm(&net, &c, &PathMode::AnyPath, EPS, &stale),
+            Err(McfError::WarmArenaMismatch { .. })
+        ));
+        let mut dead = warm.clone();
+        dead.lambda = 0.0;
+        assert!(matches!(
+            try_solve_warm(&net, &c, &PathMode::AnyPath, EPS, &dead),
+            Err(McfError::NonPositiveWarmLambda)
+        ));
+        // The checked and panicking paths agree on good inputs.
+        let a = solve(&net, &c, &PathMode::AnyPath, EPS);
+        let b = try_solve(&net, &c, &PathMode::AnyPath, EPS).expect("valid instance must solve");
+        assert_eq!(a.lambda.to_bits(), b.lambda.to_bits());
+    }
 
     #[test]
     fn single_pair_gets_link_rate() {

@@ -25,7 +25,14 @@ use pnet_topology::Network;
 /// Total throughput of hash-based single-path ECMP under max-min fairness.
 pub fn ecmp_throughput(net: &Network, commodities: &[Commodity]) -> f64 {
     let router = Router::new(net, RouteAlgo::Ecmp { cap: 64 });
-    let mode = mcf::ecmp_mode(net, &router, commodities);
+    ecmp_throughput_with(net, &router, commodities)
+}
+
+/// As [`ecmp_throughput`], but pinned to a caller-provided ECMP router —
+/// the snapshot entry point: no router is built here, so concurrent
+/// queries against the same topology generation share one path table.
+pub fn ecmp_throughput_with(net: &Network, router: &Router, commodities: &[Commodity]) -> f64 {
+    let mode = mcf::ecmp_mode(net, router, commodities);
     let PathMode::Explicit(paths) = mode else {
         unreachable!()
     };
@@ -49,9 +56,45 @@ pub fn ksp_multipath_throughput(
     // (see `mcf::ksp_mode`).
     let wide = (2 * k).max(8);
     let router = Router::new(net, RouteAlgo::Ksp { k: wide });
-    let mode = mcf::ksp_mode(net, &router, commodities, k);
-    let sol = mcf::solve(net, commodities, &mode, eps);
+    let sol = ksp_solution_with(
+        net,
+        &router,
+        commodities,
+        k,
+        eps,
+        mcf::McfOptions::default(),
+    );
     (sol.total_rate(), sol.lambda)
+}
+
+/// Full KSP-multipath solution against a caller-provided router snapshot.
+/// The planner's generation entry point: the router's tables must already
+/// reflect `net`, and `k` must not exceed the router's per-plane width.
+pub fn ksp_solution_with(
+    net: &Network,
+    router: &Router,
+    commodities: &[Commodity],
+    k: usize,
+    eps: f64,
+    opts: mcf::McfOptions,
+) -> mcf::McfSolution {
+    let mode = mcf::ksp_mode(net, router, commodities, k);
+    mcf::solve_with_options(net, commodities, &mode, eps, opts)
+}
+
+/// Fallible twin of [`ksp_solution_with`]: degenerate inputs (bad `eps`,
+/// empty or unroutable commodities) come back as [`mcf::McfError`] instead
+/// of panicking — what a serving layer wants.
+pub fn try_ksp_solution(
+    net: &Network,
+    router: &Router,
+    commodities: &[Commodity],
+    k: usize,
+    eps: f64,
+    opts: mcf::McfOptions,
+) -> Result<mcf::McfSolution, mcf::McfError> {
+    let mode = mcf::ksp_mode(net, router, commodities, k);
+    mcf::try_solve_with_options(net, commodities, &mode, eps, opts)
 }
 
 /// Ideal total throughput with no path constraint (each plane freely
@@ -59,6 +102,18 @@ pub fn ksp_multipath_throughput(
 pub fn ideal_throughput(net: &Network, commodities: &[Commodity], eps: f64) -> (f64, f64) {
     let sol = mcf::solve(net, commodities, &PathMode::AnyPath, eps);
     (sol.total_rate(), sol.lambda)
+}
+
+/// Fallible free-routing solve returning the full solution — the planner's
+/// ideal-throughput entry point ([`ideal_throughput`] /
+/// [`ideal_core_throughput`] with typed errors and the whole primal).
+pub fn try_ideal_solution(
+    net: &Network,
+    commodities: &[Commodity],
+    eps: f64,
+    opts: mcf::McfOptions,
+) -> Result<mcf::McfSolution, mcf::McfError> {
+    mcf::try_solve_with_options(net, commodities, &PathMode::AnyPath, eps, opts)
 }
 
 /// Ideal *core* throughput: like [`ideal_throughput`] but with host

@@ -596,7 +596,17 @@ pub struct Telemetry {
 
 impl Telemetry {
     /// Capture link/plane metadata from `net` under configuration `cfg`.
-    pub fn new(net: &Network, cfg: TelemetryConfig) -> Telemetry {
+    ///
+    /// A `Some(0)` sampler interval is normalized to `None` (samplers off):
+    /// a zero-delta sampler would re-arm itself at its own timestamp and the
+    /// event loop's batched same-time dispatch would pop it forever — an
+    /// infinite loop that never advances the clock. Every arm site
+    /// (`Simulator::new`, `start_flow`, the tick itself) reads the interval
+    /// from this config, so normalizing here covers them all.
+    pub fn new(net: &Network, mut cfg: TelemetryConfig) -> Telemetry {
+        if cfg.sample_interval == Some(SimTime::ZERO) {
+            cfg.sample_interval = None;
+        }
         let link_planes: Vec<PlaneId> = net.links().map(|(_, l)| l.plane).collect();
         let mut plane_capacity_bps = vec![0u64; usize::from(net.n_planes())];
         for (_, l) in net.links() {

@@ -72,6 +72,7 @@ fn d1_scope(p: &str) -> bool {
         "crates/flowsim/src/",
         "crates/htsim/src/",
         "crates/topology/src/",
+        "crates/planner/src/",
     ]
     .iter()
     .any(|pre| p.starts_with(pre))
@@ -99,6 +100,7 @@ fn c1_scope(p: &str) -> bool {
         "crates/htsim/src/",
         "crates/workloads/src/",
         "crates/core/src/",
+        "crates/planner/src/",
     ]
     .iter()
     .any(|pre| p.starts_with(pre))

@@ -100,6 +100,7 @@ fn p1_scope(p: &str) -> bool {
         "crates/htsim/src/",
         "crates/workloads/src/",
         "crates/core/src/",
+        "crates/planner/src/",
     ]
     .iter()
     .any(|pre| p.starts_with(pre))
@@ -112,6 +113,7 @@ fn m1_scope(p: &str) -> bool {
         "crates/routing/src/",
         "crates/flowsim/src/",
         "crates/core/src/",
+        "crates/planner/src/",
     ]
     .iter()
     .any(|pre| p.starts_with(pre))

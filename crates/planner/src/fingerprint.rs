@@ -1,0 +1,96 @@
+//! FNV-1a golden fingerprints over topologies, commodity sets, and solver
+//! output — the planner's cache keys and byte-identity assertions. All
+//! three reuse the router's [`Fnv`] hasher so every fingerprint in the
+//! workspace is the same deterministic function.
+
+use pnet_flowsim::{Commodity, McfSolution};
+use pnet_routing::Fnv;
+use pnet_topology::Network;
+
+/// Fingerprint of everything a solver run can observe in the topology:
+/// the shape counts plus every directed link's endpoints, capacity, plane,
+/// and up/down state. Two networks with equal fingerprints answer every
+/// planner query identically.
+pub fn topology_fingerprint(net: &Network) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(u64::from(net.n_planes()));
+    h.u64(net.n_hosts() as u64);
+    h.u64(net.n_racks() as u64);
+    h.u64(net.n_links() as u64);
+    for (id, link) in net.links() {
+        h.u64(u64::from(id.0));
+        h.u64(u64::from(link.src.0));
+        h.u64(u64::from(link.dst.0));
+        h.u64(link.capacity_bps);
+        h.u64(u64::from(link.plane.0));
+        h.u64(u64::from(link.up));
+    }
+    h.0
+}
+
+/// Fingerprint of a traffic matrix, order-sensitive over
+/// `(src, dst, demand)` with demands folded at full bit precision.
+pub fn commodity_fingerprint(commodities: &[Commodity]) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(commodities.len() as u64);
+    for c in commodities {
+        h.u64(u64::from(c.src.0));
+        h.u64(u64::from(c.dst.0));
+        h.u64(c.demand.to_bits());
+    }
+    h.0
+}
+
+/// Byte-identity fingerprint of a solution: λ, the phase count, and every
+/// float of the primal/dual vectors folded at full bit precision. Two
+/// solutions agree on this iff they are bitwise identical — the property
+/// the memo layer asserts between cache hits and cold solves.
+pub fn solution_fingerprint(sol: &McfSolution) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(sol.lambda.to_bits());
+    h.u64(sol.phases as u64);
+    for v in [&sol.link_flow, &sol.rates, &sol.length] {
+        h.u64(v.len() as u64);
+        for x in v.iter() {
+            h.u64(x.to_bits());
+        }
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnet_topology::{assemble_homogeneous, failures, FatTree, LinkProfile};
+
+    #[test]
+    fn topology_fingerprint_tracks_link_state() {
+        let mut net =
+            assemble_homogeneous(&FatTree::three_tier(4), 2, &LinkProfile::paper_default());
+        let healthy = topology_fingerprint(&net);
+        assert_eq!(healthy, topology_fingerprint(&net), "not deterministic");
+        let cable = failures::fabric_cables(&net, None)[0];
+        failures::fail_cable(&mut net, cable);
+        let degraded = topology_fingerprint(&net);
+        assert_ne!(
+            healthy, degraded,
+            "a failed cable must move the fingerprint"
+        );
+        failures::restore_cable(&mut net, cable);
+        assert_eq!(
+            healthy,
+            topology_fingerprint(&net),
+            "restore must round-trip"
+        );
+    }
+
+    #[test]
+    fn commodity_fingerprint_is_demand_sensitive() {
+        use pnet_flowsim::commodity;
+        let a = commodity::all_to_all(4);
+        let mut b = commodity::all_to_all(4);
+        assert_eq!(commodity_fingerprint(&a), commodity_fingerprint(&b));
+        b[0].demand *= 2.0;
+        assert_ne!(commodity_fingerprint(&a), commodity_fingerprint(&b));
+    }
+}

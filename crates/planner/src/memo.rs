@@ -1,0 +1,121 @@
+//! Solver memo: `(topology fp, commodity fp, query tag) → solution`.
+//!
+//! The cache key is built entirely from golden fingerprints, so a hit is a
+//! claim of bitwise identity with the cold solve it replaces — and the
+//! insert-race path asserts exactly that: when two threads solve the same
+//! key concurrently, the first insert wins and the loser's result must
+//! carry the identical solution fingerprint (the solvers' determinism
+//! contract, enforced at the cache boundary).
+
+use crate::fingerprint::solution_fingerprint;
+use crate::PlanError;
+use pnet_flowsim::McfSolution;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: the topology and commodity-set fingerprints plus a query tag
+/// folding everything else that can change solver output (query kind, K,
+/// the exact bits of ε, host-links-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MemoKey {
+    /// [`crate::fingerprint::topology_fingerprint`] of the queried network.
+    pub topology: u64,
+    /// [`crate::fingerprint::commodity_fingerprint`] of the traffic matrix.
+    pub commodities: u64,
+    /// FNV-1a fold of the query shape (kind tag, K, ε bits, options).
+    pub query: u64,
+}
+
+/// Cumulative memo counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that ran a cold solve.
+    pub misses: u64,
+    /// Distinct solutions currently cached.
+    pub entries: usize,
+}
+
+/// Concurrent solution cache. Solves run *outside* the lock, so queries
+/// for different keys never serialize on each other; the lock only guards
+/// the map itself.
+pub struct Memo {
+    map: Mutex<BTreeMap<MemoKey, Arc<McfSolution>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for Memo {
+    fn default() -> Memo {
+        Memo::new()
+    }
+}
+
+impl Memo {
+    /// An empty cache.
+    pub fn new() -> Memo {
+        Memo {
+            map: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look `key` up, or run `solve` and publish the result. Errors are
+    /// returned to the caller and never cached. Two racing solves for the
+    /// same key both complete; the first insert wins and the results are
+    /// asserted bit-identical.
+    pub fn get_or_solve(
+        &self,
+        key: MemoKey,
+        solve: impl FnOnce() -> Result<McfSolution, PlanError>,
+    ) -> Result<Arc<McfSolution>, PlanError> {
+        if let Some(hit) = self.lookup(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let solved = Arc::new(solve()?);
+        let mut map = self
+            .map
+            .lock()
+            .expect("invariant: memo lock is never poisoned");
+        if let Some(first) = map.get(&key) {
+            assert_eq!(
+                solution_fingerprint(first),
+                solution_fingerprint(&solved),
+                "memoized solution diverged from a concurrent cold solve"
+            );
+            return Ok(Arc::clone(first));
+        }
+        map.insert(key, Arc::clone(&solved));
+        Ok(solved)
+    }
+
+    /// The cached solution for `key`, without counting a hit or miss.
+    /// (Named `lookup`, not `peek`: the workspace lint's effect inference
+    /// resolves calls by method name, and `peek` would alias the heap
+    /// peeks inside the solver's parallel closures.)
+    pub fn lookup(&self, key: MemoKey) -> Option<Arc<McfSolution>> {
+        self.map
+            .lock()
+            .expect("invariant: memo lock is never poisoned")
+            .get(&key)
+            .map(Arc::clone)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .map
+                .lock()
+                .expect("invariant: memo lock is never poisoned")
+                .len(),
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Lock-free, append-only snapshot store — the crate's ArcSwap stand-in.
+//!
+//! Readers follow an atomic length counter with **no lock on the read
+//! path**; a single writer appends behind an internal mutex. Storage is a
+//! linked list of fixed-size chunks of write-once slots, so a reader that
+//! observed `len = n` with an `Acquire` load can walk to any slot `< n`
+//! without ever synchronizing with the writer again: the writer's
+//! `Release` store of the new length orders every slot and chunk-link
+//! write that preceded it.
+//!
+//! Unlike a plain atomic pointer swap, old generations stay reachable by
+//! index for as long as the store lives — exactly what a planner pinning
+//! queries to generation N while N+1 is being published needs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+const CHUNK: usize = 64;
+
+struct Chunk<T> {
+    slots: [OnceLock<Arc<T>>; CHUNK],
+    next: OnceLock<Box<Chunk<T>>>,
+}
+
+impl<T> Chunk<T> {
+    fn boxed() -> Box<Chunk<T>> {
+        Box::new(Chunk {
+            slots: std::array::from_fn(|_| OnceLock::new()),
+            next: OnceLock::new(),
+        })
+    }
+}
+
+/// Epoch-stamped snapshot sequence: append-only, lock-free to read.
+pub struct Published<T> {
+    head: Box<Chunk<T>>,
+    len: AtomicUsize,
+    writer: Mutex<()>,
+}
+
+impl<T> Published<T> {
+    /// A store seeded with snapshot 0, so [`Published::latest`] is total.
+    pub fn new(initial: T) -> Published<T> {
+        let store = Published {
+            head: Chunk::boxed(),
+            len: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        };
+        store.publish(initial);
+        store
+    }
+
+    /// Number of published snapshots (at least 1 after construction).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Never true for a constructed store; present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot `i`, if published. Lock-free: slots and chunk links are
+    /// write-once and ordered by the `Acquire` length load.
+    pub fn get(&self, i: usize) -> Option<Arc<T>> {
+        if i >= self.len() {
+            return None;
+        }
+        let mut chunk = &*self.head;
+        for _ in 0..i / CHUNK {
+            chunk = chunk
+                .next
+                .get()
+                .expect("invariant: chunks below the published length exist");
+        }
+        Some(Arc::clone(chunk.slots[i % CHUNK].get().expect(
+            "invariant: slots below the published length are set",
+        )))
+    }
+
+    /// The newest snapshot. Lock-free.
+    pub fn latest(&self) -> Arc<T> {
+        self.get(self.len() - 1)
+            .expect("invariant: the store is seeded at construction")
+    }
+
+    /// Append a snapshot and return its index. Writers serialize on an
+    /// internal mutex; readers are never blocked or delayed. (Named
+    /// `publish`, not `push`: the workspace lint's effect inference
+    /// resolves calls by method name, and `push` would alias `Vec::push`
+    /// at every call site in scanned crates.)
+    pub fn publish(&self, value: T) -> usize {
+        let guard = self
+            .writer
+            .lock()
+            .expect("invariant: publish lock is never poisoned");
+        let i = self.len.load(Ordering::Relaxed);
+        let mut chunk = &*self.head;
+        for _ in 0..i / CHUNK {
+            chunk = chunk.next.get_or_init(Chunk::boxed);
+        }
+        let clash = chunk.slots[i % CHUNK].set(Arc::new(value)).is_err();
+        assert!(
+            !clash,
+            "invariant: the slot at the publish frontier is never set twice"
+        );
+        self.len.store(i + 1, Ordering::Release);
+        drop(guard);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_get_across_chunk_boundaries() {
+        let store = Published::new(0usize);
+        for v in 1..200usize {
+            assert_eq!(store.publish(v), v);
+        }
+        assert_eq!(store.len(), 200);
+        for v in 0..200usize {
+            assert_eq!(*store.get(v).expect("invariant: published"), v);
+        }
+        assert_eq!(*store.latest(), 199);
+        assert!(store.get(200).is_none());
+    }
+
+    #[test]
+    fn old_snapshots_stay_reachable_after_publish() {
+        let store = Published::new(String::from("gen0"));
+        let pinned = store.latest();
+        store.publish(String::from("gen1"));
+        assert_eq!(*pinned, "gen0");
+        assert_eq!(*store.latest(), "gen1");
+        assert_eq!(*store.get(0).expect("invariant: published"), "gen0");
+    }
+}

@@ -38,7 +38,7 @@ pub use ecmp::{flow_hash, hash_plane, hash_select};
 pub use exec::{ordered_fold_f64, ordered_sum_f64, Parallelism};
 pub use path::{host_route, reverse_route, rotate_ties, sort_paths, Path};
 pub use plane_graph::PlaneGraph;
-pub use repair::DeltaStats;
+pub use repair::{DeltaStats, Fnv};
 pub use router::{RouteAlgo, Router};
 pub use scratch::RouteScratch;
 pub use yen::{ksp, ksp_all_destinations, ksp_destinations, ksp_reference};

@@ -5,6 +5,8 @@
 //! * `pnet topology`   — build a network and print its structural summary
 //! * `pnet route`      — show the paths a policy picks for a host pair
 //! * `pnet throughput` — flow-level capacity of a traffic pattern
+//! * `pnet plan`       — planner-service what-if report: admission, subflow
+//!   sweep, per-plane headroom, failure what-ifs
 //! * `pnet simulate`   — packet-level FCTs of a batch of flows
 //! * `pnet components` — Table 1-style component accounting
 //!
@@ -17,7 +19,8 @@ use pnet::flowsim::{commodity, throughput};
 use pnet::htsim::{
     metrics, run_to_completion, EventMask, FlowSpec, SimConfig, SimTime, Simulator, TelemetryConfig,
 };
-use pnet::topology::{components, HostId, NetworkClass};
+use pnet::planner::{PlanError, Planner, PlannerConfig};
+use pnet::topology::{components, failures, HostId, NetworkClass};
 use pnet::workloads::tm;
 use pnet_bench::{Args, Table};
 
@@ -37,6 +40,9 @@ SUBCOMMANDS:
                --kpaths K --size BYTES
   throughput   flow-level capacity of a pattern
                (topology flags) --pattern permutation|all-to-all --kpaths K --eps E
+  plan         planner-service what-if report on one fabric snapshot
+               (topology flags) --pattern permutation|all-to-all --kpaths K --eps E
+               --sweep 1,2,4,8 --what-if-cables N
   simulate     packet-level FCTs of a permutation of flows
                (topology flags) --size BYTES --policy ... --kpaths K
                --trace-out FILE[.jsonl|.csv] --sample-interval DUR (e.g. 100us)
@@ -48,6 +54,7 @@ EXAMPLES:
   pnet topology --kind jellyfish --class hetero --planes 4 --tors 32 --degree 5
   pnet route --src 0 --dst 50 --policy shortest --class hetero
   pnet throughput --pattern permutation --kpaths 16 --planes 2
+  pnet plan --pattern permutation --planes 4 --what-if-cables 2
   pnet simulate --size 1m --policy plane-ksp --planes 4
   pnet simulate --size 1m --trace-out trace.jsonl --sample-interval 100us"
     );
@@ -221,6 +228,117 @@ fn cmd_throughput(args: &Args) {
     );
 }
 
+/// Exit with the planner's diagnostic when a what-if query fails.
+fn run_query<T>(result: Result<T, PlanError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("planner query failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// One-stop what-if report from the planner service: admission of the
+/// offered matrix, the subflow fan-out sweep, structural per-plane
+/// headroom, and (optionally) ideal throughput with the first N fabric
+/// cables failed — all answered against a single pinned generation, with
+/// the memo counters showing how much solver work the queries shared.
+fn cmd_plan(args: &Args) {
+    let (kind, class, planes, seed) = topology_from(args);
+    let pnet = PNetSpec::new(kind, class, planes, seed).build();
+    let n = pnet.net.n_hosts();
+    let commodities = match args.get_str("pattern").unwrap_or("permutation") {
+        "permutation" => commodity::permutation(&tm::random_permutation(n, seed)),
+        "all-to-all" => commodity::all_to_all(n),
+        other => {
+            eprintln!("unknown --pattern {other:?}");
+            usage()
+        }
+    };
+    let cfg = PlannerConfig {
+        k: args.get("kpaths", 8),
+        eps: args.get("eps", 0.1),
+        ..PlannerConfig::default()
+    };
+    let planner = Planner::with_config(pnet.net.clone(), cfg);
+    let generation = planner.latest();
+    println!(
+        "network:    {} ({} hosts, {} planes, {} flows offered)",
+        class.label(),
+        n,
+        generation.network().n_planes(),
+        commodities.len()
+    );
+    println!(
+        "generation: {} (topology fingerprint {:016x})",
+        generation.seq(),
+        generation.topology_fingerprint()
+    );
+
+    let adm = run_query(planner.admit_at(&generation, &commodities));
+    println!(
+        "admission:  lambda = {:.4} -> {}  ({:.3} Tb/s delivered at that scale)",
+        adm.lambda,
+        if adm.admitted {
+            "ADMIT (every flow ships full demand)"
+        } else {
+            "REJECT (the fabric cannot carry the full matrix)"
+        },
+        adm.total_rate_bps / 1e12
+    );
+
+    let sweep: Vec<usize> = args
+        .get_list("sweep", &[1, 2, 4, 8])
+        .into_iter()
+        .map(|k| k as usize)
+        .collect();
+    let best = run_query(planner.best_k_at(&generation, &commodities, &sweep));
+    let swept: Vec<String> = best
+        .evaluated
+        .iter()
+        .map(|(k, l)| format!("K={k}: {l:.4}"))
+        .collect();
+    println!(
+        "subflows:   best K = {} (lambda {:.4})",
+        best.k, best.lambda
+    );
+    println!("            {}", swept.join("   "));
+
+    let mut t = Table::new(
+        vec!["Plane", "Live Tb/s", "Total Tb/s", "Down links", "Headroom"],
+        false,
+    );
+    for h in planner.plane_headroom_at(&generation) {
+        t.row(vec![
+            h.plane.to_string(),
+            format!("{:.3}", h.live_capacity_bps as f64 / 1e12),
+            format!("{:.3}", h.total_capacity_bps as f64 / 1e12),
+            h.failed_links.to_string(),
+            format!("{:.1}%", h.headroom * 100.0),
+        ]);
+    }
+    t.print();
+
+    let n_fail: usize = args.get("what-if-cables", 0);
+    if n_fail > 0 {
+        let cables = failures::fabric_cables(generation.network(), None);
+        let chosen = &cables[..n_fail.min(cables.len())];
+        let wi = run_query(planner.ideal_throughput_after_at(&generation, chosen, &commodities));
+        println!(
+            "what-if:    {} fabric cable(s) down -> ideal lambda {:.4} vs {:.4} \
+             baseline ({:.1}% retained)",
+            chosen.len(),
+            wi.degraded_lambda,
+            wi.baseline_lambda,
+            wi.retained() * 100.0
+        );
+    }
+
+    let stats = planner.memo_stats();
+    println!(
+        "memo:       {} cold solve(s), {} cache hit(s), {} entries",
+        stats.misses, stats.hits, stats.entries
+    );
+}
+
 /// Telemetry configuration from `--trace-out`, `--sample-interval`, and
 /// `--trace-events`. Tracing is enabled whenever an output file is named:
 /// all instantaneous events by default, plus the samplers when an interval
@@ -230,10 +348,18 @@ fn telemetry_from(args: &Args) -> TelemetryConfig {
         return TelemetryConfig::default();
     }
     let sample_interval = args.get_str("sample-interval").map(|s| {
-        s.parse::<SimTime>().unwrap_or_else(|e| {
+        let interval = s.parse::<SimTime>().unwrap_or_else(|e| {
             eprintln!("--sample-interval: {e}");
             usage()
-        })
+        });
+        if interval == SimTime::ZERO {
+            eprintln!(
+                "--sample-interval must be positive: a zero period would re-arm \
+                 the sampler at the same timestamp forever"
+            );
+            usage()
+        }
+        interval
     });
     let events = match args.get_str("trace-events") {
         Some(names) => EventMask::from_names(names).unwrap_or_else(|e| {
@@ -351,6 +477,7 @@ fn main() {
         "topology" => cmd_topology(&args),
         "route" => cmd_route(&args),
         "throughput" => cmd_throughput(&args),
+        "plan" => cmd_plan(&args),
         "simulate" => cmd_simulate(&args),
         "components" => cmd_components(&args),
         _ => usage(),

@@ -16,7 +16,10 @@
 //! * [`workloads`] — synthetic traffic matrices, published-trace flow-size
 //!   CDFs, and the Hadoop sort job;
 //! * [`core`] — the paper's contribution: the P-Net host stack with
-//!   plane/path selection policies and pseudo interfaces.
+//!   plane/path selection policies and pseudo interfaces;
+//! * [`planner`] — throughput-planner-as-a-service: concurrent what-if
+//!   queries (admission, failure what-ifs, subflow sweeps) over
+//!   epoch-snapshotted fabric generations with memoized solves.
 //!
 //! See `examples/` for runnable walkthroughs and `crates/bench/src/bin/`
 //! for the per-figure experiment harness.
@@ -45,6 +48,7 @@
 pub use pnet_core as core;
 pub use pnet_flowsim as flowsim;
 pub use pnet_htsim as htsim;
+pub use pnet_planner as planner;
 pub use pnet_routing as routing;
 pub use pnet_topology as topology;
 pub use pnet_workloads as workloads;

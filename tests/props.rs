@@ -7,8 +7,8 @@ use pnet::flowsim::{commodity, mcf, Commodity};
 use pnet::htsim::{run_to_completion, CcAlgo, FlowSpec, SimConfig, Simulator};
 use pnet::routing::{self, bfs, ksp, Parallelism, PlaneGraph, RouteAlgo, Router};
 use pnet::topology::{
-    assemble_homogeneous, failures, ChurnSchedule, FatTree, HostId, Jellyfish, LinkProfile,
-    Network, PlaneId, RackId, Xpander,
+    assemble_homogeneous, failures, ChurnEvent, ChurnSchedule, FatTree, HostId, Jellyfish,
+    LinkProfile, Network, PlaneId, RackId, Xpander,
 };
 use pnet::workloads::sizes::EmpiricalCdf;
 
@@ -186,6 +186,67 @@ proptest! {
             Router::with_parallelism(&net, RouteAlgo::Ksp { k: 4 }, Parallelism::Serial);
         fresh.precompute_all_pairs_with(Parallelism::Serial);
         prop_assert_eq!(router.table_fingerprint(), fresh.table_fingerprint());
+    }
+
+    /// `ChurnEvent::Up` on a cable that was never failed is a deterministic
+    /// no-op (`restore_cable` is an idempotent bool set): link state is
+    /// untouched and the delta-repair path leaves the table fingerprint
+    /// exactly where it was.
+    #[test]
+    fn up_on_healthy_cable_is_a_noop(seed in 0u64..40, pick in 0usize..64) {
+        let mut net = small_jellyfish(seed);
+        let cables = failures::fabric_cables(&net, None);
+        let cable = cables[pick % cables.len()];
+        let router =
+            Router::with_parallelism(&net, RouteAlgo::Ksp { k: 4 }, Parallelism::Serial);
+        router.precompute_all_pairs_with(Parallelism::Serial);
+        let fp_before = router.table_fingerprint();
+        let up_before: Vec<bool> = net.links().map(|(_, l)| l.up).collect();
+        ChurnEvent::Up(cable).apply(&mut net);
+        let up_after: Vec<bool> = net.links().map(|(_, l)| l.up).collect();
+        prop_assert_eq!(up_before, up_after, "restoring a healthy cable flipped link state");
+        let stats = router.refresh(&net);
+        prop_assert!(!stats.full_rebuild, "a no-op event must not force a rebuild");
+        prop_assert_eq!(
+            router.table_fingerprint(), fp_before,
+            "no-op churn moved the table fingerprint"
+        );
+    }
+
+    /// `random_walk` with the concurrent-down cap floored at one cable must
+    /// still emit exactly `n_events` events (a strict down/up alternation),
+    /// never exceed the cap, and stay deterministic in the seed — no
+    /// livelock, no panic when the cap leaves a single eligible cable.
+    #[test]
+    fn random_walk_cap_floor_still_makes_progress(
+        seed in 0u64..40, walk_seed in 0u64..40,
+    ) {
+        let net = small_jellyfish(seed);
+        // fraction 0.0 floors the cap at one concurrent down cable.
+        let sched = ChurnSchedule::random_walk(&net, 12, 0.0, walk_seed);
+        prop_assert_eq!(sched.events.len(), 12);
+        let mut down = 0i64;
+        for &ev in &sched.events {
+            match ev {
+                ChurnEvent::Down(_) => down += 1,
+                ChurnEvent::Up(_) => down -= 1,
+            }
+            prop_assert!((0..=1).contains(&down), "cap floor of one exceeded");
+        }
+        let replay = ChurnSchedule::random_walk(&net, 12, 0.0, walk_seed);
+        prop_assert_eq!(sched.events, replay.events);
+    }
+
+    /// With no fabric cables at all, neither direction has an eligible
+    /// cable: the walk must terminate with an empty schedule rather than
+    /// spinning or panicking on an empty sample range.
+    #[test]
+    fn random_walk_with_no_cables_is_an_empty_schedule(
+        n_events in 0usize..32, walk_seed: u64,
+    ) {
+        let net = Network::default();
+        let sched = ChurnSchedule::random_walk(&net, n_events, 0.5, walk_seed);
+        prop_assert!(sched.events.is_empty());
     }
 
     #[test]

@@ -198,6 +198,36 @@ fn ecn_marks_are_traced_under_dctcp_incast() {
     }
 }
 
+/// Regression: a zero sampler interval used to schedule a self-rearming
+/// `TelemetrySample` at its own timestamp — an infinite same-time loop under
+/// batched dispatch, so `run_to_completion` never returned. The config layer
+/// now normalizes `Some(0)` to "samplers off"; this test hangs pre-fix.
+#[test]
+fn zero_sample_interval_disables_samplers_instead_of_livelocking() {
+    let n = net(2);
+    let cfg = SimConfig {
+        telemetry: TelemetryConfig {
+            events: EventMask::ALL,
+            sample_interval: Some(SimTime::ZERO),
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&n, cfg);
+    workload(&n, &mut sim);
+    run_to_completion(&mut sim);
+    assert_eq!(sim.records.len(), 6, "all flows must complete");
+    let tl = sim.telemetry().expect("telemetry was enabled");
+    assert!(
+        !tl.records().iter().any(|r| matches!(
+            r,
+            TraceRecord::QueueSample { .. }
+                | TraceRecord::PlaneSample { .. }
+                | TraceRecord::SubflowSample { .. }
+        )),
+        "a zero interval must disable the samplers entirely"
+    );
+}
+
 #[test]
 fn samplers_emit_queue_plane_and_subflow_records() {
     let n = net(2);
