@@ -1,0 +1,16 @@
+//! Y4 fixtures: `// SAFETY:` discipline — an active undocumented `unsafe`
+//! block, a documented one, and a waived one.
+
+pub fn naked(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u64) -> u64 {
+    // SAFETY: fixture — callers pass a live, aligned pointer.
+    unsafe { *p }
+}
+
+pub fn waived(p: *const u64) -> u64 {
+    // pnet-tidy: allow(Y4) -- fixture: waived undocumented block
+    unsafe { *p }
+}

@@ -1,0 +1,61 @@
+//! Y1 fixtures: publication-protocol orderings — an active Relaxed load on
+//! a publication atomic, a waived one, an allowlisted Relaxed store, and an
+//! all-Relaxed statistics counter that must stay finding-free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Seq {
+    len: AtomicUsize,
+}
+
+impl Seq {
+    pub fn snapshot(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+    pub fn frontier(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+    pub fn publish(&self, n: usize) {
+        self.len.store(n, Ordering::Release);
+    }
+}
+
+pub struct SeqWaived {
+    len_w: AtomicUsize,
+}
+
+impl SeqWaived {
+    pub fn frontier_waived(&self) -> usize {
+        // pnet-tidy: allow(Y1) -- fixture: single-writer invariant documented
+        self.len_w.load(Ordering::Relaxed)
+    }
+    pub fn publish_waived(&self, n: usize) {
+        self.len_w.store(n, Ordering::Release);
+    }
+}
+
+pub struct SeqAllowed {
+    len_a: AtomicUsize,
+}
+
+impl SeqAllowed {
+    pub fn snapshot_allowed(&self) -> usize {
+        self.len_a.load(Ordering::Acquire)
+    }
+    pub fn publish_allowed(&self, n: usize) {
+        self.len_a.store(n, Ordering::Relaxed);
+    }
+}
+
+pub struct Stats {
+    hits: AtomicUsize,
+}
+
+impl Stats {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn total(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,28 @@
+//! Y2 fixtures: RMW-derived nondeterminism inside parallel closures — an
+//! active indexed read keyed off a `fetch_add` ticket, a waived twin, and a
+//! clean index-derived closure that must stay finding-free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Par;
+
+impl Par {
+    pub fn map_indexed(self, n: usize, f: impl Fn(usize) -> usize) -> Vec<usize> {
+        (0..n).map(f).collect()
+    }
+}
+
+pub fn racy(n: usize, c: &AtomicUsize, xs: &[usize; 8]) -> Vec<usize> {
+    let seed = c.fetch_add(1, Ordering::Relaxed);
+    Par.map_indexed(n, |i| xs[(seed + i) % 8])
+}
+
+pub fn racy_waived(n: usize, c: &AtomicUsize, xs: &[usize; 8]) -> Vec<usize> {
+    // pnet-tidy: allow(Y2) -- fixture: ticket only offsets a cyclic probe
+    let seed = c.fetch_add(1, Ordering::Relaxed);
+    Par.map_indexed(n, |i| xs[(seed + i) % 8])
+}
+
+pub fn clean(n: usize, xs: &[usize; 8]) -> Vec<usize> {
+    Par.map_indexed(n, |i| xs[i % 8])
+}

@@ -1,0 +1,46 @@
+//! Y3 fixtures: interprocedural shared-capture mutation across spawned
+//! closures — an active violation whose mutation hides one call deep, a
+//! twin waived at the effect origin, and a read-only observer that must
+//! stay finding-free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Scope;
+
+impl Scope {
+    pub fn spawn(&self, f: impl FnOnce()) {
+        f()
+    }
+}
+
+pub struct Shared {
+    cell: AtomicUsize,
+}
+
+impl Shared {
+    pub fn record(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn record_waived(&self) {
+        // pnet-tidy: allow(Y3) -- fixture: sanctioned shared counter
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn peek(&self) -> usize {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+pub fn racy(s: &Scope, sh: &Shared) {
+    s.spawn(|| sh.record());
+}
+
+pub fn racy_waived(s: &Scope, sh: &Shared) {
+    s.spawn(|| sh.record_waived());
+}
+
+pub fn clean(s: &Scope, sh: &Shared) {
+    s.spawn(|| {
+        let seen = sh.peek();
+        let _ = seen;
+    });
+}

@@ -1,0 +1,667 @@
+//! Phase-4 concurrency-safety rules over the [`crate::sem`] call graph and
+//! the [`crate::effects`] signatures — the static half of the gate in front
+//! of the multi-threaded per-plane event wheels (ROADMAP item 1). The
+//! dynamic half is the `pnet-modelcheck` crate's exhaustive-interleaving
+//! checker; see DESIGN.md §"Static analysis Phase 4".
+//!
+//! * **Y1** — publication-protocol check: every atomic field is classified
+//!   as a *publication* atomic (some access site uses an Acquire/Release
+//!   class ordering, i.e. its value orders access to non-atomic shared
+//!   data) or a *counter* (every site is Relaxed; the value is only ever
+//!   aggregated). Relaxed loads/stores on publication atomics are flagged,
+//!   carrying the paired non-Relaxed site as the finding origin — a waiver
+//!   at either end quiets the pair. Counters stay legal: Relaxed statistics
+//!   are exactly what Relaxed is for.
+//! * **Y2** — nondeterminism hazard: a value derived from an atomic RMW
+//!   (`fetch_add` and friends return the *previous* value, whose sequence
+//!   across threads is scheduler-dependent) flowing into indexing, output
+//!   ordering (`push`/`insert`), or float accumulation inside a closure
+//!   handed to a parallel driver. S1 sees captured-state *mutation* and O1
+//!   sees reduction *order*; neither sees a racy index.
+//! * **Y3** — interprocedural shared-capture mutation: a closure crossing
+//!   `thread::scope`-style `.spawn(..)` that mutates a capture directly, or
+//!   calls a workspace fn whose *inferred* effect signature mutates it
+//!   (`&mut self` receiver, or transitive interior mutability) — S1's
+//!   capture discipline extended from syntactic to call-graph depth, and
+//!   from the `Parallelism` combinators to raw scoped threads.
+//!
+//! Y1/Y2/Y3 findings carry origins (the paired ordering site, the RMW
+//! site, the effect witness) with the same waiver mechanics as P1/T1/S1.
+
+use crate::ast::{self, Block, Expr, ExprKind};
+use crate::effects::{
+    collect_bindings, effectful_callee, is_assign_op, is_parallel_combinator, pat_bindings,
+    place_root, Effects, STD_MUTATORS,
+};
+use crate::lexer::TokenKind;
+use crate::rules::Finding;
+use crate::sem::{lib_file, FnDef, SemFile, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose atomics Y1 audits: the sim/solver/planner crates where an
+/// atomic's loaded value can guard non-atomic shared data.
+fn y1_scope(p: &str) -> bool {
+    [
+        "crates/core/src/",
+        "crates/routing/src/",
+        "crates/flowsim/src/",
+        "crates/htsim/src/",
+        "crates/topology/src/",
+        "crates/planner/src/",
+        "crates/workloads/src/",
+    ]
+    .iter()
+    .any(|pre| p.starts_with(pre))
+}
+
+/// Files whose spawned closures Y3 audits: library sources minus the two
+/// sanctioned thread hosts (`routing::exec` owns the order-preserving
+/// primitive; bench is measurement harness) and the dev-tool crates.
+fn y3_scope(p: &str) -> bool {
+    lib_file(p)
+        && p != "crates/routing/src/exec.rs"
+        && !p.starts_with("crates/bench/")
+        && !p.starts_with("crates/lint/")
+        && !p.starts_with("crates/modelcheck/")
+}
+
+/// Atomic method names whose call sites Y1 classifies, split by direction.
+const ATOMIC_LOADS: &[&str] = &["load"];
+const ATOMIC_WRITES: &[&str] = &[
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// RMW methods whose *returned previous value* is scheduler-ordered (Y2).
+const RMW_METHODS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Output-ordering sinks for Y2: appending a value at an RMW-derived slot
+/// or position makes the collection's layout scheduler-dependent.
+const ORDER_SINKS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "append",
+];
+
+const ORDERING_NAMES: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Run Y1/Y2/Y3 over the workspace (called from [`crate::effects::check`]
+/// so all effect-built rules share one inference pass).
+pub(crate) fn check(
+    ws: &Workspace,
+    files: &[SemFile],
+    fx: &Effects,
+    ws_mutators: &BTreeSet<&str>,
+    out: &mut Vec<Finding>,
+) {
+    rule_y1(ws, files, out);
+    for (i, d) in ws.fns.iter().enumerate() {
+        let Some(body) = d.body else { continue };
+        if d.in_test {
+            continue;
+        }
+        rule_y2(files, d, body, out);
+        if y3_scope(files[d.file].rel_path) {
+            rule_y3(ws, files, fx, ws_mutators, i, body, out);
+        }
+        let _ = i;
+    }
+}
+
+// ---- Y1: publication-protocol orderings -----------------------------------
+
+/// One atomic access site: which declared atomic field, in which direction,
+/// with which (success) ordering.
+struct AtomicSite {
+    field: String,
+    is_load: bool,
+    name_tok: usize,
+    line: u32,
+    ordering: &'static str,
+}
+
+fn rule_y1(ws: &Workspace, files: &[SemFile], out: &mut Vec<Finding>) {
+    // Group fn bodies per file so classification is per (file, field name).
+    let mut by_file: BTreeMap<usize, Vec<&FnDef>> = BTreeMap::new();
+    for d in &ws.fns {
+        if d.body.is_some() {
+            by_file.entry(d.file).or_default().push(d);
+        }
+    }
+    for (fi, fns) in by_file {
+        let f = &files[fi];
+        if !y1_scope(f.rel_path) {
+            continue;
+        }
+        let fields = atomic_fields(f);
+        if fields.is_empty() {
+            continue;
+        }
+        let mut sites: Vec<AtomicSite> = Vec::new();
+        for d in fns {
+            let body = d.body.expect("filtered to fns with bodies above");
+            ast::walk_block(body, &mut |e| {
+                collect_atomic_site(f, &fields, e, &mut sites);
+            });
+        }
+        sites.sort_by_key(|s| s.name_tok);
+        // Classify per field: publication iff any site is non-Relaxed.
+        let mut publication: BTreeSet<&str> = BTreeSet::new();
+        for s in &sites {
+            if s.ordering != "Relaxed" {
+                publication.insert(&s.field);
+            }
+        }
+        for s in &sites {
+            if s.ordering != "Relaxed" || !publication.contains(s.field.as_str()) {
+                continue;
+            }
+            // The paired site: the first non-Relaxed access in the opposite
+            // direction (a Relaxed load pairs with the Release-class write
+            // it races, and vice versa), falling back to any non-Relaxed
+            // site on the same field.
+            let paired = sites
+                .iter()
+                .find(|p| p.field == s.field && p.ordering != "Relaxed" && p.is_load != s.is_load)
+                .or_else(|| {
+                    sites
+                        .iter()
+                        .find(|p| p.field == s.field && p.ordering != "Relaxed")
+                })
+                .expect("invariant: publication classification implies a non-Relaxed site");
+            let dir = if s.is_load { "load" } else { "store" };
+            let pdir = if paired.is_load { "load" } else { "store" };
+            let mut finding = f.finding(
+                "Y1",
+                s.name_tok,
+                format!(
+                    "Relaxed {dir} on publication atomic `{}`: the paired {} {pdir} at \
+                     {}:{} means this value orders access to non-atomic shared data; \
+                     use {} here, or waive Y1 stating the invariant (e.g. a \
+                     single-writer lock) that makes Relaxed sound",
+                    s.field,
+                    paired.ordering,
+                    f.rel_path,
+                    paired.line,
+                    if s.is_load { "Acquire" } else { "Release" },
+                ),
+            );
+            finding.origin = Some((f.rel_path.to_string(), paired.line));
+            out.push(finding);
+        }
+    }
+}
+
+/// Token-scan a file for declared atomic fields/statics/params: the names in
+/// `name : [&] [path ::] AtomicXxx` position. The AST keeps struct bodies
+/// opaque, so this is deliberately lexical; keying by (file, name) is the
+/// documented precision bound.
+fn atomic_fields(f: &SemFile) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let toks = f.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident || toks.get(i + 1).is_none_or(|t| t.text != ":") {
+            continue;
+        }
+        // Look a short window past the `:` for an `Atomic*` type name,
+        // stopping at declaration boundaries.
+        for j in i + 2..(i + 10).min(toks.len()) {
+            let t = &toks[j];
+            if matches!(t.text.as_str(), "," | ";" | ")" | "}" | "=" | "{") {
+                break;
+            }
+            if t.kind == TokenKind::Ident
+                && t.text.starts_with("Atomic")
+                && t.text.len() > "Atomic".len()
+            {
+                out.insert(toks[i].text.clone());
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// If `e` is an atomic load/store/RMW on a declared atomic field (outside
+/// test code) with a literal `Ordering::X` argument, record the site. The
+/// ordering that classifies is the *success* ordering — the first
+/// `Ordering::X` path among the arguments, which is the success slot for
+/// `compare_exchange(cur, new, success, failure)` and `fetch_update(set,
+/// fetch, f)` and the only slot for everything else.
+fn collect_atomic_site(
+    f: &SemFile,
+    fields: &BTreeSet<String>,
+    e: &Expr,
+    sites: &mut Vec<AtomicSite>,
+) {
+    let ExprKind::MethodCall {
+        recv,
+        name,
+        name_tok,
+        args,
+    } = &e.kind
+    else {
+        return;
+    };
+    let is_load = ATOMIC_LOADS.contains(&name.as_str());
+    if !is_load && !ATOMIC_WRITES.contains(&name.as_str()) {
+        return;
+    }
+    if f.in_test.get(*name_tok) == Some(&true) {
+        return;
+    }
+    let Some(field) = atomic_place_name(recv) else {
+        return;
+    };
+    if !fields.contains(field) {
+        return;
+    }
+    let Some(ordering) = args.iter().find_map(ordering_of) else {
+        return; // ordering behind a variable/fn: unclassifiable, skip
+    };
+    sites.push(AtomicSite {
+        field: field.to_string(),
+        is_load,
+        name_tok: *name_tok,
+        line: f.tokens[*name_tok].line,
+        ordering,
+    });
+}
+
+/// The field (or static) name an atomic method call is invoked on:
+/// `self.inner.len.load(..)` → `len`, `COUNTER.load(..)` → `COUNTER`.
+fn atomic_place_name(recv: &Expr) -> Option<&str> {
+    match &recv.kind {
+        ExprKind::Field { name, .. } => Some(name.as_str()),
+        ExprKind::Path(segs) => segs.last().map(|s| s.as_str()),
+        ExprKind::Ref { expr, .. } | ExprKind::Unary { expr, .. } => atomic_place_name(expr),
+        _ => None,
+    }
+}
+
+/// `Ordering::Relaxed`-style path argument → the ordering's name.
+fn ordering_of(a: &Expr) -> Option<&'static str> {
+    let ExprKind::Path(segs) = &a.kind else {
+        return None;
+    };
+    if segs.len() < 2 || segs[segs.len() - 2] != "Ordering" {
+        return None;
+    }
+    let last = segs.last().expect("len checked above");
+    ORDERING_NAMES.iter().find(|n| *n == last).copied()
+}
+
+// ---- Y2: RMW-derived values in parallel closures --------------------------
+
+fn rule_y2(files: &[SemFile], d: &FnDef, body: &Block, out: &mut Vec<Finding>) {
+    let f = &files[d.file];
+    // Names `let`-bound (anywhere in this fn) to an expression containing an
+    // atomic RMW call — the taint set — mapped to the RMW site token.
+    let mut tainted: BTreeMap<String, usize> = BTreeMap::new();
+    collect_rmw_lets(body, &mut tainted);
+
+    ast::walk_block(body, &mut |e| {
+        let ExprKind::MethodCall {
+            name,
+            name_tok,
+            args,
+            ..
+        } = &e.kind
+        else {
+            return;
+        };
+        if !is_parallel_combinator(name) || f.in_test.get(*name_tok) == Some(&true) {
+            return;
+        }
+        for a in args {
+            if let ExprKind::Closure { body, .. } = &a.kind {
+                check_rmw_flow(f, name, &tainted, body, out);
+            }
+        }
+    });
+}
+
+/// Record `let` bindings whose initializer contains an RMW call, in every
+/// nested block position (same shape as O1's parallel-let collector).
+fn collect_rmw_lets(body: &Block, out: &mut BTreeMap<String, usize>) {
+    let grab = |b: &Block, out: &mut BTreeMap<String, usize>| {
+        for s in &b.stmts {
+            let ast::Stmt::Let {
+                pat,
+                init: Some(init),
+                ..
+            } = s
+            else {
+                continue;
+            };
+            let Some(tok) = first_rmw_tok(init) else {
+                continue;
+            };
+            let mut names = BTreeSet::new();
+            pat_bindings(pat, &mut names);
+            for n in names {
+                out.entry(n).or_insert(tok);
+            }
+        }
+    };
+    grab(body, out);
+    ast::walk_block(body, &mut |e| match &e.kind {
+        ExprKind::Block(b) => grab(b, out),
+        ExprKind::For { body, .. } | ExprKind::While { body, .. } | ExprKind::Loop { body } => {
+            grab(body, out)
+        }
+        ExprKind::If { then, .. } => grab(then, out),
+        _ => {}
+    });
+}
+
+/// Token of the first RMW method call inside `e`, if any.
+fn first_rmw_tok(e: &Expr) -> Option<usize> {
+    let mut tok = None;
+    ast::walk_expr(e, &mut |x| {
+        if let ExprKind::MethodCall { name, name_tok, .. } = &x.kind {
+            if RMW_METHODS.contains(&name.as_str()) && tok.is_none_or(|t| *name_tok < t) {
+                tok = Some(*name_tok);
+            }
+        }
+    });
+    tok
+}
+
+/// The first tainted identifier (or direct RMW call) inside `e`: returns
+/// (display name, RMW origin token).
+fn taint_in<'t>(e: &Expr, tainted: &'t BTreeMap<String, usize>) -> Option<(&'t str, usize)> {
+    if let Some(tok) = first_rmw_tok(e) {
+        // A direct RMW in flow position is its own origin; borrow a static
+        // display name keyed off nothing in the map.
+        return Some(("the RMW result", tok));
+    }
+    let mut hit: Option<(&str, usize)> = None;
+    ast::walk_expr(e, &mut |x| {
+        if hit.is_some() {
+            return;
+        }
+        if let ExprKind::Path(segs) = &x.kind {
+            if segs.len() == 1 {
+                if let Some((k, &tok)) = tainted.get_key_value(segs[0].as_str()) {
+                    hit = Some((k.as_str(), tok));
+                }
+            }
+        }
+    });
+    hit
+}
+
+fn check_rmw_flow(
+    f: &SemFile,
+    comb: &str,
+    enclosing_taint: &BTreeMap<String, usize>,
+    body: &Expr,
+    out: &mut Vec<Finding>,
+) {
+    // Closure-local RMW-derived lets extend the enclosing fn's taint.
+    let mut tainted = enclosing_taint.clone();
+    ast::walk_expr(body, &mut |x| {
+        if let ExprKind::Block(b) = &x.kind {
+            collect_rmw_lets(b, &mut tainted);
+        }
+    });
+
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    let mut flag =
+        |out: &mut Vec<Finding>, tok: usize, what: &str, name: &str, origin_tok: usize| {
+            if !flagged.insert(tok) {
+                return;
+            }
+            let oline = f.tokens[origin_tok].line;
+            let mut finding = f.finding(
+                "Y2",
+                tok,
+                format!(
+                    "`{name}` is derived from an atomic RMW ({}:{oline}) and flows into \
+                 {what} inside a `{comb}` closure: the RMW's cross-thread order is \
+                 scheduler-dependent, so the output is not a function of the index; \
+                 derive it from the index, or waive Y2 at the RMW site",
+                    f.rel_path
+                ),
+            );
+            finding.origin = Some((f.rel_path.to_string(), oline));
+            out.push(finding);
+        };
+
+    ast::walk_expr(body, &mut |x| match &x.kind {
+        ExprKind::Index { index, .. } => {
+            if let Some((name, otok)) = taint_in(index, &tainted) {
+                flag(out, index.lo, "an index expression", name, otok);
+            }
+        }
+        ExprKind::MethodCall {
+            name,
+            name_tok,
+            args,
+            ..
+        } if ORDER_SINKS.contains(&name.as_str()) => {
+            for a in args {
+                if let Some((tn, otok)) = taint_in(a, &tainted) {
+                    flag(
+                        out,
+                        *name_tok,
+                        &format!("output ordering (`.{name}(..)`)"),
+                        tn,
+                        otok,
+                    );
+                    break;
+                }
+            }
+        }
+        ExprKind::Binary {
+            op, op_tok, rhs, ..
+        } if is_assign_op(op) && op != "=" => {
+            if let Some((name, otok)) = taint_in(rhs, &tainted) {
+                // Float accumulation only: integer accumulation of RMW
+                // values is order-independent under wrapping/commutative
+                // ops; float rounding is not.
+                let hi = x.hi.min(f.tokens.len().saturating_sub(1));
+                let floaty = f.tokens[x.lo..=hi]
+                    .iter()
+                    .any(|t| t.kind == TokenKind::Float || t.text == "f64" || t.text == "f32");
+                if floaty {
+                    flag(out, *op_tok, "a float accumulation", name, otok);
+                }
+            }
+        }
+        _ => {}
+    });
+}
+
+// ---- Y3: shared-capture mutation across spawned closures ------------------
+
+fn rule_y3(
+    ws: &Workspace,
+    files: &[SemFile],
+    fx: &Effects,
+    ws_mutators: &BTreeSet<&str>,
+    fn_idx: usize,
+    body: &Block,
+    out: &mut Vec<Finding>,
+) {
+    let d = &ws.fns[fn_idx];
+    let f = &files[d.file];
+    ast::walk_block(body, &mut |e| {
+        let ExprKind::MethodCall {
+            name,
+            name_tok,
+            args,
+            ..
+        } = &e.kind
+        else {
+            return;
+        };
+        if name != "spawn" || f.in_test.get(*name_tok) == Some(&true) {
+            return;
+        }
+        for a in args {
+            if let ExprKind::Closure { params, body } = &a.kind {
+                check_spawned_closure(ws, files, fx, ws_mutators, d, params, body, out);
+            }
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_spawned_closure(
+    ws: &Workspace,
+    files: &[SemFile],
+    fx: &Effects,
+    ws_mutators: &BTreeSet<&str>,
+    d: &FnDef,
+    params: &[ast::Pat],
+    body: &Expr,
+    out: &mut Vec<Finding>,
+) {
+    let f = &files[d.file];
+    let mut locals: BTreeSet<String> = BTreeSet::new();
+    for p in params {
+        pat_bindings(p, &mut locals);
+    }
+    collect_bindings(body, &mut locals);
+
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    let mut flag =
+        |out: &mut Vec<Finding>, tok: usize, detail: String, origin: Option<(String, u32)>| {
+            if !flagged.insert(tok) {
+                return;
+            }
+            let mut finding = f.finding(
+                "Y3",
+                tok,
+                format!(
+                    "spawned closure {detail}; cross-thread mutation of a shared capture \
+                     is a data race (or lock-order hazard) the spawning scope cannot \
+                     see — route mutations through one owner, or waive Y3 at the \
+                     effect origin"
+                ),
+            );
+            finding.origin = origin;
+            out.push(finding);
+        };
+
+    ast::walk_expr(body, &mut |x| match &x.kind {
+        ExprKind::Binary {
+            op, op_tok, lhs, ..
+        } if is_assign_op(op) => {
+            if let Some(root) = place_root(lhs) {
+                if !locals.contains(root) {
+                    flag(out, *op_tok, format!("assigns to captured `{root}`"), None);
+                }
+            }
+        }
+        ExprKind::Ref { is_mut: true, expr } => {
+            if let Some(root) = place_root(expr) {
+                if !locals.contains(root) {
+                    flag(
+                        out,
+                        expr.lo,
+                        format!("takes `&mut` of captured `{root}`"),
+                        None,
+                    );
+                }
+            }
+        }
+        ExprKind::MethodCall {
+            recv,
+            name,
+            name_tok,
+            ..
+        } => {
+            let Some(root) = place_root(recv) else { return };
+            if locals.contains(root) {
+                return;
+            }
+            if STD_MUTATORS.contains(&name.as_str()) || ws_mutators.contains(name.as_str()) {
+                flag(
+                    out,
+                    *name_tok,
+                    format!("calls mutating `.{name}(..)` on captured `{root}`"),
+                    None,
+                );
+            } else if let Some(cands) = ws.methods.get(name.as_str()) {
+                if let Some((j, tok, why)) = mutating_callee(ws, fx, cands) {
+                    let wf = &ws.fns[j];
+                    let wfile = &files[wf.file];
+                    let wline = wfile.tokens[tok].line;
+                    flag(
+                        out,
+                        *name_tok,
+                        format!(
+                            "calls `{}` on captured `{root}`, which {why} ({}:{wline})",
+                            wf.qual_name(),
+                            wfile.rel_path
+                        ),
+                        Some((wfile.rel_path.to_string(), wline)),
+                    );
+                }
+            }
+        }
+        _ => {}
+    });
+}
+
+/// A candidate callee whose inferred signature mutates its receiver: a
+/// declared `&mut self`, or transitive interior mutability (BFS to the
+/// concrete witness so the finding carries a real origin line). IO and
+/// higher-order effects are S1's concern, not a capture *mutation* — Y3
+/// stays narrow so spawned read-only observers stay legal.
+fn mutating_callee(
+    ws: &Workspace,
+    fx: &Effects,
+    cands: &[usize],
+) -> Option<(usize, usize, &'static str)> {
+    for &c in cands {
+        if fx.trans[c].mut_recv {
+            return Some((c, ws.fns[c].name_tok, "takes `&mut self`"));
+        }
+    }
+    if !cands.iter().any(|&c| fx.trans[c].interior) {
+        return None;
+    }
+    // Reuse the S1 witness walk, then re-verify the reason is interior
+    // mutability (the shared walk also surfaces io/higher-order witnesses).
+    let (j, tok, why) = effectful_callee(ws, fx, cands)?;
+    if why != "uses interior mutability" {
+        // The interior witness is deeper than the first io/higher-order
+        // one; anchor on any candidate's own interior site if present.
+        for &c in cands {
+            if let Some(t) = fx.locals[c].interior_tok {
+                return Some((c, t, "uses interior mutability"));
+            }
+        }
+        return None;
+    }
+    Some((j, tok, why))
+}

@@ -55,6 +55,10 @@ pub fn rule_summary(rule: &str) -> &'static str {
         "S1" => "parallel closure captures/mutates shared state or calls effectful code",
         "O1" => "float reduction over parallel-produced data not provably index-ordered",
         "Q1" => "unstable sort without a provably total, duplicate-free key",
+        "Y1" => "Relaxed load/store on a publication atomic (guards non-atomic shared data)",
+        "Y2" => "RMW-derived value flows into indexing/ordering/float accumulation in a parallel closure",
+        "Y3" => "spawned closure calls workspace code that mutates a shared capture",
+        "Y4" => "unsafe block without a `// SAFETY:` comment",
         "W1" => "malformed pnet-tidy waiver comment",
         "A1" => "stale allowlist entry (matches no finding)",
         _ => "unknown rule",
@@ -63,7 +67,8 @@ pub fn rule_summary(rule: &str) -> &'static str {
 
 /// All enforceable rule ids (the ones a waiver may name).
 pub const RULE_IDS: &[&str] = &[
-    "D1", "D2", "D3", "C1", "C2", "P1", "M1", "U1", "F1", "E1", "T1", "S1", "O1", "Q1",
+    "D1", "D2", "D3", "C1", "C2", "P1", "M1", "U1", "F1", "E1", "T1", "S1", "O1", "Q1", "Y1", "Y2",
+    "Y3", "Y4",
 ];
 
 fn d1_scope(p: &str) -> bool {
@@ -225,8 +230,50 @@ pub fn check_file(ctx: &FileCtx) -> Vec<Finding> {
     if c2_scope(ctx.rel_path) {
         rule_c2(ctx, &mut out);
     }
+    rule_y4(ctx, &mut out);
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
+}
+
+/// Y4: every `unsafe { .. }` block must carry a `// SAFETY:` comment — on
+/// the block's own line, or in the contiguous run of comment/attribute
+/// lines immediately above it. `unsafe fn`/`unsafe impl`/`unsafe trait`
+/// items are out of scope (the obligation sits at their *call/impl* sites);
+/// the rule applies everywhere, tests included — an undocumented unsafe
+/// block in a test is still an undocumented proof obligation.
+fn rule_y4(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        if ctx.tokens.get(i + 1).is_none_or(|n| n.text != "{") {
+            continue;
+        }
+        let mut ln = t.line as usize - 1; // 0-based index of the unsafe line
+        let mut documented = ctx.lines.get(ln).is_some_and(|l| l.contains("SAFETY:"));
+        while !documented && ln > 0 {
+            ln -= 1;
+            let l = ctx.lines[ln].trim_start();
+            if l.starts_with("//") {
+                if l.contains("SAFETY:") {
+                    documented = true;
+                }
+            } else if !(l.starts_with("#[") || l.starts_with("#!")) {
+                break; // code or blank line ends the comment run
+            }
+        }
+        if !documented {
+            out.push(
+                ctx.finding(
+                    "Y4",
+                    t,
+                    "unsafe block without a `// SAFETY:` comment: state the invariant \
+                     that makes this sound on the preceding line"
+                        .to_string(),
+                ),
+            );
+        }
+    }
 }
 
 /// D1: no `HashMap`/`HashSet` in determinism-critical crates. Iteration

@@ -88,7 +88,13 @@ pub(crate) fn lib_file(p: &str) -> bool {
 /// resolution for sim code (`Json::parse`, `Parser::peek`, `Args::get`, ...
 /// alias ubiquitous method names and would fabricate panic/effect chains).
 pub(crate) fn graph_callee_file(p: &str) -> bool {
-    lib_file(p) && !p.starts_with("crates/lint/") && !p.starts_with("crates/bench/")
+    lib_file(p)
+        && !p.starts_with("crates/lint/")
+        && !p.starts_with("crates/bench/")
+        // The model checker's `MAtomic::load`/`store`/`MMutex::lock` would
+        // alias the std atomic/lock method names at every by-name call site
+        // in sim code and fabricate effect chains.
+        && !p.starts_with("crates/modelcheck/")
 }
 
 /// The library crates whose public surface P1 guards (same set C1 scans).

@@ -32,7 +32,7 @@ fn brief(f: &Finding) -> (String, &'static str, u32, u32, Option<Suppression>) {
 #[test]
 fn fixture_scan_reports_exact_rule_ids_and_spans() {
     let report = scan_fixtures();
-    assert_eq!(report.files_scanned, 12, "twelve fixture .rs files");
+    assert_eq!(report.files_scanned, 16, "sixteen fixture .rs files");
     let got: Vec<_> = report.findings.iter().map(brief).collect();
     let expected = vec![
         // core: wildcard arm over a workspace enum, active then waived.
@@ -172,6 +172,22 @@ fn fixture_scan_reports_exact_rule_ids_and_spans() {
             col_of("crates/htsim/src/units.rs", 13, "1e6"),
             Some(Suppression::Waiver),
         ),
+        // htsim/y4: undocumented `unsafe` blocks — active and waived. (The
+        // `// SAFETY:`-documented block is clean.)
+        (
+            "crates/htsim/src/y4.rs".to_string(),
+            "Y4",
+            5,
+            col_of("crates/htsim/src/y4.rs", 5, "unsafe"),
+            None,
+        ),
+        (
+            "crates/htsim/src/y4.rs".to_string(),
+            "Y4",
+            15,
+            col_of("crates/htsim/src/y4.rs", 15, "unsafe"),
+            Some(Suppression::Waiver),
+        ),
         // routing: active HashMap, waived HashSet, active wall-clock read.
         (
             "crates/routing/src/lib.rs".to_string(),
@@ -278,6 +294,64 @@ fn fixture_scan_reports_exact_rule_ids_and_spans() {
             col_of("crates/routing/src/s1.rs", 33, "+="),
             Some(Suppression::Allowlist),
         ),
+        // routing/y1: Relaxed accesses on publication atomics (anchored at
+        // the load/store method name) — active, waived, allowlisted. (The
+        // all-Relaxed `Stats` counter is clean.)
+        (
+            "crates/routing/src/y1.rs".to_string(),
+            "Y1",
+            16,
+            col_of("crates/routing/src/y1.rs", 16, "load"),
+            None,
+        ),
+        (
+            "crates/routing/src/y1.rs".to_string(),
+            "Y1",
+            30,
+            col_of("crates/routing/src/y1.rs", 30, "load"),
+            Some(Suppression::Waiver),
+        ),
+        (
+            "crates/routing/src/y1.rs".to_string(),
+            "Y1",
+            46,
+            col_of("crates/routing/src/y1.rs", 46, "store"),
+            Some(Suppression::Allowlist),
+        ),
+        // routing/y2: fetch_add ticket used as an index in a map_indexed
+        // closure (anchored at the index expression) — active, then waived
+        // at the RMW origin. (`clean`'s index-derived probe is clean.)
+        (
+            "crates/routing/src/y2.rs".to_string(),
+            "Y2",
+            17,
+            col_of("crates/routing/src/y2.rs", 17, "(seed"),
+            None,
+        ),
+        (
+            "crates/routing/src/y2.rs".to_string(),
+            "Y2",
+            23,
+            col_of("crates/routing/src/y2.rs", 23, "(seed"),
+            Some(Suppression::Waiver),
+        ),
+        // routing/y3: spawned closure calling a workspace fn whose inferred
+        // effect mutates the capture — active, then waived at the effect
+        // origin inside the callee. (`clean`'s read-only observer is clean.)
+        (
+            "crates/routing/src/y3.rs".to_string(),
+            "Y3",
+            34,
+            col_of("crates/routing/src/y3.rs", 34, "record"),
+            None,
+        ),
+        (
+            "crates/routing/src/y3.rs".to_string(),
+            "Y3",
+            38,
+            col_of("crates/routing/src/y3.rs", 38, "record_waived"),
+            Some(Suppression::Waiver),
+        ),
         // The stale allowlist entry is itself a finding, anchored at its
         // `[[allow]]` header line.
         ("lint-allowlist.toml".to_string(), "A1", 31, 1, None),
@@ -293,13 +367,14 @@ fn fixture_scan_fails_the_check_gate() {
     // (dead waiver, stale allowlist entry) are active findings too.
     for rule in [
         "D1", "D2", "D3", "C1", "C2", "W1", "A1", "P1", "M1", "U1", "F1", "T1", "S1", "O1", "Q1",
+        "Y1", "Y2", "Y3", "Y4",
     ] {
         assert!(
             active.contains(&rule),
             "rule {rule} missing from {active:?}"
         );
     }
-    assert_eq!(active.len(), 17);
+    assert_eq!(active.len(), 21);
 }
 
 #[test]
@@ -338,6 +413,7 @@ fn fixture_suppressions_carry_their_mechanism() {
             ("T1", Some(Suppression::Waiver)),
             ("T1", Some(Suppression::Allowlist)),
             ("U1", Some(Suppression::Waiver)),
+            ("Y4", Some(Suppression::Waiver)),
             ("D1", Some(Suppression::Waiver)),
             ("P1", Some(Suppression::Waiver)),
             ("C1", Some(Suppression::Waiver)),
@@ -346,6 +422,40 @@ fn fixture_suppressions_carry_their_mechanism() {
             ("Q1", Some(Suppression::Allowlist)),
             ("S1", Some(Suppression::Waiver)),
             ("S1", Some(Suppression::Allowlist)),
+            ("Y1", Some(Suppression::Waiver)),
+            ("Y1", Some(Suppression::Allowlist)),
+            ("Y2", Some(Suppression::Waiver)),
+            ("Y3", Some(Suppression::Waiver)),
+        ]
+    );
+}
+
+/// Y1 pairs each Relaxed access with the opposite-direction non-Relaxed
+/// site that makes the atomic a publication atomic; Y2 carries the RMW
+/// site; Y3 carries the *callee's* interior-mutation witness — one waiver
+/// at that origin line is what silences the call-site finding.
+#[test]
+fn fixture_concurrency_findings_carry_their_origins() {
+    let report = scan_fixtures();
+    let origins: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| matches!(f.rule, "Y1" | "Y2" | "Y3"))
+        .map(|f| (f.rule, f.suppressed, f.origin.clone()))
+        .collect();
+    let y1 = "crates/routing/src/y1.rs".to_string();
+    let y2 = "crates/routing/src/y2.rs".to_string();
+    let y3 = "crates/routing/src/y3.rs".to_string();
+    assert_eq!(
+        origins,
+        vec![
+            ("Y1", None, Some((y1.clone(), 19))),
+            ("Y1", Some(Suppression::Waiver), Some((y1.clone(), 33))),
+            ("Y1", Some(Suppression::Allowlist), Some((y1, 43))),
+            ("Y2", None, Some((y2.clone(), 16))),
+            ("Y2", Some(Suppression::Waiver), Some((y2, 22))),
+            ("Y3", None, Some((y3.clone(), 22))),
+            ("Y3", Some(Suppression::Waiver), Some((y3, 26))),
         ]
     );
 }

@@ -1,0 +1,182 @@
+//! Hand-written models of the workspace's lock-free protocols, each with
+//! seeded-bug variants the checker must catch.
+//!
+//! * [`check_published`] — `Published::{publish,pin}` from
+//!   `crates/planner/src/publish.rs`: two publishers appending behind a
+//!   writer mutex with a CAS-verified frontier bump, one lock-free reader
+//!   pinning the newest slot. Seeded bugs: Relaxed publication (the CAS
+//!   success ordering drops Release), Relaxed pin (the reader drops
+//!   Acquire), and racing publishers (the writer mutex removed).
+//! * [`check_epoch`] — the router's epoch swap as a seqlock: writers bump
+//!   the epoch to odd, rewrite both plane generations, bump back to even;
+//!   readers validate an even epoch around their reads. Seeded bug: the
+//!   odd "write in progress" bump dropped, exposing torn generation reads.
+//!
+//! Models intentionally stay op-for-op close to the real code so a future
+//! protocol change can be mirrored here and re-verified before it lands.
+
+use crate::{explore, Ctx, MAtomic, MCell, MMutex, Opts, Ordering, Stats, Violation};
+
+/// Seeded-bug selector for the `Published` publish/pin model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PubBug {
+    /// Faithful model of the (hardened) protocol — must verify.
+    None,
+    /// Publication CAS succeeds with `Relaxed`: the reader's Acquire load
+    /// has no release edge to synchronize with → stale/torn pin.
+    RelaxedPublish,
+    /// Reader pins with a `Relaxed` frontier load: no acquire edge even
+    /// though the writer released → same race, reader-side.
+    RelaxedPin,
+    /// Writer mutex removed: two publishers race the frontier — the CAS
+    /// turns a silently lost generation into a caught violation.
+    NoWriterLock,
+}
+
+/// State of the publish/pin model: an atomic frontier guarding write-once
+/// slots (modeled as race-checked non-atomic cells), plus the writer lock.
+pub struct PublishModel {
+    len: MAtomic,
+    slots: Vec<MCell>,
+    writer: MMutex,
+}
+
+/// Model-check `Published::{publish,pin}` with two publishers and one
+/// pinning reader under the given seeded bug.
+pub fn check_published(bug: PubBug) -> Result<Stats, Violation> {
+    let publish_ord = if bug == PubBug::RelaxedPublish {
+        Ordering::Relaxed
+    } else {
+        Ordering::Release
+    };
+    let pin_ord = if bug == PubBug::RelaxedPin {
+        Ordering::Relaxed
+    } else {
+        Ordering::Acquire
+    };
+    let locked = bug != PubBug::NoWriterLock;
+
+    let writer = move |ctx: &Ctx<'_>, m: &PublishModel| {
+        let guard = if locked {
+            Some(m.writer.lock(ctx))
+        } else {
+            None
+        };
+        let i = m.len.load(ctx, Ordering::Acquire);
+        m.slots[i].write(ctx, i + 1);
+        let published = m
+            .len
+            .compare_exchange(ctx, i, i + 1, publish_ord, Ordering::Relaxed);
+        ctx.check(
+            published.is_ok(),
+            "lost publication: the frontier moved between the writer's load and its publish",
+        );
+        if let Some(g) = guard {
+            g.unlock(ctx);
+        }
+    };
+    let reader = move |ctx: &Ctx<'_>, m: &PublishModel| {
+        let n = m.len.load(ctx, pin_ord);
+        if n > 0 {
+            let v = m.slots[n - 1].read(ctx);
+            ctx.check(v == n, "stale pin: pinned slot disagrees with the frontier");
+        }
+    };
+    explore(
+        &Opts::default(),
+        &|| PublishModel {
+            len: MAtomic::new(0),
+            slots: vec![MCell::new(0), MCell::new(0)],
+            writer: MMutex::new(),
+        },
+        &[&writer, &writer, &reader],
+        &|m| {
+            if m.len.peek() != 2 {
+                return Err(format!("lost generation: final len {}", m.len.peek()));
+            }
+            for (i, slot) in m.slots.iter().enumerate() {
+                if slot.peek() != i + 1 {
+                    return Err(format!(
+                        "slot {i} holds {}, expected {}",
+                        slot.peek(),
+                        i + 1
+                    ));
+                }
+            }
+            Ok(())
+        },
+    )
+}
+
+/// Seeded-bug selector for the router epoch-swap model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochBug {
+    /// Faithful seqlock: odd epoch marks the write window — must verify.
+    None,
+    /// The writer's "write in progress" bump is dropped, so a reader can
+    /// validate an even epoch across a half-written generation pair.
+    DroppedBump,
+}
+
+/// State of the epoch-swap model: the epoch counter plus the two per-plane
+/// generation stamps a consistent read must see agree.
+pub struct EpochModel {
+    epoch: MAtomic,
+    gen_a: MAtomic,
+    gen_b: MAtomic,
+    lock: MMutex,
+}
+
+/// Model-check the router epoch swap with two swapping writers and one
+/// validating reader under the given seeded bug.
+pub fn check_epoch(bug: EpochBug) -> Result<Stats, Violation> {
+    let writer = move |ctx: &Ctx<'_>, m: &EpochModel| {
+        let g = m.lock.lock(ctx);
+        let e = m.epoch.load(ctx, Ordering::Acquire);
+        if bug != EpochBug::DroppedBump {
+            m.epoch.store(ctx, e + 1, Ordering::Release);
+        }
+        let gen = e / 2 + 1;
+        m.gen_a.store(ctx, gen, Ordering::Release);
+        m.gen_b.store(ctx, gen, Ordering::Release);
+        m.epoch.store(ctx, e + 2, Ordering::Release);
+        g.unlock(ctx);
+    };
+    let reader = |ctx: &Ctx<'_>, m: &EpochModel| {
+        let e1 = m.epoch.load(ctx, Ordering::Acquire);
+        if e1.is_multiple_of(2) {
+            let a = m.gen_a.load(ctx, Ordering::Acquire);
+            let b = m.gen_b.load(ctx, Ordering::Acquire);
+            let e2 = m.epoch.load(ctx, Ordering::Acquire);
+            if e1 == e2 {
+                ctx.check(
+                    a == b,
+                    "torn generation read: plane generations diverge inside a validated epoch window",
+                );
+            }
+        }
+    };
+    explore(
+        &Opts::default(),
+        &|| EpochModel {
+            epoch: MAtomic::new(0),
+            gen_a: MAtomic::new(0),
+            gen_b: MAtomic::new(0),
+            lock: MMutex::new(),
+        },
+        &[&writer, &writer, &reader],
+        &|m| {
+            if m.epoch.peek() % 2 != 0 {
+                return Err(format!("epoch left odd: {}", m.epoch.peek()));
+            }
+            if m.gen_a.peek() != 2 || m.gen_b.peek() != 2 {
+                return Err(format!(
+                    "plane generations out of step: a={} b={}",
+                    m.gen_a.peek(),
+                    m.gen_b.peek()
+                ));
+            }
+            Ok(())
+        },
+    )
+}

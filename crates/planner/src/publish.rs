@@ -94,7 +94,11 @@ impl<T> Published<T> {
             .writer
             .lock()
             .expect("invariant: publish lock is never poisoned");
-        let i = self.len.load(Ordering::Relaxed);
+        // Acquire pairs with the Release publication below: even though the
+        // writer mutex already orders writer-to-writer handoff, reading the
+        // frontier with Acquire keeps the protocol sound on its own terms
+        // (and keeps pnet-tidy Y1 quiet without a waiver).
+        let i = self.len.load(Ordering::Acquire);
         let mut chunk = &*self.head;
         for _ in 0..i / CHUNK {
             chunk = chunk.next.get_or_init(Chunk::boxed);
@@ -104,7 +108,17 @@ impl<T> Published<T> {
             !clash,
             "invariant: the slot at the publish frontier is never set twice"
         );
-        self.len.store(i + 1, Ordering::Release);
+        // CAS instead of a blind store: if another publisher raced past the
+        // mutex (e.g. a future refactor drops the guard), the frontier would
+        // have moved and this fails loudly instead of losing a generation.
+        let raced = self
+            .len
+            .compare_exchange(i, i + 1, Ordering::Release, Ordering::Relaxed)
+            .is_err();
+        assert!(
+            !raced,
+            "invariant: the publish frontier only advances under the writer lock"
+        );
         drop(guard);
         i
     }
@@ -126,6 +140,28 @@ mod tests {
         }
         assert_eq!(*store.latest(), 199);
         assert!(store.get(200).is_none());
+    }
+
+    #[test]
+    fn racing_publishers_cannot_lose_a_generation() {
+        let store = Published::new(0usize);
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let store = &store;
+                s.spawn(move || {
+                    for k in 0..100usize {
+                        store.publish(1 + t * 100 + k);
+                    }
+                });
+            }
+        });
+        // 1 seed + 2 threads x 100 publishes, every value exactly once.
+        assert_eq!(store.len(), 201);
+        let mut seen: Vec<usize> = (0..201)
+            .map(|i| *store.get(i).expect("published"))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..201usize).collect::<Vec<_>>());
     }
 
     #[test]
